@@ -1,0 +1,34 @@
+//! End-to-end read-path cost (host execution time, not simulated
+//! latency): how fast the harness executes whole reads through Agar and
+//! the baselines, at test scale.
+
+use agar_bench::{run_once, Deployment, PolicySpec, RunConfig, Scale};
+use agar_net::presets::FRANKFURT;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_run(c: &mut Criterion) {
+    let deployment = Deployment::build(Scale::tiny());
+    let mut group = c.benchmark_group("end_to_end/250_reads");
+    group.sample_size(10);
+    for policy in [
+        PolicySpec::Backend,
+        PolicySpec::Lru(5),
+        PolicySpec::Lfu(7),
+        PolicySpec::Agar,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, &policy| {
+                let mut config = RunConfig::paper_default(FRANKFURT, policy);
+                config.workload.operations = 250;
+                b.iter(|| black_box(run_once(&deployment, &config)).operations)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_run);
+criterion_main!(benches);

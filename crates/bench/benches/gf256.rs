@@ -1,0 +1,52 @@
+//! Microbenchmarks for GF(2^8) arithmetic — the inner loop of every
+//! encode and decode.
+
+use agar_ec::gf256::{mul_add_slice, mul_slice, Gf256};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_scalar_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256/scalar");
+    group.bench_function("mul", |b| {
+        b.iter(|| {
+            let mut acc = Gf256::ONE;
+            for v in 1..=255u8 {
+                acc *= black_box(Gf256::new(v));
+            }
+            acc
+        })
+    });
+    group.bench_function("inverse", |b| {
+        b.iter(|| {
+            let mut acc = Gf256::ZERO;
+            for v in 1..=255u8 {
+                acc += black_box(Gf256::new(v)).inverse();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_slice_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256/slice");
+    for size in [1_024usize, 111_112] {
+        let src = vec![0xA5u8; size];
+        let mut dst = vec![0x5Au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("mul_add_slice", size), &size, |b, _| {
+            b.iter(|| mul_add_slice(black_box(&mut dst), black_box(&src), 29))
+        });
+        group.bench_with_input(BenchmarkId::new("mul_slice", size), &size, |b, _| {
+            b.iter(|| mul_slice(black_box(&mut dst), black_box(&src), 29))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scalar_ops, bench_slice_kernels
+}
+criterion_main!(benches);

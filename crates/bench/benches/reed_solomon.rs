@@ -1,0 +1,50 @@
+//! Reed-Solomon codec throughput at the paper's RS(9, 3) over 1 MB
+//! objects (the Longhair-equivalent data path).
+
+use agar_ec::{CodingParams, ReedSolomon};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn object(size: usize) -> Vec<u8> {
+    (0..size).map(|i| (i % 251) as u8).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let rs = ReedSolomon::new(CodingParams::paper_default()).unwrap();
+    let mut group = c.benchmark_group("reed_solomon/encode");
+    for size in [100_000usize, 1_000_000] {
+        let data = object(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| rs.encode_object(black_box(&data)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let rs = ReedSolomon::new(CodingParams::paper_default()).unwrap();
+    let mut group = c.benchmark_group("reed_solomon/reconstruct");
+    for size in [100_000usize, 1_000_000] {
+        let data = object(size);
+        let shards: Vec<Bytes> = rs.encode_object(&data).unwrap();
+        // Worst realistic case: three data shards missing.
+        let mut degraded: Vec<Option<Bytes>> = shards.into_iter().map(Some).collect();
+        degraded[0] = None;
+        degraded[4] = None;
+        degraded[8] = None;
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("3-data-lost", size), &size, |b, _| {
+            b.iter(|| rs.reconstruct_object(black_box(&degraded), size).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encode, bench_reconstruct
+}
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! CLI entry point regenerating the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p agar-bench --release --bin experiments -- [ids...] [--tiny] [--runs N] [--ops N]
+//!
+//! ids: fig2 table1 fig6 fig7 fig8a fig8b fig9 fig10 ablation all   (default: all)
+//! --tiny        run at test scale (fast, same shapes)
+//! --runs N      repetitions to average (default 5, paper value)
+//! --ops N       operations per run (default 1000, paper value)
+//! --out DIR     also write CSVs under DIR (default results/)
+//! ```
+
+use agar_bench::experiments::{self, ExperimentParams};
+use agar_bench::{Deployment, Table};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut params = ExperimentParams::paper();
+    let mut out_dir = PathBuf::from("results");
+    let mut profile = agar_bench::LatencyProfile::Calibrated;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tiny" => {
+                let ops = params.operations;
+                params = ExperimentParams::tiny();
+                params.operations = ops.min(300);
+            }
+            "--runs" => {
+                params.runs = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--runs needs a number"));
+            }
+            "--ops" => {
+                params.operations = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--ops needs a number"));
+            }
+            "--profile" => {
+                profile = match iter.next().map(String::as_str) {
+                    Some("calibrated") => agar_bench::LatencyProfile::Calibrated,
+                    Some("table1") => agar_bench::LatencyProfile::PaperTable1,
+                    _ => usage("--profile needs calibrated|table1"),
+                };
+            }
+            "--out" => {
+                out_dir = iter
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage("--out needs a directory"));
+            }
+            "--help" | "-h" => usage(""),
+            id if !id.starts_with('-') => ids.push(id.to_string()),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ["fig2", "table1", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10", "ablation"]
+            .map(String::from)
+            .to_vec();
+    }
+
+    eprintln!(
+        "deployment: {} objects x {} bytes, {} runs x {} ops",
+        params.scale.object_count, params.scale.object_size, params.runs, params.operations
+    );
+    let start = std::time::Instant::now();
+    let deployment = Deployment::build_with_profile(params.scale, profile);
+    eprintln!("populated backend in {:.1?}\n", start.elapsed());
+
+    let mut emitted: Vec<Table> = Vec::new();
+    let mut comparison: Option<Vec<(String, String, f64, f64)>> = None;
+    for id in &ids {
+        let start = std::time::Instant::now();
+        let tables: Vec<Table> = match id.as_str() {
+            "fig2" => vec![experiments::fig2(&deployment, &params)],
+            "table1" => vec![experiments::table1(&deployment, &params)],
+            "fig6" | "fig7" => {
+                if comparison.is_none() {
+                    comparison = Some(experiments::policy_comparison(&deployment, &params));
+                }
+                let rows = comparison.as_ref().expect("just computed");
+                match id.as_str() {
+                    "fig6" => vec![experiments::fig6(rows)],
+                    _ => vec![experiments::fig7(rows)],
+                }
+            }
+            "fig8a" => vec![experiments::fig8a(&deployment, &params)],
+            "fig8b" => vec![experiments::fig8b(&deployment, &params)],
+            "fig9" => vec![experiments::fig9(&deployment, &params)],
+            "fig10" => vec![experiments::fig10(&deployment, &params)],
+            "ablation" => vec![experiments::ablation(&deployment, &params)],
+            other => usage(&format!("unknown experiment {other}")),
+        };
+        for table in tables {
+            println!("{table}");
+            let file = out_dir.join(format!("{id}.csv"));
+            if let Err(e) = table.write_csv(&file) {
+                eprintln!("warning: could not write {}: {e}", file.display());
+            }
+            emitted.push(table);
+        }
+        eprintln!("[{id}] done in {:.1?}\n", start.elapsed());
+    }
+    eprintln!(
+        "all {} experiment(s) done in {:.1?}; CSVs under {}",
+        emitted.len(),
+        start.elapsed(),
+        out_dir.display()
+    );
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|all]... \
+         [--tiny] [--runs N] [--ops N] [--out DIR]"
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

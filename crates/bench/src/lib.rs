@@ -1,0 +1,32 @@
+//! # agar-bench — the experiment harness for the Agar reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | Artefact | Function | Binary invocation |
+//! |---|---|---|
+//! | Figure 2 (motivating experiment) | [`experiments::fig2`] | `experiments -- fig2` |
+//! | Table I (latency estimates) | [`experiments::table1`] | `experiments -- table1` |
+//! | Figure 6 (policy comparison, latency) | [`experiments::fig6`] | `experiments -- fig6` |
+//! | Figure 7 (policy comparison, hit ratio) | [`experiments::fig7`] | `experiments -- fig7` |
+//! | Figure 8a (cache-size sweep) | [`experiments::fig8a`] | `experiments -- fig8a` |
+//! | Figure 8b (workload sweep) | [`experiments::fig8b`] | `experiments -- fig8b` |
+//! | Figure 9 (popularity CDF) | [`experiments::fig9`] | `experiments -- fig9` |
+//! | Figure 10 (cache contents) | [`experiments::fig10`] | `experiments -- fig10` |
+//! | §II-D / §VI solver claims | [`experiments::ablation`] + Criterion benches | `experiments -- ablation`, `cargo bench` |
+//!
+//! The harness drives closed-loop clients on a deterministic simulated
+//! clock ([`harness::run_once`]), exactly mirroring the paper's two
+//! YCSB clients per region and 30-second reconfiguration epochs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{
+    LatencyProfile,
+    run_averaged, run_once, Deployment, PolicySpec, RunConfig, RunResult, Scale,
+};
+pub use table::Table;

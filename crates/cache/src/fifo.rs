@@ -1,0 +1,116 @@
+//! First-In First-Out eviction.
+//!
+//! The simplest policy: victims leave in insertion order and accesses do
+//! not refresh position. Used as a baseline and in ablations.
+
+use crate::policy::EvictionPolicy;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// First-In First-Out policy state.
+#[derive(Clone, Debug, Default)]
+pub struct Fifo<K> {
+    seq: u64,
+    by_seq: BTreeMap<u64, K>,
+    by_key: HashMap<K, u64>,
+}
+
+impl<K: Eq + Hash + Clone> Fifo<K> {
+    /// Creates an empty FIFO policy.
+    pub fn new() -> Self {
+        Fifo {
+            seq: 0,
+            by_seq: BTreeMap::new(),
+            by_key: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone + Debug> EvictionPolicy<K> for Fifo<K> {
+    fn on_insert(&mut self, key: &K) {
+        if self.by_key.contains_key(key) {
+            return; // position is fixed at first insertion
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.by_seq.insert(seq, key.clone());
+        self.by_key.insert(key.clone(), seq);
+    }
+
+    fn on_access(&mut self, _key: &K) {
+        // FIFO ignores accesses by definition.
+    }
+
+    fn on_remove(&mut self, key: &K) {
+        if let Some(seq) = self.by_key.remove(key) {
+            self.by_seq.remove(&seq);
+        }
+    }
+
+    fn evict_candidate(&mut self) -> Option<K> {
+        let (&seq, _) = self.by_seq.iter().next()?;
+        let key = self.by_seq.remove(&seq).expect("peeked entry exists");
+        self.by_key.remove(&key);
+        Some(key)
+    }
+
+    fn peek_candidate(&self) -> Option<&K> {
+        self.by_seq.values().next()
+    }
+
+    fn tracked(&self) -> usize {
+        self.by_key.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_insertion_order() {
+        let mut fifo = Fifo::new();
+        for k in [3u32, 1, 2] {
+            fifo.on_insert(&k);
+        }
+        assert_eq!(fifo.evict_candidate(), Some(3));
+        assert_eq!(fifo.evict_candidate(), Some(1));
+        assert_eq!(fifo.evict_candidate(), Some(2));
+        assert_eq!(fifo.evict_candidate(), None);
+    }
+
+    #[test]
+    fn access_does_not_refresh() {
+        let mut fifo = Fifo::new();
+        fifo.on_insert(&1u32);
+        fifo.on_insert(&2);
+        fifo.on_access(&1);
+        fifo.on_access(&1);
+        assert_eq!(fifo.evict_candidate(), Some(1));
+    }
+
+    #[test]
+    fn reinsert_keeps_original_position() {
+        let mut fifo = Fifo::new();
+        fifo.on_insert(&1u32);
+        fifo.on_insert(&2);
+        fifo.on_insert(&1);
+        assert_eq!(fifo.tracked(), 2);
+        assert_eq!(fifo.evict_candidate(), Some(1));
+    }
+
+    #[test]
+    fn remove_untracks() {
+        let mut fifo = Fifo::new();
+        fifo.on_insert(&1u32);
+        fifo.on_remove(&1);
+        fifo.on_remove(&9);
+        assert_eq!(fifo.tracked(), 0);
+        assert_eq!(fifo.evict_candidate(), None);
+    }
+}

@@ -1,0 +1,214 @@
+//! Count-Min sketch for approximate access frequencies.
+//!
+//! TinyLFU (Einziger & Friedman, cited in the paper's §VII) replaces
+//! exact per-object counters with a compact sketch. The paper suggests
+//! the same trick for scaling Agar's request monitor; the
+//! [`ApproxRequestMonitor`](../tinylfu) admission policy and the
+//! monitor-scaling ablation both build on this sketch.
+
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+
+type DefaultBuild = BuildHasherDefault<std::collections::hash_map::DefaultHasher>;
+
+/// A Count-Min sketch with conservative-update increments and periodic
+/// halving (TinyLFU's aging mechanism).
+///
+/// # Examples
+///
+/// ```
+/// use agar_cache::CountMinSketch;
+///
+/// let mut sketch = CountMinSketch::new(1024, 4);
+/// for _ in 0..5 {
+///     sketch.increment(&"hot");
+/// }
+/// sketch.increment(&"cold");
+/// assert!(sketch.estimate(&"hot") >= 5);
+/// assert!(sketch.estimate(&"hot") > sketch.estimate(&"cold"));
+/// assert_eq!(sketch.estimate(&"never"), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    counters: Vec<u32>,
+    increments: u64,
+    halving_period: u64,
+    build: DefaultBuild,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `width` counters per row and `depth` rows.
+    ///
+    /// Width is rounded up to the next power of two so row indexing is a
+    /// mask. The halving period defaults to `10 * width` increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width > 0 && depth > 0, "sketch dimensions must be positive");
+        let width = width.next_power_of_two();
+        CountMinSketch {
+            width,
+            depth,
+            counters: vec![0; width * depth],
+            increments: 0,
+            halving_period: (width as u64) * 10,
+            build: DefaultBuild::default(),
+        }
+    }
+
+    /// Overrides the halving (aging) period, in increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn with_halving_period(mut self, period: u64) -> Self {
+        assert!(period > 0, "halving period must be positive");
+        self.halving_period = period;
+        self
+    }
+
+    fn index(&self, row: usize, item_hash: u64) -> usize {
+        // Derive per-row hashes from one 64-bit hash (Kirsch-Mitzenmacher).
+        let h1 = item_hash;
+        let h2 = item_hash.rotate_left(32) | 1;
+        let combined = h1.wrapping_add(h2.wrapping_mul(row as u64));
+        row * self.width + (combined as usize & (self.width - 1))
+    }
+
+    fn hash<T: Hash>(&self, item: &T) -> u64 {
+        let mut hasher = self.build.build_hasher();
+        item.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Records one access, aging all counters every halving period.
+    pub fn increment<T: Hash>(&mut self, item: &T) {
+        let h = self.hash(item);
+        // Conservative update: only raise the minimal counters.
+        let current = self.estimate_hashed(h);
+        for row in 0..self.depth {
+            let idx = self.index(row, h);
+            if self.counters[idx] == current {
+                self.counters[idx] = self.counters[idx].saturating_add(1);
+            }
+        }
+        self.increments += 1;
+        if self.increments % self.halving_period == 0 {
+            self.halve();
+        }
+    }
+
+    fn estimate_hashed(&self, h: u64) -> u32 {
+        (0..self.depth)
+            .map(|row| self.counters[self.index(row, h)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Estimated access count for `item` (never underestimates by more
+    /// than the aging factor; may overestimate).
+    pub fn estimate<T: Hash>(&self, item: &T) -> u32 {
+        self.estimate_hashed(self.hash(item))
+    }
+
+    /// Halves every counter — TinyLFU's aging step, keeping the sketch
+    /// responsive to popularity shifts.
+    pub fn halve(&mut self) {
+        for c in &mut self.counters {
+            *c /= 2;
+        }
+    }
+
+    /// Total increments recorded since creation.
+    pub fn increments(&self) -> u64 {
+        self.increments
+    }
+
+    /// Memory footprint of the counters in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.counters.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_monotonically_increase() {
+        let mut s = CountMinSketch::new(256, 4);
+        for i in 1..=10u32 {
+            s.increment(&"key");
+            assert!(s.estimate(&"key") >= i, "estimate after {i} increments");
+        }
+    }
+
+    #[test]
+    fn never_underestimates_without_aging() {
+        let mut s = CountMinSketch::new(4096, 4).with_halving_period(u64::MAX);
+        for i in 0..500u32 {
+            for _ in 0..(i % 7 + 1) {
+                s.increment(&i);
+            }
+        }
+        for i in 0..500u32 {
+            assert!(s.estimate(&i) >= i % 7 + 1, "key {i}");
+        }
+    }
+
+    #[test]
+    fn distinguishes_hot_from_cold() {
+        let mut s = CountMinSketch::new(1024, 4);
+        for _ in 0..100 {
+            s.increment(&"hot");
+        }
+        s.increment(&"cold");
+        assert!(s.estimate(&"hot") > 10 * s.estimate(&"cold"));
+    }
+
+    #[test]
+    fn halving_ages_counters() {
+        let mut s = CountMinSketch::new(256, 4).with_halving_period(u64::MAX);
+        for _ in 0..40 {
+            s.increment(&"k");
+        }
+        let before = s.estimate(&"k");
+        s.halve();
+        let after = s.estimate(&"k");
+        assert_eq!(after, before / 2);
+    }
+
+    #[test]
+    fn automatic_halving_kicks_in() {
+        let mut s = CountMinSketch::new(16, 2).with_halving_period(100);
+        for _ in 0..100 {
+            s.increment(&"k");
+        }
+        // The 100th increment triggered a halve: 100 -> 50.
+        assert!(s.estimate(&"k") <= 50);
+        assert_eq!(s.increments(), 100);
+    }
+
+    #[test]
+    fn unknown_items_estimate_zero_when_sparse() {
+        let mut s = CountMinSketch::new(4096, 4);
+        s.increment(&"only");
+        assert_eq!(s.estimate(&"other"), 0);
+    }
+
+    #[test]
+    fn width_rounded_to_power_of_two() {
+        let s = CountMinSketch::new(100, 2);
+        assert_eq!(s.memory_bytes(), 128 * 2 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimensions_panic() {
+        let _ = CountMinSketch::new(0, 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Segmented LRU eviction (Karedla et al., the paper's related work
+//! §VII-A).
+//!
+//! Keys enter a *probation* segment; a hit promotes them to the
+//! *protected* segment. The protected segment is capped at a fraction of
+//! all tracked keys — overflowing demotes its LRU key back to the MRU end
+//! of probation. Victims come from probation first, so one-hit wonders
+//! cannot flush the hot set.
+
+use crate::policy::EvictionPolicy;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Segment {
+    Probation,
+    Protected,
+}
+
+/// Segmented LRU policy state.
+#[derive(Clone, Debug)]
+pub struct Slru<K> {
+    seq: u64,
+    probation: BTreeMap<u64, K>,
+    protected: BTreeMap<u64, K>,
+    by_key: HashMap<K, (Segment, u64)>,
+    /// Maximum fraction of tracked keys the protected segment may hold.
+    protected_fraction: f64,
+}
+
+impl<K: Eq + Hash + Clone> Default for Slru<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> Slru<K> {
+    /// The conventional protected-segment share.
+    pub const DEFAULT_PROTECTED_FRACTION: f64 = 0.8;
+
+    /// Creates an SLRU with the conventional 80% protected share.
+    pub fn new() -> Self {
+        Self::with_protected_fraction(Self::DEFAULT_PROTECTED_FRACTION)
+    }
+
+    /// Creates an SLRU with a custom protected share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1)`.
+    pub fn with_protected_fraction(fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "protected fraction must be in (0, 1)"
+        );
+        Slru {
+            seq: 0,
+            probation: BTreeMap::new(),
+            protected: BTreeMap::new(),
+            by_key: HashMap::new(),
+            protected_fraction: fraction,
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn protected_cap(&self) -> usize {
+        ((self.by_key.len() as f64) * self.protected_fraction).floor() as usize
+    }
+
+    fn insert_into(&mut self, key: &K, segment: Segment) {
+        let seq = self.next_seq();
+        match segment {
+            Segment::Probation => self.probation.insert(seq, key.clone()),
+            Segment::Protected => self.protected.insert(seq, key.clone()),
+        };
+        self.by_key.insert(key.clone(), (segment, seq));
+    }
+
+    fn detach(&mut self, key: &K) -> Option<Segment> {
+        let (segment, seq) = self.by_key.remove(key)?;
+        match segment {
+            Segment::Probation => self.probation.remove(&seq),
+            Segment::Protected => self.protected.remove(&seq),
+        };
+        Some(segment)
+    }
+
+    fn rebalance(&mut self) {
+        while self.protected.len() > self.protected_cap() {
+            // Demote protected LRU to probation MRU.
+            let Some((&seq, _)) = self.protected.iter().next() else {
+                break;
+            };
+            let key = self.protected.remove(&seq).expect("peeked entry exists");
+            self.by_key.remove(&key);
+            self.insert_into(&key.clone(), Segment::Probation);
+        }
+    }
+
+    /// Number of keys in the probation segment (diagnostics).
+    pub fn probation_len(&self) -> usize {
+        self.probation.len()
+    }
+
+    /// Number of keys in the protected segment (diagnostics).
+    pub fn protected_len(&self) -> usize {
+        self.protected.len()
+    }
+}
+
+impl<K: Eq + Hash + Clone + Debug> EvictionPolicy<K> for Slru<K> {
+    fn on_insert(&mut self, key: &K) {
+        match self.detach(key) {
+            // Re-insert of a live key behaves like an access.
+            Some(_) => {
+                self.insert_into(key, Segment::Protected);
+                self.rebalance();
+            }
+            None => self.insert_into(key, Segment::Probation),
+        }
+    }
+
+    fn on_access(&mut self, key: &K) {
+        if self.detach(key).is_some() {
+            self.insert_into(key, Segment::Protected);
+            self.rebalance();
+        }
+    }
+
+    fn on_remove(&mut self, key: &K) {
+        self.detach(key);
+    }
+
+    fn evict_candidate(&mut self) -> Option<K> {
+        let source = if self.probation.is_empty() {
+            &mut self.protected
+        } else {
+            &mut self.probation
+        };
+        let (&seq, _) = source.iter().next()?;
+        let key = source.remove(&seq).expect("peeked entry exists");
+        self.by_key.remove(&key);
+        Some(key)
+    }
+
+    fn peek_candidate(&self) -> Option<&K> {
+        let source = if self.probation.is_empty() {
+            &self.protected
+        } else {
+            &self.probation
+        };
+        source.values().next()
+    }
+
+    fn tracked(&self) -> usize {
+        self.by_key.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "slru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_keys_enter_probation() {
+        let mut slru = Slru::new();
+        slru.on_insert(&1u32);
+        slru.on_insert(&2);
+        assert_eq!(slru.probation_len(), 2);
+        assert_eq!(slru.protected_len(), 0);
+    }
+
+    #[test]
+    fn access_promotes_to_protected() {
+        let mut slru = Slru::new();
+        for k in 1..=5u32 {
+            slru.on_insert(&k);
+        }
+        slru.on_access(&3);
+        assert_eq!(slru.protected_len(), 1);
+        assert_eq!(slru.probation_len(), 4);
+        // Victims come from probation, never the freshly protected key.
+        for _ in 0..4 {
+            assert_ne!(slru.evict_candidate(), Some(3));
+        }
+        // Only 3 is left, in protected; now it is the victim of last resort.
+        assert_eq!(slru.evict_candidate(), Some(3));
+    }
+
+    #[test]
+    fn one_hit_wonders_cannot_flush_hot_set() {
+        let mut slru = Slru::new();
+        // A 10-key working set; keys 1 and 2 are hot.
+        for k in 1..=10u32 {
+            slru.on_insert(&k);
+        }
+        slru.on_access(&1);
+        slru.on_access(&2);
+        // 100 cold keys stream past a full cache (evict one per insert).
+        for k in 100..200u32 {
+            slru.on_insert(&k);
+            let victim = slru.evict_candidate().unwrap();
+            assert!(victim != 1 && victim != 2, "hot key {victim} evicted");
+        }
+        // Both hot keys survived the scan.
+        slru.on_remove(&1);
+        slru.on_remove(&2);
+        assert_eq!(slru.tracked(), 8);
+    }
+
+    #[test]
+    fn protected_overflow_demotes() {
+        let mut slru: Slru<u32> = Slru::with_protected_fraction(0.5);
+        for k in 1..=4u32 {
+            slru.on_insert(&k);
+        }
+        // Promote three keys; cap is floor(4 * 0.5) = 2, so one demotes.
+        slru.on_access(&1);
+        slru.on_access(&2);
+        slru.on_access(&3);
+        assert_eq!(slru.protected_len(), 2);
+        assert_eq!(slru.probation_len(), 2);
+        assert_eq!(slru.tracked(), 4);
+    }
+
+    #[test]
+    fn remove_untracks_from_either_segment() {
+        let mut slru = Slru::new();
+        slru.on_insert(&1u32);
+        slru.on_insert(&2);
+        slru.on_access(&1);
+        slru.on_remove(&1);
+        slru.on_remove(&2);
+        assert_eq!(slru.tracked(), 0);
+        assert_eq!(slru.evict_candidate(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "protected fraction")]
+    fn invalid_fraction_panics() {
+        let _: Slru<u32> = Slru::with_protected_fraction(1.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Cache statistics.
+//!
+//! Two granularities matter in this system:
+//!
+//! - **chunk-level** hits/misses, recorded by the cache itself on every
+//!   `get`;
+//! - **object-level** full/partial hits (the paper's Figure 7 metric: a
+//!   request is a *total hit* if every chunk came from the cache, a
+//!   *partial hit* if at least one did), recorded by whoever assembles
+//!   whole objects via [`CacheStats::record_object_read`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counters describing cache effectiveness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    chunk_hits: u64,
+    chunk_misses: u64,
+    insertions: u64,
+    evictions: u64,
+    rejected_inserts: u64,
+    object_total_hits: u64,
+    object_partial_hits: u64,
+    object_misses: u64,
+}
+
+impl CacheStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    pub(crate) fn record_chunk_hit(&mut self) {
+        self.chunk_hits += 1;
+    }
+
+    pub(crate) fn record_chunk_miss(&mut self) {
+        self.chunk_misses += 1;
+    }
+
+    pub(crate) fn record_insertion(&mut self) {
+        self.insertions += 1;
+    }
+
+    pub(crate) fn record_eviction(&mut self) {
+        self.evictions += 1;
+    }
+
+    pub(crate) fn record_rejected_insert(&mut self) {
+        self.rejected_inserts += 1;
+    }
+
+    /// Records an object-level read outcome: `cached_chunks` of the
+    /// `needed_chunks` required chunks came from the cache.
+    ///
+    /// Matches the paper's hit-ratio definition: all chunks cached is a
+    /// total hit, at least one cached is a partial hit, none is a miss.
+    pub fn record_object_read(&mut self, cached_chunks: usize, needed_chunks: usize) {
+        if needed_chunks > 0 && cached_chunks >= needed_chunks {
+            self.object_total_hits += 1;
+        } else if cached_chunks > 0 {
+            self.object_partial_hits += 1;
+        } else {
+            self.object_misses += 1;
+        }
+    }
+
+    /// Chunk-level hits.
+    pub fn chunk_hits(&self) -> u64 {
+        self.chunk_hits
+    }
+
+    /// Chunk-level misses.
+    pub fn chunk_misses(&self) -> u64 {
+        self.chunk_misses
+    }
+
+    /// Successful insertions.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Entries evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Insertions rejected (entry larger than the whole cache, or vetoed
+    /// by an admission policy).
+    pub fn rejected_inserts(&self) -> u64 {
+        self.rejected_inserts
+    }
+
+    /// Object reads where every needed chunk was cached.
+    pub fn object_total_hits(&self) -> u64 {
+        self.object_total_hits
+    }
+
+    /// Object reads where some but not all needed chunks were cached.
+    pub fn object_partial_hits(&self) -> u64 {
+        self.object_partial_hits
+    }
+
+    /// Object reads served entirely from the backend.
+    pub fn object_misses(&self) -> u64 {
+        self.object_misses
+    }
+
+    /// Total object reads recorded.
+    pub fn object_reads(&self) -> u64 {
+        self.object_total_hits + self.object_partial_hits + self.object_misses
+    }
+
+    /// Chunk-level hit ratio in `[0, 1]`; 0 if nothing recorded.
+    pub fn chunk_hit_ratio(&self) -> f64 {
+        let total = self.chunk_hits + self.chunk_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.chunk_hits as f64 / total as f64
+        }
+    }
+
+    /// The paper's Figure 7 metric: (total + partial hits) / requests.
+    pub fn object_hit_ratio(&self) -> f64 {
+        let total = self.object_reads();
+        if total == 0 {
+            0.0
+        } else {
+            (self.object_total_hits + self.object_partial_hits) as f64 / total as f64
+        }
+    }
+
+    /// The counters accumulated since an earlier snapshot (saturating;
+    /// used for per-batch statistics on a long-lived cache).
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            chunk_hits: self.chunk_hits.saturating_sub(earlier.chunk_hits),
+            chunk_misses: self.chunk_misses.saturating_sub(earlier.chunk_misses),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            rejected_inserts: self
+                .rejected_inserts
+                .saturating_sub(earlier.rejected_inserts),
+            object_total_hits: self
+                .object_total_hits
+                .saturating_sub(earlier.object_total_hits),
+            object_partial_hits: self
+                .object_partial_hits
+                .saturating_sub(earlier.object_partial_hits),
+            object_misses: self.object_misses.saturating_sub(earlier.object_misses),
+        }
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.chunk_hits += other.chunk_hits;
+        self.chunk_misses += other.chunk_misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.rejected_inserts += other.rejected_inserts;
+        self.object_total_hits += other.object_total_hits;
+        self.object_partial_hits += other.object_partial_hits;
+        self.object_misses += other.object_misses;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chunks {}/{} hits ({:.1}%), objects {} total + {} partial / {} reads ({:.1}%), {} evictions",
+            self.chunk_hits,
+            self.chunk_hits + self.chunk_misses,
+            self.chunk_hit_ratio() * 100.0,
+            self.object_total_hits,
+            self.object_partial_hits,
+            self.object_reads(),
+            self.object_hit_ratio() * 100.0,
+            self.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ratio() {
+        let mut s = CacheStats::new();
+        assert_eq!(s.chunk_hit_ratio(), 0.0);
+        s.record_chunk_hit();
+        s.record_chunk_hit();
+        s.record_chunk_miss();
+        assert!((s.chunk_hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.chunk_hits(), 2);
+        assert_eq!(s.chunk_misses(), 1);
+    }
+
+    #[test]
+    fn object_hit_classification() {
+        let mut s = CacheStats::new();
+        s.record_object_read(9, 9); // total
+        s.record_object_read(3, 9); // partial
+        s.record_object_read(0, 9); // miss
+        assert_eq!(s.object_total_hits(), 1);
+        assert_eq!(s.object_partial_hits(), 1);
+        assert_eq!(s.object_misses(), 1);
+        assert_eq!(s.object_reads(), 3);
+        assert!((s.object_hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_needed_chunks_is_a_miss_not_a_hit() {
+        let mut s = CacheStats::new();
+        s.record_object_read(0, 0);
+        assert_eq!(s.object_misses(), 1);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CacheStats::new();
+        a.record_chunk_hit();
+        a.record_insertion();
+        a.record_object_read(1, 2);
+        let mut b = CacheStats::new();
+        b.record_chunk_miss();
+        b.record_eviction();
+        b.record_rejected_insert();
+        b.record_object_read(2, 2);
+        a.merge(&b);
+        assert_eq!(a.chunk_hits(), 1);
+        assert_eq!(a.chunk_misses(), 1);
+        assert_eq!(a.insertions(), 1);
+        assert_eq!(a.evictions(), 1);
+        assert_eq!(a.rejected_inserts(), 1);
+        assert_eq!(a.object_total_hits(), 1);
+        assert_eq!(a.object_partial_hits(), 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut s = CacheStats::new();
+        s.record_chunk_hit();
+        s.record_object_read(2, 2);
+        let text = s.to_string();
+        assert!(text.contains("chunks 1/1"));
+        assert!(text.contains("objects 1 total"));
+    }
+}

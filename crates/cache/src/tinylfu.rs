@@ -1,0 +1,187 @@
+//! TinyLFU admission: a frequency-based gate in front of any cache.
+//!
+//! TinyLFU (Einziger & Friedman, PDP 2014 — discussed in the paper's
+//! §VII-A) does not choose *eviction* victims; it decides whether a new
+//! entry is worth admitting at all, by comparing its (sketched) access
+//! frequency with the would-be victim's. The paper notes Agar's request
+//! monitor could adopt exactly this mechanism to scale; this module
+//! provides it as a composable wrapper.
+
+use crate::cache::{Cache, InsertOutcome, Weigh};
+use crate::policy::EvictionPolicy;
+use crate::sketch::CountMinSketch;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A cache wrapper that gates insertions through a TinyLFU filter.
+///
+/// Reads pass straight through (and feed the frequency sketch);
+/// insertions into a full cache are admitted only if the candidate's
+/// estimated frequency beats the eviction candidate's.
+///
+/// # Examples
+///
+/// ```
+/// use agar_cache::{Cache, Lru, TinyLfu};
+/// use bytes::Bytes;
+///
+/// let cache = Cache::with_capacity(8, Lru::new());
+/// let mut tiny: TinyLfu<&str, Bytes, Lru<&str>> = TinyLfu::new(cache, 1024);
+/// // A key seen often is admitted over a one-hit wonder.
+/// for _ in 0..5 { tiny.record_access(&"hot"); }
+/// tiny.insert("hot", Bytes::from_static(&[0; 8]));
+/// assert!(tiny.cache().contains(&"hot"));
+/// // "cold" has frequency 0 < "hot": rejected while the cache is full.
+/// tiny.insert("cold", Bytes::from_static(&[0; 8]));
+/// assert!(!tiny.cache().contains(&"cold"));
+/// ```
+#[derive(Debug)]
+pub struct TinyLfu<K, V, P> {
+    cache: Cache<K, V, P>,
+    sketch: CountMinSketch,
+}
+
+impl<K, V, P> TinyLfu<K, V, P>
+where
+    K: Eq + Hash + Clone + Debug,
+    V: Weigh,
+    P: EvictionPolicy<K>,
+{
+    /// Wraps `cache` with a TinyLFU admission filter backed by a sketch
+    /// of `sketch_width` counters (4 rows).
+    pub fn new(cache: Cache<K, V, P>, sketch_width: usize) -> Self {
+        TinyLfu {
+            cache,
+            sketch: CountMinSketch::new(sketch_width, 4),
+        }
+    }
+
+    /// Records an access in the frequency sketch without touching the
+    /// cache (e.g. for misses served by the backend).
+    pub fn record_access(&mut self, key: &K) {
+        self.sketch.increment(key);
+    }
+
+    /// Reads an entry; hits also feed the sketch.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.sketch.increment(key);
+        self.cache.get(key)
+    }
+
+    /// Attempts to insert, subject to admission.
+    ///
+    /// If the cache has room (or the key is already present), behaves
+    /// like a plain insert. Otherwise the candidate must have a strictly
+    /// higher sketched frequency than the current eviction candidate;
+    /// rejected values are handed back via [`InsertOutcome::Rejected`].
+    pub fn insert(&mut self, key: K, value: V) -> InsertOutcome<K, V> {
+        let needs_room =
+            value.weight() > self.cache.available_bytes() && !self.cache.contains(&key);
+        if needs_room {
+            // Compare against the coldest victim the policy would evict.
+            if let Some(victim) = self.cache.policy().peek_candidate() {
+                let candidate_freq = self.sketch.estimate(&key);
+                let victim_freq = self.sketch.estimate(victim);
+                if candidate_freq <= victim_freq {
+                    self.cache.stats_mut().record_rejected_insert();
+                    return InsertOutcome::Rejected { value };
+                }
+            }
+        }
+        self.cache.insert(key, value)
+    }
+
+    /// Read access to the wrapped cache.
+    pub fn cache(&self) -> &Cache<K, V, P> {
+        &self.cache
+    }
+
+    /// Mutable access to the wrapped cache.
+    pub fn cache_mut(&mut self) -> &mut Cache<K, V, P> {
+        &mut self.cache
+    }
+
+    /// Read access to the frequency sketch.
+    pub fn sketch(&self) -> &CountMinSketch {
+        &self.sketch
+    }
+
+    /// Consumes the wrapper, returning the inner cache.
+    pub fn into_inner(self) -> Cache<K, V, P> {
+        self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::Lru;
+    use bytes::Bytes;
+
+    fn bytes(n: usize) -> Bytes {
+        Bytes::from(vec![0u8; n])
+    }
+
+    fn full_cache() -> TinyLfu<u32, Bytes, Lru<u32>> {
+        let mut tiny = TinyLfu::new(Cache::with_capacity(20, Lru::new()), 256);
+        tiny.insert(1, bytes(10));
+        tiny.insert(2, bytes(10));
+        tiny
+    }
+
+    #[test]
+    fn admits_into_empty_cache() {
+        let mut tiny = TinyLfu::new(Cache::with_capacity(20, Lru::new()), 256);
+        assert!(tiny.insert(1u32, bytes(10)).was_stored());
+        assert_eq!(tiny.cache().len(), 1);
+    }
+
+    #[test]
+    fn cold_candidate_rejected_when_full() {
+        let mut tiny = full_cache();
+        for _ in 0..3 {
+            tiny.record_access(&1);
+            tiny.record_access(&2);
+        }
+        let out = tiny.insert(99, bytes(10));
+        assert!(!out.was_stored());
+        assert!(tiny.cache().contains(&1));
+        assert!(tiny.cache().contains(&2));
+    }
+
+    #[test]
+    fn hot_candidate_admitted_when_full() {
+        let mut tiny = full_cache();
+        for _ in 0..10 {
+            tiny.record_access(&99);
+        }
+        let out = tiny.insert(99, bytes(10));
+        assert!(out.was_stored());
+        assert!(tiny.cache().contains(&99));
+        assert_eq!(tiny.cache().len(), 2);
+    }
+
+    #[test]
+    fn replacing_existing_key_bypasses_admission() {
+        let mut tiny = full_cache();
+        // Key 1 exists; updating it must not be vetoed.
+        let out = tiny.insert(1, bytes(10));
+        assert!(out.was_stored());
+    }
+
+    #[test]
+    fn get_feeds_sketch() {
+        let mut tiny = full_cache();
+        for _ in 0..5 {
+            let _ = tiny.get(&1);
+        }
+        assert!(tiny.sketch().estimate(&1) >= 5);
+    }
+
+    #[test]
+    fn into_inner_returns_cache() {
+        let tiny = full_cache();
+        let cache = tiny.into_inner();
+        assert_eq!(cache.len(), 2);
+    }
+}

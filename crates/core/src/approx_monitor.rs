@@ -1,0 +1,251 @@
+//! Approximate request monitoring (the paper's §III-b scaling note).
+//!
+//! "For large deployments, we believe that techniques like TinyLFU's
+//! approximate access statistics can avoid the request monitor becoming
+//! a bottleneck, while maintaining similar effectiveness."
+//!
+//! [`ApproxRequestMonitor`] replaces the exact per-object frequency map
+//! with a Count-Min sketch plus a bounded candidate set of the hottest
+//! objects: memory is O(sketch + top-K) instead of O(working set), and
+//! `record_read` touches only the sketch and a small heap-ordered map.
+//! The ablation test compares the configurations it produces against the
+//! exact monitor's.
+
+use agar_cache::CountMinSketch;
+use agar_ec::ObjectId;
+use std::collections::HashMap;
+
+/// A bounded-memory popularity tracker: Count-Min sketch for counting,
+/// a top-K candidate set for reporting, EWMA across epochs like the
+/// exact [`crate::RequestMonitor`].
+#[derive(Clone, Debug)]
+pub struct ApproxRequestMonitor {
+    alpha: f64,
+    sketch: CountMinSketch,
+    /// The K hottest objects discovered this epoch (estimated counts).
+    candidates: HashMap<ObjectId, u32>,
+    max_candidates: usize,
+    popularity: HashMap<ObjectId, f64>,
+    epoch: u64,
+    total_requests: u64,
+}
+
+impl ApproxRequestMonitor {
+    /// Creates an approximate monitor tracking at most `max_candidates`
+    /// hot objects with a sketch of `sketch_width` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_candidates` is zero or `alpha` outside `(0, 1]`.
+    pub fn new(max_candidates: usize, sketch_width: usize, alpha: f64) -> Self {
+        assert!(max_candidates > 0, "need at least one candidate slot");
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+        ApproxRequestMonitor {
+            alpha,
+            sketch: CountMinSketch::new(sketch_width, 4),
+            candidates: HashMap::with_capacity(max_candidates + 1),
+            max_candidates,
+            popularity: HashMap::new(),
+            epoch: 0,
+            total_requests: 0,
+        }
+    }
+
+    /// A configuration sized for the paper's deployment: 4× the cache's
+    /// object capacity as candidates, 1 024-counter sketch, α = 0.8.
+    pub fn paper_default(cache_objects: usize) -> Self {
+        Self::new(
+            (cache_objects * 4).max(16),
+            1_024,
+            crate::RequestMonitor::PAPER_ALPHA,
+        )
+    }
+
+    /// Records one request.
+    pub fn record_read(&mut self, object: ObjectId) {
+        self.sketch.increment(&object);
+        self.total_requests += 1;
+        let estimate = self.sketch.estimate(&object);
+
+        // Maintain the top-K candidate set under the estimated counts.
+        if self.candidates.contains_key(&object) {
+            self.candidates.insert(object, estimate);
+            return;
+        }
+        if self.candidates.len() < self.max_candidates {
+            self.candidates.insert(object, estimate);
+            return;
+        }
+        // Replace the coldest candidate if this object now beats it.
+        if let Some((&coldest, &cold_count)) = self
+            .candidates
+            .iter()
+            .min_by_key(|&(id, &count)| (count, id.index()))
+        {
+            if estimate > cold_count {
+                self.candidates.remove(&coldest);
+                self.candidates.insert(object, estimate);
+            }
+        }
+    }
+
+    /// Closes the epoch: candidate counts fold into EWMA popularity,
+    /// the sketch ages, and the candidate set resets.
+    pub fn end_epoch(&mut self) {
+        let mut touched: Vec<ObjectId> = self.candidates.keys().copied().collect();
+        touched.extend(self.popularity.keys().copied());
+        touched.sort_unstable();
+        touched.dedup();
+        for object in touched {
+            let freq = self.candidates.get(&object).copied().unwrap_or(0) as f64;
+            let prev = self.popularity.get(&object).copied().unwrap_or(0.0);
+            let next = self.alpha * freq + (1.0 - self.alpha) * prev;
+            if next < 1e-3 {
+                self.popularity.remove(&object);
+            } else {
+                self.popularity.insert(object, next);
+            }
+        }
+        self.candidates.clear();
+        self.sketch.halve();
+        self.epoch += 1;
+    }
+
+    /// EWMA popularity of `object` (0 when it never made the candidate
+    /// set — the deliberate approximation).
+    pub fn popularity(&self, object: ObjectId) -> f64 {
+        self.popularity.get(&object).copied().unwrap_or(0.0)
+    }
+
+    /// Tracked objects with popularity, hottest first.
+    pub fn popularities(&self) -> Vec<(ObjectId, f64)> {
+        let mut v: Vec<(ObjectId, f64)> =
+            self.popularity.iter().map(|(&k, &p)| (k, p)).collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("popularities are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        v
+    }
+
+    /// Completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total requests recorded.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Memory used by the sketch, in bytes (the scaling argument).
+    pub fn sketch_memory_bytes(&self) -> usize {
+        self.sketch.memory_bytes()
+    }
+
+    /// Exports the tracked popularities into an exact
+    /// [`crate::RequestMonitor`]-compatible snapshot, so the cache
+    /// manager can consume either monitor uniformly.
+    pub fn snapshot(&self) -> Vec<(ObjectId, f64)> {
+        self.popularities()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agar_workload::Zipfian;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hot_objects_dominate_the_candidate_set() {
+        let mut monitor = ApproxRequestMonitor::new(8, 512, 0.8);
+        // Zipf-ish: object i read 100 / (i + 1) times.
+        for i in 0..50u64 {
+            for _ in 0..(100 / (i + 1)) {
+                monitor.record_read(ObjectId::new(i));
+            }
+        }
+        monitor.end_epoch();
+        let pops = monitor.popularities();
+        assert!(!pops.is_empty());
+        assert!(pops.len() <= 8);
+        assert_eq!(pops[0].0, ObjectId::new(0), "hottest object must lead");
+    }
+
+    #[test]
+    fn ranking_agrees_with_exact_monitor_on_the_head() {
+        let zipf = Zipfian::new(300, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut exact = crate::RequestMonitor::new();
+        let mut approx = ApproxRequestMonitor::new(40, 2_048, 0.8);
+        for _ in 0..20_000 {
+            let key = ObjectId::new(zipf.sample(&mut rng));
+            exact.record_read(key);
+            approx.record_read(key);
+        }
+        exact.end_epoch();
+        approx.end_epoch();
+        let exact_top: Vec<ObjectId> = exact
+            .popularities()
+            .into_iter()
+            .take(10)
+            .map(|(o, _)| o)
+            .collect();
+        let approx_top: Vec<ObjectId> = approx
+            .popularities()
+            .into_iter()
+            .take(10)
+            .map(|(o, _)| o)
+            .collect();
+        // The top-10 sets overlap almost entirely (order may differ in
+        // the tail of the head).
+        let overlap = exact_top
+            .iter()
+            .filter(|o| approx_top.contains(o))
+            .count();
+        assert!(overlap >= 8, "only {overlap}/10 of the hot set matched");
+    }
+
+    #[test]
+    fn memory_is_bounded_regardless_of_key_space() {
+        let mut monitor = ApproxRequestMonitor::new(16, 256, 0.8);
+        for i in 0..100_000u64 {
+            monitor.record_read(ObjectId::new(i));
+        }
+        monitor.end_epoch();
+        assert!(monitor.popularities().len() <= 16);
+        assert_eq!(monitor.sketch_memory_bytes(), 256 * 4 * 4);
+        assert_eq!(monitor.total_requests(), 100_000);
+    }
+
+    #[test]
+    fn ewma_folds_like_the_exact_monitor() {
+        let mut monitor = ApproxRequestMonitor::new(4, 256, 0.8);
+        let key = ObjectId::new(1);
+        for _ in 0..100 {
+            monitor.record_read(key);
+        }
+        monitor.end_epoch();
+        let p1 = monitor.popularity(key);
+        assert!(p1 >= 80.0, "sketch should count ~100: {p1}");
+        monitor.end_epoch(); // idle epoch decays
+        assert!(monitor.popularity(key) < p1);
+        assert_eq!(monitor.epoch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate slot")]
+    fn zero_candidates_rejected() {
+        let _ = ApproxRequestMonitor::new(0, 256, 0.8);
+    }
+
+    #[test]
+    fn paper_default_sizing() {
+        let monitor = ApproxRequestMonitor::paper_default(10);
+        assert_eq!(monitor.popularities().len(), 0);
+        assert!(monitor.sketch_memory_bytes() > 0);
+    }
+}

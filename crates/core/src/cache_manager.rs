@@ -1,0 +1,222 @@
+//! The cache manager (paper §III-c): periodically turns popularity
+//! statistics and latency estimates into a static cache configuration by
+//! running the Knapsack dynamic program.
+
+use crate::config::CacheConfiguration;
+use crate::knapsack::KnapsackSolver;
+use crate::monitor::RequestMonitor;
+use crate::options::{generate_options, ObjectOptions};
+use crate::region_manager::RegionManager;
+use agar_ec::ObjectId;
+use agar_store::Backend;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Computes cache configurations from live statistics.
+///
+/// Weights are counted in chunks: the paper's catalogue is homogeneous
+/// (300 × 1 MB objects), so capacity in bytes divides evenly by the
+/// chunk size of the first known object. Heterogeneous object sizes
+/// would need byte-granular weights; see DESIGN.md.
+#[derive(Clone, Debug)]
+pub struct CacheManager {
+    capacity_bytes: usize,
+    solver: KnapsackSolver,
+}
+
+impl CacheManager {
+    /// Creates a manager for a cache of `capacity_bytes`.
+    pub fn new(capacity_bytes: usize) -> Self {
+        CacheManager {
+            capacity_bytes,
+            solver: KnapsackSolver::new(),
+        }
+    }
+
+    /// Overrides the Knapsack solver (e.g. to enable §VI early
+    /// termination).
+    #[must_use]
+    pub fn with_solver(mut self, solver: KnapsackSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// The configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Generates the option sets for every object the monitor tracks.
+    ///
+    /// Exposed separately so benchmarks can time option generation and
+    /// the Knapsack independently.
+    pub fn build_options(
+        &self,
+        monitor: &RequestMonitor,
+        region_manager: &RegionManager,
+        backend: &Backend,
+        cache_read: Duration,
+    ) -> HashMap<ObjectId, ObjectOptions> {
+        let estimates = region_manager.estimates();
+        let mut all_options = HashMap::new();
+        for (object, popularity) in monitor.popularities() {
+            let Ok(manifest) = backend.manifest(object) else {
+                continue; // object deleted or never stored
+            };
+            all_options.insert(
+                object,
+                generate_options(&manifest, estimates, cache_read, popularity),
+            );
+        }
+        all_options
+    }
+
+    /// Recomputes the cache configuration from current statistics.
+    ///
+    /// Returns the empty configuration when the monitor has seen nothing
+    /// (or capacity fits no chunk).
+    pub fn recompute(
+        &self,
+        monitor: &RequestMonitor,
+        region_manager: &RegionManager,
+        backend: &Backend,
+        cache_read: Duration,
+        epoch: u64,
+    ) -> CacheConfiguration {
+        let all_options = self.build_options(monitor, region_manager, backend, cache_read);
+        let Some(first) = all_options.keys().next() else {
+            return CacheConfiguration::empty();
+        };
+        let chunk_size = backend
+            .manifest(*first)
+            .map(|m| m.chunk_size())
+            .unwrap_or(0);
+        if chunk_size == 0 {
+            return CacheConfiguration::empty();
+        }
+        let capacity_chunks = (self.capacity_bytes / chunk_size) as u32;
+        let solved = self.solver.populate(&all_options, capacity_chunks);
+        CacheConfiguration::from_knapsack(&solved, epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agar_ec::CodingParams;
+    use agar_net::presets::{aws_six_regions, FRANKFURT};
+    use agar_store::{populate, RoundRobin};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Backend>, RegionManager, RequestMonitor) {
+        let preset = aws_six_regions();
+        let backend = Backend::new(
+            preset.topology.clone(),
+            Arc::new(preset.latency.clone()),
+            CodingParams::paper_default(),
+            Box::new(RoundRobin),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        populate(&backend, 20, 900, &mut rng).unwrap();
+
+        let mut region_manager = RegionManager::new(FRANKFURT, preset.topology);
+        region_manager.warm_up(&preset.latency, 100, 5, &mut rng);
+
+        let mut monitor = RequestMonitor::new();
+        // Object popularity proportional to (20 - id).
+        for id in 0..20u64 {
+            for _ in 0..(20 - id) * 5 {
+                monitor.record_read(agar_ec::ObjectId::new(id));
+            }
+        }
+        monitor.end_epoch();
+        (Arc::new(backend), region_manager, monitor)
+    }
+
+    #[test]
+    fn recompute_fills_capacity_with_popular_objects() {
+        let (backend, region_manager, monitor) = setup();
+        // Chunk size = 100 bytes; 1 000-byte cache = 10 chunks.
+        let manager = CacheManager::new(1_000);
+        let config = manager.recompute(
+            &monitor,
+            &region_manager,
+            &backend,
+            Duration::from_millis(40),
+            1,
+        );
+        assert!(config.total_chunks() > 0);
+        assert!(config.total_chunks() <= 10);
+        // The hottest object must be in the configuration.
+        assert!(config
+            .objects()
+            .any(|o| o == agar_ec::ObjectId::new(0)));
+        assert_eq!(config.epoch(), 1);
+    }
+
+    #[test]
+    fn empty_monitor_yields_empty_config() {
+        let (backend, region_manager, _) = setup();
+        let manager = CacheManager::new(1_000);
+        let monitor = RequestMonitor::new();
+        let config = manager.recompute(
+            &monitor,
+            &region_manager,
+            &backend,
+            Duration::from_millis(40),
+            0,
+        );
+        assert_eq!(config.total_chunks(), 0);
+    }
+
+    #[test]
+    fn tiny_capacity_yields_few_chunks() {
+        let (backend, region_manager, monitor) = setup();
+        // 150 bytes = 1 chunk.
+        let manager = CacheManager::new(150);
+        let config = manager.recompute(
+            &monitor,
+            &region_manager,
+            &backend,
+            Duration::from_millis(40),
+            0,
+        );
+        assert!(config.total_chunks() <= 1);
+    }
+
+    #[test]
+    fn unknown_objects_are_skipped() {
+        let (backend, region_manager, mut monitor) = setup();
+        // Record traffic for an object the backend never stored.
+        for _ in 0..1000 {
+            monitor.record_read(agar_ec::ObjectId::new(999));
+        }
+        monitor.end_epoch();
+        let manager = CacheManager::new(1_000);
+        let config = manager.recompute(
+            &monitor,
+            &region_manager,
+            &backend,
+            Duration::from_millis(40),
+            0,
+        );
+        assert!(config.objects().all(|o| o.index() != 999));
+    }
+
+    #[test]
+    fn build_options_covers_tracked_objects() {
+        let (backend, region_manager, monitor) = setup();
+        let manager = CacheManager::new(1_000);
+        let options = manager.build_options(
+            &monitor,
+            &region_manager,
+            &backend,
+            Duration::from_millis(40),
+        );
+        assert_eq!(options.len(), 20);
+        assert_eq!(manager.capacity_bytes(), 1_000);
+    }
+}

@@ -1,0 +1,237 @@
+//! Collaborative caching between nearby regions (the paper's §VI
+//! discussion, implemented as an extension).
+//!
+//! "Nearby caches, such as Frankfurt and Dublin, could collaborate in
+//! order to make better use of their shared storage size." A
+//! [`CollaborativeGroup`] lets a node serve chunk lookups from a
+//! neighbour's cache when the neighbour is closer than the chunk's
+//! backend region: a *remote cache hit*. Remote cache reads cost the
+//! inter-region latency (they skip the backend's storage-service
+//! overhead, modelled as a configurable discount).
+
+use crate::error::AgarError;
+use crate::node::{AgarNode, ReadMetrics};
+use agar_ec::{ChunkId, ObjectId};
+use agar_store::Backend;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fraction of the WAN chunk-read latency a remote *cache* read costs
+/// (caches skip the storage-service overhead).
+const REMOTE_CACHE_DISCOUNT: f64 = 0.5;
+
+/// A set of Agar nodes whose caches answer each other's lookups.
+pub struct CollaborativeGroup {
+    backend: Arc<Backend>,
+    nodes: Vec<Arc<AgarNode>>,
+    rng: Mutex<StdRng>,
+    remote_hits: Mutex<u64>,
+}
+
+impl CollaborativeGroup {
+    /// Creates a collaborative group over `nodes`.
+    pub fn new(backend: Arc<Backend>, nodes: Vec<Arc<AgarNode>>, seed: u64) -> Self {
+        CollaborativeGroup {
+            backend,
+            nodes,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            remote_hits: Mutex::new(0),
+        }
+    }
+
+    /// The member nodes.
+    pub fn nodes(&self) -> &[Arc<AgarNode>] {
+        &self.nodes
+    }
+
+    /// Total chunk lookups served from a neighbour's cache.
+    pub fn remote_hits(&self) -> u64 {
+        *self.remote_hits.lock()
+    }
+
+    /// Looks up a chunk in every member cache except `home`'s, returning
+    /// the payload and the simulated transfer latency from the nearest
+    /// holder.
+    pub fn remote_lookup(
+        &self,
+        home_index: usize,
+        chunk: ChunkId,
+        version: u64,
+    ) -> Option<(Bytes, Duration)> {
+        let model = self.backend.latency_model();
+        let home_region = self.nodes[home_index].region();
+        let mut best: Option<(Bytes, Duration)> = None;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i == home_index {
+                continue;
+            }
+            // Peek into the neighbour's cache without disturbing its
+            // recency metadata or statistics.
+            let Some(data) = node.peek_chunk(&chunk, version) else {
+                continue;
+            };
+            let mut rng = self.rng.lock();
+            let wan = model.sample(home_region, node.region(), data.len(), &mut *rng);
+            let latency = wan.mul_f64(REMOTE_CACHE_DISCOUNT);
+            if best.as_ref().is_none_or(|(_, b)| latency < *b) {
+                best = Some((data, latency));
+            }
+        }
+        best
+    }
+
+    /// A collaborative read: the home node performs its normal read, but
+    /// chunks it would fetch from a backend region further than a
+    /// neighbour holding them in cache come from the neighbour instead.
+    ///
+    /// Returns the metrics with the (possibly improved) latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the home node's read errors.
+    pub fn read(&self, home_index: usize, object: ObjectId) -> Result<ReadMetrics, AgarError> {
+        // First consult neighbours for the object's chunks that the home
+        // cache does not hold, then let the home node read the rest.
+        let home = &self.nodes[home_index];
+        let manifest = self.backend.manifest(object)?;
+        let version = manifest.version();
+        let k = manifest.params().data_chunks();
+
+        let mut remote: Vec<(u8, Bytes, Duration)> = Vec::new();
+        for index in 0..manifest.params().total_chunks() as u8 {
+            let chunk = ChunkId::new(object, index);
+            if home.peek_chunk(&chunk, version).is_some() {
+                continue; // home cache already has it
+            }
+            if let Some((data, latency)) = self.remote_lookup(home_index, chunk, version) {
+                remote.push((index, data, latency));
+            }
+            if remote.len() >= k {
+                break;
+            }
+        }
+
+        // Let the home node read normally, excluding chunks obtainable
+        // from neighbours only if the neighbour is actually closer than
+        // the backend would be.
+        let metrics = home.read_with_remote_chunks(object, &remote)?;
+        if metrics.remote_hits > 0 {
+            *self.remote_hits.lock() += metrics.remote_hits as u64;
+        }
+        Ok(metrics.into_inner())
+    }
+}
+
+impl std::fmt::Debug for CollaborativeGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollaborativeGroup")
+            .field("nodes", &self.nodes.len())
+            .field("remote_hits", &self.remote_hits())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{AgarSettings, CachingClient};
+    use agar_ec::CodingParams;
+    use agar_net::presets::{aws_six_regions, DUBLIN, FRANKFURT};
+    use agar_store::{populate, RoundRobin};
+
+    fn setup() -> (Arc<Backend>, Vec<Arc<AgarNode>>) {
+        let preset = aws_six_regions();
+        let backend = Arc::new(
+            Backend::new(
+                preset.topology.clone(),
+                Arc::new(preset.latency),
+                CodingParams::paper_default(),
+                Box::new(RoundRobin),
+            )
+            .unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        populate(&backend, 3, 900, &mut rng).unwrap();
+        let nodes: Vec<Arc<AgarNode>> = preset
+            .topology
+            .ids()
+            .map(|region| {
+                Arc::new(
+                    AgarNode::new(
+                        region,
+                        Arc::clone(&backend),
+                        AgarSettings::paper_default(2_700),
+                        region.index() as u64,
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect();
+        (backend, nodes)
+    }
+
+    #[test]
+    fn remote_lookup_finds_neighbour_chunks() {
+        let (backend, nodes) = setup();
+        let object = ObjectId::new(0);
+        // Warm Dublin's cache.
+        let dublin = &nodes[DUBLIN.index()];
+        for _ in 0..20 {
+            dublin.read(object).unwrap();
+        }
+        dublin.force_reconfigure();
+        dublin.read(object).unwrap();
+        let dublin_chunks = dublin.cache_contents()[&object].clone();
+        assert!(!dublin_chunks.is_empty());
+
+        let group = CollaborativeGroup::new(backend, nodes, 1);
+        let chunk = ChunkId::new(object, dublin_chunks[0]);
+        let hit = group.remote_lookup(FRANKFURT.index(), chunk, 1);
+        assert!(hit.is_some());
+        let (_, latency) = hit.unwrap();
+        // Dublin is 280 ms from Frankfurt; the cache discount halves it.
+        assert!(latency < Duration::from_millis(250), "latency {latency:?}");
+    }
+
+    #[test]
+    fn collaborative_read_beats_solo_read_when_neighbour_is_warm() {
+        let (backend, nodes) = setup();
+        let object = ObjectId::new(0);
+        // Dublin holds a full replica of the object.
+        let dublin = &nodes[DUBLIN.index()];
+        for _ in 0..30 {
+            dublin.read(object).unwrap();
+        }
+        dublin.force_reconfigure();
+        dublin.read(object).unwrap();
+        assert_eq!(dublin.cache_contents()[&object].len(), 9);
+
+        let group = CollaborativeGroup::new(Arc::clone(&backend), nodes.clone(), 1);
+        // Frankfurt's cache is cold; a solo read pays the Tokyo fetch.
+        let solo = nodes[FRANKFURT.index()].read(object).unwrap();
+        let collab = group.read(FRANKFURT.index(), object).unwrap();
+        assert!(
+            collab.latency < solo.latency,
+            "collab {:?} vs solo {:?}",
+            collab.latency,
+            solo.latency
+        );
+        assert!(group.remote_hits() > 0);
+        assert_eq!(collab.data.as_ref(), solo.data.as_ref());
+    }
+
+    #[test]
+    fn collaborative_read_falls_back_to_backend() {
+        let (backend, nodes) = setup();
+        let group = CollaborativeGroup::new(backend, nodes, 1);
+        // No cache anywhere: behaves like a normal read.
+        let metrics = group.read(FRANKFURT.index(), ObjectId::new(1)).unwrap();
+        assert_eq!(metrics.cache_hits, 0);
+        assert_eq!(group.remote_hits(), 0);
+        assert!(metrics.data.len() == 900);
+    }
+}

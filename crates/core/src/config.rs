@@ -1,0 +1,165 @@
+//! The static cache configuration Agar's cache manager produces
+//! (paper §III-c): which objects to cache and which chunks of each.
+
+use crate::knapsack::Config;
+use agar_ec::{ChunkId, ObjectId};
+use std::collections::{BTreeMap, HashMap};
+
+/// The per-object chunk sets the cache should hold until the next
+/// reconfiguration.
+#[derive(Clone, Debug, Default)]
+pub struct CacheConfiguration {
+    per_object: HashMap<ObjectId, Vec<u8>>,
+    total_chunks: u32,
+    planned_value: f64,
+    epoch: u64,
+}
+
+impl CacheConfiguration {
+    /// The empty configuration (cache nothing).
+    pub fn empty() -> Self {
+        CacheConfiguration::default()
+    }
+
+    /// Converts a solved Knapsack [`Config`] into a cache configuration,
+    /// tagging it with the epoch that produced it.
+    pub fn from_knapsack(config: &Config, epoch: u64) -> Self {
+        let mut per_object = HashMap::with_capacity(config.options().len());
+        for option in config.options() {
+            per_object.insert(option.object(), option.chunks().to_vec());
+        }
+        CacheConfiguration {
+            per_object,
+            total_chunks: config.weight(),
+            planned_value: config.value(),
+            epoch,
+        }
+    }
+
+    /// The chunks to cache for `object` (empty when the object is not in
+    /// the configuration).
+    pub fn chunks_for(&self, object: ObjectId) -> &[u8] {
+        self.per_object
+            .get(&object)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether a specific chunk belongs to the configuration.
+    pub fn contains(&self, chunk: ChunkId) -> bool {
+        self.chunks_for(chunk.object())
+            .contains(&chunk.index().value())
+    }
+
+    /// Objects in the configuration.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.per_object.keys().copied()
+    }
+
+    /// Number of configured objects.
+    pub fn object_count(&self) -> usize {
+        self.per_object.len()
+    }
+
+    /// Total chunks across all objects.
+    pub fn total_chunks(&self) -> u32 {
+        self.total_chunks
+    }
+
+    /// The solver's predicted value (popularity-weighted improvement).
+    pub fn planned_value(&self) -> f64 {
+        self.planned_value
+    }
+
+    /// The epoch that produced this configuration.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Figure 10's breakdown: how many objects are cached with each
+    /// chunk count.
+    pub fn breakdown(&self) -> BTreeMap<usize, usize> {
+        let mut out = BTreeMap::new();
+        for chunks in self.per_object.values() {
+            *out.entry(chunks.len()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knapsack::KnapsackSolver;
+    use crate::options::generate_options;
+    use agar_ec::CodingParams;
+    use agar_net::RegionId;
+    use agar_store::ObjectManifest;
+    use std::time::Duration;
+
+    fn solved_config() -> CacheConfiguration {
+        let latencies: Vec<Duration> = [80u64, 200, 600, 1400, 3400, 4600]
+            .into_iter()
+            .map(Duration::from_millis)
+            .collect();
+        let params = CodingParams::paper_default();
+        let options: HashMap<ObjectId, _> = [(0u64, 100.0), (1, 10.0)]
+            .into_iter()
+            .map(|(i, pop)| {
+                let object = ObjectId::new(i);
+                let locations = (0..12).map(|c| RegionId::new(c % 6)).collect();
+                let manifest = ObjectManifest::new(object, 1_000_000, 1, params, locations);
+                (
+                    object,
+                    generate_options(&manifest, &latencies, Duration::from_millis(40), pop),
+                )
+            })
+            .collect();
+        let solved = KnapsackSolver::new().populate(&options, 12);
+        CacheConfiguration::from_knapsack(&solved, 3)
+    }
+
+    #[test]
+    fn from_knapsack_preserves_totals() {
+        let config = solved_config();
+        assert!(config.total_chunks() <= 12);
+        assert!(config.planned_value() > 0.0);
+        assert_eq!(config.epoch(), 3);
+        let sum: usize = config
+            .objects()
+            .map(|o| config.chunks_for(o).len())
+            .sum();
+        assert_eq!(sum as u32, config.total_chunks());
+    }
+
+    #[test]
+    fn contains_matches_chunks_for() {
+        let config = solved_config();
+        for object in config.objects() {
+            for &index in config.chunks_for(object) {
+                assert!(config.contains(ChunkId::new(object, index)));
+            }
+            assert!(!config.contains(ChunkId::new(object, 200)));
+        }
+        assert!(!config.contains(ChunkId::new(ObjectId::new(99), 0)));
+        assert!(config.chunks_for(ObjectId::new(99)).is_empty());
+    }
+
+    #[test]
+    fn breakdown_counts_objects_by_chunk_count() {
+        let config = solved_config();
+        let breakdown = config.breakdown();
+        let objects: usize = breakdown.values().sum();
+        assert_eq!(objects, config.object_count());
+        let chunks: usize = breakdown.iter().map(|(&c, &n)| c * n).sum();
+        assert_eq!(chunks as u32, config.total_chunks());
+    }
+
+    #[test]
+    fn empty_configuration() {
+        let config = CacheConfiguration::empty();
+        assert_eq!(config.object_count(), 0);
+        assert_eq!(config.total_chunks(), 0);
+        assert!(config.breakdown().is_empty());
+        assert!(!config.contains(ChunkId::new(ObjectId::new(0), 0)));
+    }
+}

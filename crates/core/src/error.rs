@@ -1,0 +1,70 @@
+//! Error type for the Agar core.
+
+use agar_store::StoreError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the `agar` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AgarError {
+    /// A configuration parameter was invalid.
+    InvalidSetting {
+        /// Description of the violated constraint.
+        what: &'static str,
+    },
+    /// The storage backend failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for AgarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgarError::InvalidSetting { what } => write!(f, "invalid setting: {what}"),
+            AgarError::Store(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl Error for AgarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AgarError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for AgarError {
+    fn from(e: StoreError) -> Self {
+        AgarError::Store(e)
+    }
+}
+
+impl From<agar_ec::EcError> for AgarError {
+    fn from(e: agar_ec::EcError) -> Self {
+        AgarError::Store(StoreError::Coding(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = AgarError::InvalidSetting { what: "period" };
+        assert!(err.to_string().contains("period"));
+        assert!(Error::source(&err).is_none());
+
+        let err = AgarError::from(StoreError::InvalidPlacement { what: "x" });
+        assert!(err.to_string().contains("storage error"));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<AgarError>();
+    }
+}

@@ -1,0 +1,574 @@
+//! The cache-configuration Knapsack solver (the paper's §IV-B,
+//! Figures 4 & 5).
+//!
+//! Choosing which erasure-coded chunks to cache is a 0/1-Knapsack
+//! variant: at most one caching option per object, weights are chunk
+//! counts, values are popularity-weighted latency improvements. The
+//! paper adapts the classic dynamic program with two improvement moves:
+//!
+//! - **Addition** — append an option to an existing intermediate
+//!   configuration, producing a heavier configuration;
+//! - **Relaxation** ([`relax`]) — shrink an option already in the
+//!   configuration to a lower weight of the same object, using the freed
+//!   space for the new option, keeping total weight constant.
+//!
+//! Documented deviations from the paper's pseudocode (see DESIGN.md §2):
+//! weight keys are snapshotted per option (the pseudocode mutates `MaxV`
+//! while iterating it), an option is never added to a configuration that
+//! already caches its object (the pseudocode would double-count), and
+//! the final answer is the best configuration of weight ≤ capacity
+//! rather than exactly capacity.
+//!
+//! A greedy value-density solver and an exhaustive optimum are included
+//! as baselines: §II-D argues greedy can err by as much as 50%, and the
+//! tests verify the dynamic program dominates greedy and matches the
+//! optimum on small instances.
+
+use crate::options::{CachingOption, ObjectOptions};
+use agar_ec::ObjectId;
+use std::collections::{BTreeMap, HashMap};
+
+/// An intermediate or final cache configuration: at most one caching
+/// option per object.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    options: Vec<CachingOption>,
+    weight: u32,
+    value: f64,
+}
+
+impl Config {
+    /// The empty configuration.
+    pub fn empty() -> Self {
+        Config::default()
+    }
+
+    /// Total weight in chunks.
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+
+    /// Total popularity-weighted latency improvement.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The chosen options.
+    pub fn options(&self) -> &[CachingOption] {
+        &self.options
+    }
+
+    /// Whether an option for `object` is already present.
+    pub fn contains_object(&self, object: ObjectId) -> bool {
+        self.options.iter().any(|o| o.object() == object)
+    }
+
+    fn push(&mut self, option: CachingOption) {
+        debug_assert!(!self.contains_object(option.object()));
+        self.weight += option.weight();
+        self.value += option.value();
+        self.options.push(option);
+    }
+
+    /// Replaces this configuration's option for `option.object()` (if
+    /// any) with `option`, returning the new configuration.
+    fn with_option(&self, option: CachingOption) -> Config {
+        match self
+            .options
+            .iter()
+            .position(|o| o.object() == option.object())
+        {
+            Some(index) => self.replace_and_add(index, None, option),
+            None => {
+                let mut extended = self.clone();
+                extended.push(option);
+                extended
+            }
+        }
+    }
+
+    /// Replaces the option at `index` with `replacement` (possibly `None`
+    /// for full eviction) and appends `addition`.
+    fn replace_and_add(
+        &self,
+        index: usize,
+        replacement: Option<CachingOption>,
+        addition: CachingOption,
+    ) -> Config {
+        let mut options = Vec::with_capacity(self.options.len() + 1);
+        for (i, option) in self.options.iter().enumerate() {
+            if i == index {
+                continue;
+            }
+            options.push(option.clone());
+        }
+        if let Some(r) = replacement {
+            options.push(r);
+        }
+        options.push(addition);
+        let weight = options.iter().map(CachingOption::weight).sum();
+        let value = options.iter().map(CachingOption::value).sum();
+        Config {
+            options,
+            weight,
+            value,
+        }
+    }
+}
+
+/// The relaxation move (paper Figure 5): try to make room for `option`
+/// by shrinking one existing option of the configuration to a lower
+/// weight of the same object, keeping the configuration's total weight
+/// unchanged. Returns the improved configuration if any replacement
+/// raises the value.
+pub fn relax(
+    config: &Config,
+    option: &CachingOption,
+    all_options: &HashMap<ObjectId, ObjectOptions>,
+) -> Option<Config> {
+    if config.contains_object(option.object()) {
+        return None;
+    }
+    let mut best: Option<Config> = None;
+    let mut best_value = config.value();
+    for (index, old) in config.options().iter().enumerate() {
+        if old.weight() < option.weight() {
+            continue; // cannot free enough space
+        }
+        let shrunk_weight = old.weight() - option.weight();
+        // SEARCHOPTION: the same object's option at the reduced weight;
+        // weight 0 means full eviction (an implicit empty option).
+        let replacement = if shrunk_weight == 0 {
+            None
+        } else {
+            match all_options
+                .get(&old.object())
+                .and_then(|opts| opts.by_weight(shrunk_weight))
+            {
+                Some(o) => Some(o.clone()),
+                None => continue,
+            }
+        };
+        let replacement_value = replacement.as_ref().map_or(0.0, CachingOption::value);
+        let candidate_value =
+            config.value() - old.value() + replacement_value + option.value();
+        if candidate_value > best_value + 1e-9 {
+            best_value = candidate_value;
+            best = Some(config.replace_and_add(index, replacement, option.clone()));
+        }
+    }
+    best
+}
+
+/// Dynamic-programming solver for the cache configuration (paper
+/// Figure 4).
+#[derive(Clone, Debug)]
+pub struct KnapsackSolver {
+    /// §VI optimisation: stop after this many additional keys once a
+    /// configuration of full capacity weight first exists. `None` runs
+    /// the dynamic program to completion.
+    stop_keys_after_full: Option<usize>,
+    /// Number of sweeps over the option list. The paper's single-table
+    /// RELAX can destroy a configuration that a later option needed to
+    /// extend; a second sweep recovers most such losses (DESIGN.md
+    /// deviation list). The result remains an approximation, as the
+    /// paper itself acknowledges (§VII-B).
+    passes: usize,
+}
+
+impl Default for KnapsackSolver {
+    fn default() -> Self {
+        KnapsackSolver {
+            stop_keys_after_full: None,
+            passes: 2,
+        }
+    }
+}
+
+impl KnapsackSolver {
+    /// The default solver: full run, two sweeps.
+    pub fn new() -> Self {
+        KnapsackSolver::default()
+    }
+
+    /// Overrides the number of sweeps over the option list (minimum 1).
+    /// One sweep is the paper's literal single-pass table.
+    #[must_use]
+    pub fn with_passes(mut self, passes: usize) -> Self {
+        self.passes = passes.max(1);
+        self
+    }
+
+    /// Enables the paper's §VI early-termination heuristic: the run
+    /// stops `keys` keys after a configuration of exactly the capacity
+    /// weight first appears, making runtime independent of catalogue
+    /// size.
+    #[must_use]
+    pub fn with_early_termination(mut self, keys: usize) -> Self {
+        self.stop_keys_after_full = Some(keys);
+        self
+    }
+
+    /// Computes the best configuration of weight ≤ `capacity` chunks.
+    ///
+    /// `POPULATE` from the paper: iterate objects in decreasing
+    /// best-value order; for each of the object's options, first try to
+    /// relax every intermediate configuration, then try to extend every
+    /// intermediate configuration by addition.
+    pub fn populate(
+        &self,
+        all_options: &HashMap<ObjectId, ObjectOptions>,
+        capacity: u32,
+    ) -> Config {
+        let mut max_v: BTreeMap<u32, Config> = BTreeMap::new();
+        max_v.insert(0, Config::empty());
+        if capacity == 0 {
+            return Config::empty();
+        }
+
+        // Keys in decreasing value order (ORDERBY in the paper).
+        let mut keys: Vec<&ObjectOptions> = all_options.values().collect();
+        keys.sort_by(|a, b| {
+            b.best_value()
+                .partial_cmp(&a.best_value())
+                .expect("option values are finite")
+                .then(a.object().cmp(&b.object()))
+        });
+
+        let mut keys_since_full: usize = 0;
+        let mut seen_full = false;
+
+        for object_options in keys.iter().cycle().take(keys.len() * self.passes) {
+            for option in object_options.iter() {
+                if option.weight() > capacity {
+                    continue;
+                }
+                // Relaxation pass: improve configurations in place
+                // (weight unchanged).
+                let weights: Vec<u32> = max_v.keys().copied().collect();
+                for w in &weights {
+                    let config = &max_v[w];
+                    if let Some(improved) = relax(config, option, all_options) {
+                        debug_assert_eq!(improved.weight(), *w);
+                        max_v.insert(*w, improved);
+                    }
+                }
+                // Addition pass: extend configurations to new weights.
+                // When the configuration already holds an option for the
+                // same object, this becomes a *replacement* (upgrade or
+                // downgrade) — without it a small option admitted early
+                // could never grow, and the DP would miss optima the
+                // exhaustive solver finds (DESIGN.md deviation list).
+                // Weights are visited in DESCENDING order, the classic
+                // 0/1-knapsack trick: additions only ever target heavier
+                // weights, so no configuration is overwritten before the
+                // pass has extended it.
+                let weights: Vec<u32> = max_v.keys().rev().copied().collect();
+                for w in weights {
+                    let candidate = max_v[&w].with_option(option.clone());
+                    if candidate.weight() > capacity || candidate.weight() == w {
+                        continue;
+                    }
+                    let should_replace = max_v
+                        .get(&candidate.weight())
+                        .is_none_or(|existing| existing.value() < candidate.value() - 1e-12);
+                    if should_replace {
+                        max_v.insert(candidate.weight(), candidate);
+                    }
+                }
+            }
+
+            if let Some(stop_after) = self.stop_keys_after_full {
+                if seen_full {
+                    keys_since_full += 1;
+                    if keys_since_full >= stop_after {
+                        break;
+                    }
+                } else if max_v.contains_key(&capacity) {
+                    seen_full = true;
+                }
+            }
+        }
+
+        max_v
+            .into_values()
+            .max_by(|a, b| {
+                a.value()
+                    .partial_cmp(&b.value())
+                    .expect("config values are finite")
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Greedy baseline: sort all options by value density (value per chunk)
+/// and take the best-density option per object that still fits. §II-D
+/// explains why this can be far from optimal.
+pub fn greedy(all_options: &HashMap<ObjectId, ObjectOptions>, capacity: u32) -> Config {
+    let mut candidates: Vec<&CachingOption> = all_options
+        .values()
+        .flat_map(ObjectOptions::iter)
+        .filter(|o| o.weight() > 0 && o.value() > 0.0)
+        .collect();
+    candidates.sort_by(|a, b| {
+        let da = a.value() / a.weight() as f64;
+        let db = b.value() / b.weight() as f64;
+        db.partial_cmp(&da)
+            .expect("densities are finite")
+            .then(a.object().cmp(&b.object()))
+            .then(a.weight().cmp(&b.weight()))
+    });
+    let mut config = Config::empty();
+    for option in candidates {
+        if config.contains_object(option.object()) {
+            continue;
+        }
+        if config.weight() + option.weight() <= capacity {
+            config.push(option.clone());
+        }
+    }
+    config
+}
+
+/// Exhaustive optimum for small instances (tests and ablations): tries
+/// every combination of at most one option per object.
+///
+/// Runtime is `O((k + 1)^objects)`; intended for ≤ ~6 objects.
+pub fn exhaustive_optimum(
+    all_options: &HashMap<ObjectId, ObjectOptions>,
+    capacity: u32,
+) -> Config {
+    let objects: Vec<&ObjectOptions> = {
+        let mut v: Vec<&ObjectOptions> = all_options.values().collect();
+        v.sort_by_key(|o| o.object());
+        v
+    };
+    let mut best = Config::empty();
+    let mut stack: Vec<(usize, Config)> = vec![(0, Config::empty())];
+    while let Some((index, config)) = stack.pop() {
+        if config.value() > best.value() {
+            best = config.clone();
+        }
+        if index == objects.len() {
+            continue;
+        }
+        // Skip this object.
+        stack.push((index + 1, config.clone()));
+        // Or take each of its options.
+        for option in objects[index].iter() {
+            if config.weight() + option.weight() <= capacity {
+                let mut extended = config.clone();
+                extended.push(option.clone());
+                stack.push((index + 1, extended));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::generate_options;
+    use agar_ec::CodingParams;
+    use agar_net::RegionId;
+    use agar_store::ObjectManifest;
+    use std::time::Duration;
+
+    /// Builds per-object options on the paper's Table I deployment with
+    /// the given per-object popularities.
+    fn build_options(popularities: &[f64]) -> HashMap<ObjectId, ObjectOptions> {
+        let latencies: Vec<Duration> = [80u64, 200, 600, 1400, 3400, 4600]
+            .into_iter()
+            .map(Duration::from_millis)
+            .collect();
+        let params = CodingParams::paper_default();
+        popularities
+            .iter()
+            .enumerate()
+            .map(|(i, &pop)| {
+                let object = ObjectId::new(i as u64);
+                let locations = (0..12).map(|c| RegionId::new(c % 6)).collect();
+                let manifest =
+                    ObjectManifest::new(object, 1_000_000, 1, params, locations);
+                (
+                    object,
+                    generate_options(&manifest, &latencies, Duration::from_millis(40), pop),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_capacity_yields_empty_config() {
+        let options = build_options(&[10.0, 5.0]);
+        let config = KnapsackSolver::new().populate(&options, 0);
+        assert_eq!(config.weight(), 0);
+        assert_eq!(config.value(), 0.0);
+        assert!(config.options().is_empty());
+    }
+
+    #[test]
+    fn single_object_takes_best_affordable_weight() {
+        let options = build_options(&[10.0]);
+        // Capacity 9: full replica is affordable and most valuable.
+        let config = KnapsackSolver::new().populate(&options, 9);
+        assert_eq!(config.options().len(), 1);
+        assert_eq!(config.weight(), 9);
+        // Capacity 4: weight-3 option is the best (weight 4 adds nothing).
+        let config = KnapsackSolver::new().populate(&options, 4);
+        assert_eq!(config.value(), 10.0 * 2800.0);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let options = build_options(&[10.0, 8.0, 6.0, 4.0, 2.0]);
+        for capacity in [0u32, 1, 3, 7, 10, 20, 45, 100] {
+            let config = KnapsackSolver::new().populate(&options, capacity);
+            assert!(config.weight() <= capacity, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn at_most_one_option_per_object() {
+        let options = build_options(&[10.0, 8.0, 6.0]);
+        let config = KnapsackSolver::new().populate(&options, 18);
+        let mut seen = std::collections::HashSet::new();
+        for option in config.options() {
+            assert!(seen.insert(option.object()), "duplicate object in config");
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_optimum_on_small_instances() {
+        for (pops, capacity) in [
+            (vec![10.0, 8.0], 9u32),
+            (vec![10.0, 8.0, 6.0], 12),
+            (vec![10.0, 1.0, 1.0, 1.0], 15),
+            (vec![5.0, 5.0, 5.0], 7),
+            (vec![100.0, 1.0], 10),
+        ] {
+            let options = build_options(&pops);
+            let dp = KnapsackSolver::new().populate(&options, capacity);
+            let opt = exhaustive_optimum(&options, capacity);
+            assert!(
+                (dp.value() - opt.value()).abs() < 1e-6,
+                "pops {pops:?} capacity {capacity}: dp {} vs optimum {}",
+                dp.value(),
+                opt.value()
+            );
+        }
+    }
+
+    #[test]
+    fn dp_dominates_greedy() {
+        for (pops, capacity) in [
+            (vec![10.0, 9.0, 8.0, 2.0], 12u32),
+            (vec![10.0, 8.0, 6.0, 4.0, 2.0], 18),
+            (vec![3.0, 3.0, 3.0, 3.0], 10),
+        ] {
+            let options = build_options(&pops);
+            let dp = KnapsackSolver::new().populate(&options, capacity);
+            let g = greedy(&options, capacity);
+            assert!(
+                dp.value() >= g.value() - 1e-9,
+                "pops {pops:?} capacity {capacity}: dp {} < greedy {}",
+                dp.value(),
+                g.value()
+            );
+        }
+    }
+
+    #[test]
+    fn popular_objects_get_more_chunks() {
+        let options = build_options(&[100.0, 1.0]);
+        // Room for one full replica plus a small option.
+        let config = KnapsackSolver::new().populate(&options, 12);
+        let hot = config
+            .options()
+            .iter()
+            .find(|o| o.object() == ObjectId::new(0))
+            .expect("hot object cached");
+        let cold = config
+            .options()
+            .iter()
+            .find(|o| o.object() == ObjectId::new(1));
+        assert!(hot.weight() >= 7, "hot object got {} chunks", hot.weight());
+        if let Some(cold) = cold {
+            assert!(cold.weight() <= hot.weight());
+        }
+    }
+
+    #[test]
+    fn relax_shrinks_existing_entries_when_profitable() {
+        let options = build_options(&[10.0, 9.9]);
+        // Capacity 9 fits one full replica; equal-ish popularity means
+        // two partial allocations (e.g. 3 + 5 or similar) beat 9 + 0:
+        // weight 3 already captures 2800/3360 of the improvement.
+        let config = KnapsackSolver::new().populate(&options, 9);
+        assert!(config.options().len() == 2, "expected a split allocation");
+        // And the split must beat the single full replica.
+        assert!(config.value() > 10.0 * 3360.0);
+    }
+
+    #[test]
+    fn relax_function_direct() {
+        let options = build_options(&[10.0, 8.0]);
+        let obj0 = ObjectId::new(0);
+        let obj1 = ObjectId::new(1);
+        // Config holding object 0 at weight 9.
+        let mut config = Config::empty();
+        config.push(options[&obj0].by_weight(9).unwrap().clone());
+        // Relaxing with object 1's weight-3 option shrinks object 0 to 6.
+        let incoming = options[&obj1].by_weight(3).unwrap();
+        let improved = relax(&config, incoming, &options).expect("relaxation profitable");
+        assert_eq!(improved.weight(), 9);
+        assert!(improved.value() > config.value());
+        assert!(improved.contains_object(obj1));
+        // Relaxing with an option for an object already present: no-op.
+        assert!(relax(&improved, options[&obj0].by_weight(1).unwrap(), &options).is_none());
+    }
+
+    #[test]
+    fn early_termination_still_respects_capacity_and_quality() {
+        let options = build_options(&[10.0, 8.0, 6.0, 4.0, 2.0, 1.0]);
+        let exact = KnapsackSolver::new().populate(&options, 18);
+        let fast = KnapsackSolver::new()
+            .with_early_termination(2)
+            .populate(&options, 18);
+        assert!(fast.weight() <= 18);
+        // The heuristic may lose some value but not most of it.
+        assert!(
+            fast.value() >= 0.8 * exact.value(),
+            "fast {} vs exact {}",
+            fast.value(),
+            exact.value()
+        );
+    }
+
+    #[test]
+    fn greedy_fills_by_density() {
+        let options = build_options(&[10.0, 1.0]);
+        let config = greedy(&options, 9);
+        assert!(config.weight() <= 9);
+        assert!(config.value() > 0.0);
+        // Highest-density option for the hot object must be present.
+        assert!(config.contains_object(ObjectId::new(0)));
+    }
+
+    #[test]
+    fn exhaustive_respects_capacity() {
+        let options = build_options(&[10.0, 8.0]);
+        let best = exhaustive_optimum(&options, 5);
+        assert!(best.weight() <= 5);
+    }
+
+    #[test]
+    fn config_accessors() {
+        let config = Config::empty();
+        assert_eq!(config.weight(), 0);
+        assert_eq!(config.value(), 0.0);
+        assert!(config.options().is_empty());
+        assert!(!config.contains_object(ObjectId::new(0)));
+    }
+}

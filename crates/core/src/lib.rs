@@ -1,0 +1,96 @@
+//! # agar — a caching system for erasure-coded data
+//!
+//! A from-scratch Rust reproduction of **Agar** (Raluca Halalai, Pascal
+//! Felber, Anne-Marie Kermarrec, François Taïani — ICDCS 2017): a caching
+//! layer for geo-distributed, erasure-coded object stores that decides
+//! not only *which objects* to cache but *how many erasure-coded chunks*
+//! of each, by solving a 0/1-Knapsack-style optimisation with dynamic
+//! programming.
+//!
+//! The crate mirrors the paper's Figure 3 architecture:
+//!
+//! - [`RequestMonitor`] (§III-b) — per-object popularity via an
+//!   exponentially weighted moving average (α = 0.8);
+//! - [`RegionManager`] (§III-a) — per-region chunk-read latency
+//!   estimates from warm-up probes and live observations;
+//! - [`options`] (§IV-A) — caching-option generation: discard the `m`
+//!   furthest chunks, cache from the most distant remaining sites in,
+//!   value = popularity × latency improvement;
+//! - [`knapsack`] (§IV-B, Figures 4 & 5) — the POPULATE dynamic program
+//!   with the RELAX move, plus greedy and exhaustive baselines;
+//! - [`CacheManager`] (§III-c) — periodic reconfiguration;
+//! - [`AgarNode`] — the per-region deployment: hint-driven reads,
+//!   partial cache hits, off-critical-path cache fill;
+//! - [`baselines`] (§V-A) — the LRU-c / LFU-c / Backend clients the
+//!   paper compares against;
+//! - [`coherence`] & [`collab`] (§VI) — the write-support and
+//!   cache-collaboration extensions the paper sketches as future work.
+//!
+//! # Examples
+//!
+//! Build a six-region deployment, warm it, and watch Agar beat a cold
+//! read:
+//!
+//! ```
+//! use agar::{AgarNode, AgarSettings, CachingClient};
+//! use agar_ec::{CodingParams, ObjectId};
+//! use agar_net::presets::{aws_six_regions, FRANKFURT};
+//! use agar_store::{populate, Backend, RoundRobin};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! let preset = aws_six_regions();
+//! let backend = Arc::new(Backend::new(
+//!     preset.topology,
+//!     Arc::new(preset.latency),
+//!     CodingParams::paper_default(),
+//!     Box::new(RoundRobin),
+//! )?);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! populate(&backend, 10, 9_000, &mut rng)?;
+//!
+//! let node = AgarNode::new(
+//!     FRANKFURT,
+//!     backend,
+//!     AgarSettings::paper_default(9_000), // fits one full object
+//!     42,
+//! )?;
+//! let object = ObjectId::new(0);
+//! let cold = node.read(object)?;
+//! for _ in 0..20 { node.read(object)?; }
+//! node.force_reconfigure();
+//! node.read(object)?; // fills the cache
+//! let warm = node.read(object)?;
+//! assert!(warm.latency < cold.latency);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod approx_monitor;
+pub mod baselines;
+pub mod cache_manager;
+pub mod coherence;
+pub mod collab;
+pub mod config;
+pub mod error;
+pub mod knapsack;
+pub mod monitor;
+pub mod node;
+pub mod options;
+pub mod region_manager;
+
+pub use approx_monitor::ApproxRequestMonitor;
+pub use baselines::{BackendOnlyClient, BaselinePolicy, FixedChunksClient};
+pub use cache_manager::CacheManager;
+pub use coherence::WriteCoordinator;
+pub use collab::CollaborativeGroup;
+pub use config::CacheConfiguration;
+pub use error::AgarError;
+pub use knapsack::{exhaustive_optimum, greedy, relax, Config, KnapsackSolver};
+pub use monitor::RequestMonitor;
+pub use node::{AgarNode, AgarSettings, CachingClient, CollabReadMetrics, ReadMetrics};
+pub use options::{generate_options, CachingOption, ObjectOptions};
+pub use region_manager::RegionManager;

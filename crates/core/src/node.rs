@@ -1,0 +1,871 @@
+//! The Agar node: the per-region deployment tying together cache,
+//! request monitor, region manager and cache manager (paper Figure 3).
+
+use crate::cache_manager::CacheManager;
+use crate::config::CacheConfiguration;
+use crate::error::AgarError;
+use crate::knapsack::KnapsackSolver;
+use crate::monitor::RequestMonitor;
+use crate::region_manager::RegionManager;
+use agar_cache::{chunk_cache, CacheStats, CachedChunk, ChunkCache, PolicyKind};
+use agar_ec::{ChunkId, ObjectId};
+use agar_net::{RegionId, SimTime};
+use agar_store::{plan_backend_fetch, Backend, StoreError};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-read metrics every caching client in this workspace reports.
+#[derive(Clone, Debug)]
+pub struct ReadMetrics {
+    /// The reconstructed object payload.
+    pub data: Bytes,
+    /// End-to-end read latency (client overhead included).
+    pub latency: Duration,
+    /// Chunks served from the local cache.
+    pub cache_hits: usize,
+    /// Chunks fetched from the backend on the critical path.
+    pub backend_fetches: usize,
+    /// Chunks fetched off the critical path to fill the cache.
+    pub fill_fetches: usize,
+    /// Whether Reed-Solomon decoding was needed.
+    pub decoded: bool,
+}
+
+/// Metrics of a collaborative read (see [`crate::collab`]).
+#[derive(Clone, Debug)]
+pub struct CollabReadMetrics {
+    metrics: ReadMetrics,
+    /// Chunks served from a neighbour's cache.
+    pub remote_hits: usize,
+}
+
+impl CollabReadMetrics {
+    /// The underlying read metrics.
+    pub fn into_inner(self) -> ReadMetrics {
+        self.metrics
+    }
+
+    /// Borrow the underlying read metrics.
+    pub fn metrics(&self) -> &ReadMetrics {
+        &self.metrics
+    }
+}
+
+/// The interface the experiment harness drives: Agar, the LRU/LFU
+/// baselines and the cache-less backend client all implement it.
+pub trait CachingClient: Send {
+    /// Reads one object end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures (e.g. too many regions down).
+    fn read(&self, object: ObjectId) -> Result<ReadMetrics, AgarError>;
+
+    /// Gives the client a chance to run its periodic reconfiguration.
+    /// Returns whether a reconfiguration happened.
+    fn maybe_reconfigure(&self, now: SimTime) -> bool;
+
+    /// Snapshot of the cache statistics.
+    fn cache_stats(&self) -> CacheStats;
+
+    /// Actual cache contents grouped by object: object → cached chunk
+    /// indices (Figure 10's raw data). Empty for cache-less clients.
+    fn cache_contents(&self) -> BTreeMap<ObjectId, Vec<u8>>;
+
+    /// Label for reports (e.g. `"Agar"`, `"LRU-3"`, `"Backend"`).
+    fn label(&self) -> String;
+}
+
+/// Tunables for an [`AgarNode`] (defaults follow the paper's §V-A).
+#[derive(Clone, Debug)]
+pub struct AgarSettings {
+    /// Cache capacity in bytes (paper default: 10 MB).
+    pub cache_capacity_bytes: usize,
+    /// Reconfiguration period (paper: 30 s).
+    pub reconfiguration_period: Duration,
+    /// EWMA popularity coefficient (paper: 0.8).
+    pub alpha: f64,
+    /// Local cache chunk-read latency.
+    pub cache_read: Duration,
+    /// Fixed client-side overhead per object read.
+    pub client_overhead: Duration,
+    /// Warm-up probes per region for the region manager.
+    pub warmup_probes: usize,
+    /// Knapsack solver configuration.
+    pub solver: KnapsackSolver,
+}
+
+impl AgarSettings {
+    /// The paper's defaults with the given cache capacity.
+    pub fn paper_default(cache_capacity_bytes: usize) -> Self {
+        AgarSettings {
+            cache_capacity_bytes,
+            reconfiguration_period: Duration::from_secs(30),
+            alpha: RequestMonitor::PAPER_ALPHA,
+            cache_read: Duration::from_millis(40),
+            client_overhead: Duration::from_millis(100),
+            warmup_probes: 3,
+            solver: KnapsackSolver::new(),
+        }
+    }
+}
+
+struct NodeInner {
+    cache: ChunkCache,
+    monitor: RequestMonitor,
+    region_manager: RegionManager,
+    config: CacheConfiguration,
+    rng: StdRng,
+    last_reconfiguration: Option<SimTime>,
+    reconfigurations: u64,
+    fill_fetches: u64,
+}
+
+/// A per-region Agar deployment.
+///
+/// Thread-safe behind `&self` (a single internal mutex), so closed-loop
+/// simulated clients can share one node, exactly like the paper's two
+/// YCSB clients sharing the region's Agar instance.
+pub struct AgarNode {
+    region: RegionId,
+    backend: Arc<Backend>,
+    manager: CacheManager,
+    settings: AgarSettings,
+    inner: Mutex<NodeInner>,
+}
+
+impl AgarNode {
+    /// Creates a node homed in `region`, warming up the region manager.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgarError::InvalidSetting`] for a zero reconfiguration
+    /// period or out-of-range α.
+    pub fn new(
+        region: RegionId,
+        backend: Arc<Backend>,
+        settings: AgarSettings,
+        seed: u64,
+    ) -> Result<Self, AgarError> {
+        if settings.reconfiguration_period.is_zero() {
+            return Err(AgarError::InvalidSetting {
+                what: "reconfiguration period must be positive",
+            });
+        }
+        if !(settings.alpha > 0.0 && settings.alpha <= 1.0) {
+            return Err(AgarError::InvalidSetting {
+                what: "alpha must be in (0, 1]",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut region_manager = RegionManager::new(region, backend.topology().clone());
+        let chunk_bytes = 100_000; // representative probe size
+        region_manager.warm_up(
+            backend.latency_model().as_ref(),
+            chunk_bytes,
+            settings.warmup_probes.max(1),
+            &mut rng,
+        );
+        let manager =
+            CacheManager::new(settings.cache_capacity_bytes).with_solver(settings.solver.clone());
+        Ok(AgarNode {
+            region,
+            backend,
+            manager,
+            inner: Mutex::new(NodeInner {
+                cache: chunk_cache(settings.cache_capacity_bytes, PolicyKind::Lru),
+                monitor: RequestMonitor::with_alpha(settings.alpha),
+                region_manager,
+                config: CacheConfiguration::empty(),
+                rng,
+                last_reconfiguration: None,
+                reconfigurations: 0,
+                fill_fetches: 0,
+            }),
+            settings,
+        })
+    }
+
+    /// The node's home region.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// The current cache configuration (clone).
+    pub fn current_config(&self) -> CacheConfiguration {
+        self.inner.lock().config.clone()
+    }
+
+    /// Number of reconfigurations performed.
+    pub fn reconfigurations(&self) -> u64 {
+        self.inner.lock().reconfigurations
+    }
+
+    /// Snapshot of the popularity table (diagnostics).
+    pub fn popularity_snapshot(&self) -> Vec<(ObjectId, f64)> {
+        self.inner.lock().monitor.popularities()
+    }
+
+    /// Current latency estimates indexed by region.
+    pub fn latency_estimates(&self) -> Vec<Duration> {
+        self.inner.lock().region_manager.estimates().to_vec()
+    }
+
+    /// Immediately recomputes the configuration from current statistics
+    /// (closing the monitoring epoch), regardless of the period.
+    pub fn force_reconfigure(&self) {
+        let inner = &mut *self.inner.lock();
+        Self::reconfigure_inner(inner, &self.manager, &self.backend, &self.settings, self.region);
+    }
+
+    /// Drops every cached chunk of `object` (coherence invalidation).
+    pub fn invalidate_object(&self, object: ObjectId) -> usize {
+        self.inner
+            .lock()
+            .cache
+            .remove_matching(|id| id.object() == object)
+    }
+
+    /// Writes an object through the backend and invalidates the local
+    /// cache (see `coherence` for cross-region invalidation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend write failures.
+    pub fn write(&self, object: ObjectId, data: &[u8]) -> Result<(u64, Duration), AgarError> {
+        let inner = &mut *self.inner.lock();
+        let (version, latency) =
+            self.backend
+                .put_object(self.region, object, data, &mut inner.rng)?;
+        inner.cache.remove_matching(|id| id.object() == object);
+        Ok((version, latency))
+    }
+
+    /// Total off-critical-path fill fetches.
+    pub fn fill_fetches(&self) -> u64 {
+        self.inner.lock().fill_fetches
+    }
+
+    /// Looks a chunk up in the local cache without touching recency
+    /// metadata or statistics; returns the payload only if its version
+    /// matches. Used by collaborative neighbours.
+    pub fn peek_chunk(&self, chunk: &ChunkId, version: u64) -> Option<Bytes> {
+        let inner = self.inner.lock();
+        inner
+            .cache
+            .peek(chunk)
+            .filter(|c| c.version() == version)
+            .map(|c| c.data().clone())
+    }
+
+    /// A read that may source chunks from collaborative neighbours:
+    /// `remote` lists chunks available from other regions' caches as
+    /// `(chunk index, payload, transfer latency)`. Each needed chunk
+    /// comes from the cheapest of {local cache, neighbour cache, backend
+    /// estimate}.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn read_with_remote_chunks(
+        &self,
+        object: ObjectId,
+        remote: &[(u8, Bytes, Duration)],
+    ) -> Result<CollabReadMetrics, AgarError> {
+        let inner = &mut *self.inner.lock();
+        inner.monitor.record_read(object);
+        let manifest = self.backend.manifest(object)?;
+        let k = manifest.params().data_chunks();
+        let version = manifest.version();
+
+        // 1. Local cache hits for the hinted chunks.
+        let hinted: Vec<u8> = inner.config.chunks_for(object).to_vec();
+        let mut have: Vec<(u8, Bytes)> = Vec::with_capacity(hinted.len());
+        for &index in &hinted {
+            let id = ChunkId::new(object, index);
+            if let Some(chunk) = inner.cache.get(&id) {
+                if chunk.version() == version {
+                    have.push((index, chunk.data().clone()));
+                }
+            }
+        }
+        let cache_hits = have.len();
+        let held: Vec<u8> = have.iter().map(|&(i, _)| i).collect();
+
+        // 2. Rank every other chunk by its cheapest source.
+        enum Source {
+            Remote(Bytes, Duration),
+            Backend,
+        }
+        let mut candidates: Vec<(u8, Source, Duration)> = Vec::new();
+        for index in 0..manifest.params().total_chunks() as u8 {
+            if held.contains(&index) {
+                continue;
+            }
+            let backend_est = {
+                let region = manifest.location(index as usize);
+                if self.backend.is_region_available(region) {
+                    Some(inner.region_manager.estimate(region))
+                } else {
+                    None
+                }
+            };
+            let remote_entry = remote.iter().find(|&&(i, _, _)| i == index);
+            match (remote_entry, backend_est) {
+                (Some((_, data, latency)), Some(est)) if *latency < est => {
+                    candidates.push((index, Source::Remote(data.clone(), *latency), *latency));
+                }
+                (Some((_, data, latency)), None) => {
+                    candidates.push((index, Source::Remote(data.clone(), *latency), *latency));
+                }
+                (_, Some(est)) => {
+                    candidates.push((index, Source::Backend, est));
+                }
+                (None, None) => {}
+            }
+        }
+        candidates.sort_by(|a, b| a.2.cmp(&b.2).then(a.0.cmp(&b.0)));
+        let needed = k.saturating_sub(cache_hits);
+        if candidates.len() < needed {
+            return Err(StoreError::NotEnoughChunks {
+                object,
+                reachable: cache_hits + candidates.len(),
+                needed: k,
+            }
+            .into());
+        }
+
+        // 3. Materialise the k cheapest sources.
+        let mut worst = Duration::ZERO;
+        let mut remote_hits = 0;
+        let mut backend_fetches = 0;
+        let mut obtained: Vec<(u8, Bytes)> = Vec::with_capacity(needed);
+        for (index, source, _) in candidates.into_iter().take(needed) {
+            match source {
+                Source::Remote(data, latency) => {
+                    remote_hits += 1;
+                    worst = worst.max(latency);
+                    obtained.push((index, data));
+                }
+                Source::Backend => {
+                    let id = ChunkId::new(object, index);
+                    let fetch = self.backend.fetch_chunk(self.region, id, &mut inner.rng)?;
+                    inner
+                        .region_manager
+                        .observe(manifest.location(index as usize), fetch.latency);
+                    backend_fetches += 1;
+                    worst = worst.max(fetch.latency);
+                    obtained.push((index, fetch.data));
+                }
+            }
+        }
+
+        // 4. Latency, reconstruction, cache fill, stats — as in `read`.
+        let cache_component = if cache_hits > 0 {
+            self.settings.cache_read
+        } else {
+            Duration::ZERO
+        };
+        let latency = self.settings.client_overhead + cache_component.max(worst);
+
+        let total = manifest.params().total_chunks();
+        let mut shards: Vec<Option<Bytes>> = vec![None; total];
+        for (index, data) in have.iter().chain(obtained.iter()) {
+            shards[*index as usize] = Some(data.clone());
+        }
+        let decoded = !(0..k).all(|i| shards[i].is_some());
+        let data = self
+            .backend
+            .codec()
+            .reconstruct_object(&shards, manifest.size())?;
+
+        for &index in &hinted {
+            let id = ChunkId::new(object, index);
+            if inner.cache.contains(&id) {
+                continue;
+            }
+            if let Some((_, payload)) = obtained.iter().find(|&&(i, _)| i == index) {
+                inner
+                    .cache
+                    .insert(id, CachedChunk::new(payload.clone(), version));
+            }
+        }
+        inner.cache.stats_mut().record_object_read(cache_hits, k);
+
+        Ok(CollabReadMetrics {
+            metrics: ReadMetrics {
+                data,
+                latency,
+                cache_hits,
+                backend_fetches,
+                fill_fetches: 0,
+                decoded,
+            },
+            remote_hits,
+        })
+    }
+
+    fn reconfigure_inner(
+        inner: &mut NodeInner,
+        manager: &CacheManager,
+        backend: &Backend,
+        settings: &AgarSettings,
+        region: RegionId,
+    ) {
+        inner.monitor.end_epoch();
+        let epoch = inner.monitor.epoch();
+        inner.config = manager.recompute(
+            &inner.monitor,
+            &inner.region_manager,
+            backend,
+            settings.cache_read,
+            epoch,
+        );
+        // Apply the diff: chunks no longer in the configuration leave
+        // the cache now, and missing configured chunks are downloaded
+        // *a priori* (§IV-A: "caching items implies downloading them a
+        // priori") — off the clients' critical path.
+        let config = &inner.config;
+        inner.cache.remove_matching(|id| !config.contains(*id));
+        let objects: Vec<ObjectId> = inner.config.objects().collect();
+        for object in objects {
+            let Ok(manifest) = backend.manifest(object) else {
+                continue;
+            };
+            let version = manifest.version();
+            for &index in inner.config.chunks_for(object) {
+                let id = ChunkId::new(object, index);
+                if inner.cache.contains(&id) {
+                    continue;
+                }
+                if let Ok(fetch) = backend.fetch_chunk(region, id, &mut inner.rng) {
+                    inner.fill_fetches += 1;
+                    inner
+                        .cache
+                        .insert(id, CachedChunk::new(fetch.data, version));
+                }
+            }
+        }
+        inner.reconfigurations += 1;
+    }
+
+    fn read_inner(&self, inner: &mut NodeInner, object: ObjectId) -> Result<ReadMetrics, AgarError> {
+        inner.monitor.record_read(object);
+        let manifest = self.backend.manifest(object)?;
+        let k = manifest.params().data_chunks();
+        let version = manifest.version();
+
+        // 1. Cache lookups for the hinted chunks, with version checking
+        //    (stale chunks are dropped — write-path coherence).
+        let hinted: Vec<u8> = inner.config.chunks_for(object).to_vec();
+        let mut have: Vec<(u8, Bytes)> = Vec::with_capacity(hinted.len());
+        for &index in &hinted {
+            let id = ChunkId::new(object, index);
+            let stale = match inner.cache.get(&id) {
+                Some(chunk) if chunk.version() == version => {
+                    have.push((index, chunk.data().clone()));
+                    false
+                }
+                Some(_) => true,
+                None => false,
+            };
+            if stale {
+                inner.cache.remove(&id);
+            }
+        }
+        let cache_hits = have.len();
+
+        // 2. Plan and execute the backend fetches for the remainder.
+        let exclude: Vec<ChunkId> = have
+            .iter()
+            .map(|&(index, _)| ChunkId::new(object, index))
+            .collect();
+        let mut worst_backend;
+        let mut fetched: Vec<(u8, Bytes)> = Vec::new();
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let order = inner.region_manager.region_order();
+            let plan =
+                plan_backend_fetch(&self.backend, self.region, object, &order, &exclude)?;
+            let mut failed_region = None;
+            fetched.clear();
+            worst_backend = Duration::ZERO;
+            for &(chunk, region) in &plan {
+                match self.backend.fetch_chunk(self.region, chunk, &mut inner.rng) {
+                    Ok(fetch) => {
+                        inner.region_manager.observe(region, fetch.latency);
+                        worst_backend = worst_backend.max(fetch.latency);
+                        fetched.push((chunk.index().value(), fetch.data));
+                    }
+                    Err(StoreError::RegionUnavailable { region }) => {
+                        inner.region_manager.mark_unreachable(region);
+                        failed_region = Some(region);
+                        break;
+                    }
+                    Err(other) => return Err(other.into()),
+                }
+            }
+            match failed_region {
+                None => break,
+                Some(_) if attempts < 3 => continue, // re-plan around the failure
+                Some(region) => {
+                    return Err(StoreError::RegionUnavailable { region }.into())
+                }
+            }
+        }
+        let backend_fetches = fetched.len();
+
+        // 3. Latency: slowest parallel fetch (cache reads also run in
+        //    parallel) plus fixed client overhead.
+        let cache_component = if cache_hits > 0 {
+            self.settings.cache_read
+        } else {
+            Duration::ZERO
+        };
+        let latency =
+            self.settings.client_overhead + cache_component.max(worst_backend);
+
+        // 4. Reconstruct.
+        let total = manifest.params().total_chunks();
+        let mut shards: Vec<Option<Bytes>> = vec![None; total];
+        for (index, data) in have.iter().chain(fetched.iter()) {
+            shards[*index as usize] = Some(data.clone());
+        }
+        let decoded = !(0..k).all(|i| shards[i].is_some());
+        let data = self
+            .backend
+            .codec()
+            .reconstruct_object(&shards, manifest.size())?;
+
+        // 5. Fill the cache toward the hinted configuration, off the
+        //    critical path (the paper uses a separate thread pool).
+        let mut fill_fetches = 0;
+        for &index in &hinted {
+            let id = ChunkId::new(object, index);
+            if inner.cache.contains(&id) {
+                continue;
+            }
+            let payload = fetched
+                .iter()
+                .find(|&&(i, _)| i == index)
+                .map(|(_, d)| d.clone());
+            let payload = match payload {
+                Some(p) => Some(p),
+                None => {
+                    // Hinted chunk was neither cached nor on the fetch
+                    // path (estimate drift): fetch it in the background.
+                    match self.backend.fetch_chunk(self.region, id, &mut inner.rng) {
+                        Ok(fetch) => {
+                            fill_fetches += 1;
+                            Some(fetch.data)
+                        }
+                        Err(_) => None, // fill is best-effort
+                    }
+                }
+            };
+            if let Some(p) = payload {
+                inner.cache.insert(id, CachedChunk::new(p, version));
+            }
+        }
+        inner.fill_fetches += fill_fetches;
+
+        // 6. Object-level hit accounting (Figure 7).
+        inner.cache.stats_mut().record_object_read(cache_hits, k);
+
+        Ok(ReadMetrics {
+            data,
+            latency,
+            cache_hits,
+            backend_fetches,
+            fill_fetches: fill_fetches as usize,
+            decoded,
+        })
+    }
+}
+
+impl CachingClient for AgarNode {
+    fn read(&self, object: ObjectId) -> Result<ReadMetrics, AgarError> {
+        let inner = &mut *self.inner.lock();
+        self.read_inner(inner, object)
+    }
+
+    fn maybe_reconfigure(&self, now: SimTime) -> bool {
+        let inner = &mut *self.inner.lock();
+        match inner.last_reconfiguration {
+            None => {
+                inner.last_reconfiguration = Some(now);
+                false
+            }
+            Some(last) => {
+                if now.saturating_duration_since(last) >= self.settings.reconfiguration_period {
+                    Self::reconfigure_inner(inner, &self.manager, &self.backend, &self.settings, self.region);
+                    inner.last_reconfiguration = Some(now);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        *self.inner.lock().cache.stats()
+    }
+
+    fn cache_contents(&self) -> BTreeMap<ObjectId, Vec<u8>> {
+        let inner = self.inner.lock();
+        let mut out: BTreeMap<ObjectId, Vec<u8>> = BTreeMap::new();
+        for id in inner.cache.keys() {
+            out.entry(id.object()).or_default().push(id.index().value());
+        }
+        for chunks in out.values_mut() {
+            chunks.sort_unstable();
+        }
+        out
+    }
+
+    fn label(&self) -> String {
+        "Agar".to_string()
+    }
+}
+
+impl std::fmt::Debug for AgarNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("AgarNode")
+            .field("region", &self.region)
+            .field("cache_used", &inner.cache.used_bytes())
+            .field("config_chunks", &inner.config.total_chunks())
+            .field("reconfigurations", &inner.reconfigurations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agar_ec::CodingParams;
+    use agar_net::presets::{aws_six_regions, FRANKFURT};
+    use agar_store::{expected_payload, populate, RoundRobin};
+
+    fn test_backend(objects: u64, size: usize) -> Arc<Backend> {
+        let preset = aws_six_regions();
+        let backend = Backend::new(
+            preset.topology,
+            Arc::new(preset.latency),
+            CodingParams::paper_default(),
+            Box::new(RoundRobin),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        populate(&backend, objects, size, &mut rng).unwrap();
+        Arc::new(backend)
+    }
+
+    fn test_node(backend: Arc<Backend>, cache_bytes: usize) -> AgarNode {
+        AgarNode::new(
+            FRANKFURT,
+            backend,
+            AgarSettings::paper_default(cache_bytes),
+            7,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cold_reads_return_correct_data() {
+        let backend = test_backend(5, 900);
+        let node = test_node(backend, 1_000);
+        for i in 0..5 {
+            let metrics = node.read(ObjectId::new(i)).unwrap();
+            assert_eq!(metrics.data.as_ref(), expected_payload(i, 900).as_slice());
+            assert_eq!(metrics.cache_hits, 0, "cold cache");
+            assert_eq!(metrics.backend_fetches, 9);
+        }
+    }
+
+    #[test]
+    fn reconfiguration_enables_cache_hits_and_cuts_latency() {
+        let backend = test_backend(5, 900);
+        // Cache fits 9 chunks of 100 bytes: one full object.
+        let node = test_node(backend, 900);
+        let object = ObjectId::new(0);
+        let cold = node.read(object).unwrap();
+        for _ in 0..20 {
+            node.read(object).unwrap();
+        }
+        node.force_reconfigure();
+        // Next read fills the cache (still slow), the one after hits.
+        node.read(object).unwrap();
+        let warm = node.read(object).unwrap();
+        assert!(warm.cache_hits > 0, "expected cache hits after reconfiguration");
+        assert!(
+            warm.latency < cold.latency,
+            "warm {:?} vs cold {:?}",
+            warm.latency,
+            cold.latency
+        );
+        assert_eq!(warm.data.as_ref(), expected_payload(0, 900).as_slice());
+    }
+
+    #[test]
+    fn maybe_reconfigure_respects_period() {
+        let backend = test_backend(3, 900);
+        let node = test_node(backend, 900);
+        node.read(ObjectId::new(0)).unwrap();
+        // First call only anchors the clock.
+        assert!(!node.maybe_reconfigure(SimTime::from_secs(0)));
+        assert!(!node.maybe_reconfigure(SimTime::from_secs(29)));
+        assert!(node.maybe_reconfigure(SimTime::from_secs(30)));
+        assert_eq!(node.reconfigurations(), 1);
+        assert!(!node.maybe_reconfigure(SimTime::from_secs(31)));
+        assert!(node.maybe_reconfigure(SimTime::from_secs(61)));
+        assert_eq!(node.reconfigurations(), 2);
+    }
+
+    #[test]
+    fn config_changes_evict_stale_objects() {
+        let backend = test_backend(4, 900);
+        let node = test_node(backend, 900); // one object's worth
+        // Make object 0 hot, reconfigure, warm it.
+        for _ in 0..50 {
+            node.read(ObjectId::new(0)).unwrap();
+        }
+        node.force_reconfigure();
+        node.read(ObjectId::new(0)).unwrap();
+        assert!(node.cache_contents().contains_key(&ObjectId::new(0)));
+
+        // Popularity flips to object 1 (several epochs so the EWMA
+        // decays object 0 to irrelevance).
+        for _ in 0..3 {
+            for _ in 0..200 {
+                node.read(ObjectId::new(1)).unwrap();
+            }
+            node.force_reconfigure();
+        }
+        // Object 1 now owns (almost) the whole cache. Object 0 may keep
+        // at most one free-rider chunk: with the tiny test chunks the
+        // local region reads faster than the cache constant, so the 9th
+        // chunk of object 1 adds zero marginal value and the solver may
+        // legitimately hand that slot to object 0.
+        let contents = node.cache_contents();
+        assert!(contents[&ObjectId::new(1)].len() >= 8, "{contents:?}");
+        let obj0_chunks = contents
+            .get(&ObjectId::new(0))
+            .map_or(0, |chunks| chunks.len());
+        assert!(obj0_chunks <= 1, "object 0 should have shrunk: {contents:?}");
+    }
+
+    #[test]
+    fn writes_invalidate_cached_chunks() {
+        let backend = test_backend(2, 900);
+        let node = test_node(backend, 1_800);
+        let object = ObjectId::new(0);
+        for _ in 0..30 {
+            node.read(object).unwrap();
+        }
+        node.force_reconfigure();
+        node.read(object).unwrap(); // fill
+        assert!(node.cache_contents().contains_key(&object));
+
+        let payload = vec![7u8; 900];
+        let (version, _) = node.write(object, &payload).unwrap();
+        assert_eq!(version, 2);
+        assert!(!node.cache_contents().contains_key(&object));
+
+        // The next read returns the new data.
+        let metrics = node.read(object).unwrap();
+        assert_eq!(metrics.data.as_ref(), payload.as_slice());
+    }
+
+    #[test]
+    fn stale_cached_versions_are_dropped_on_read() {
+        let backend = test_backend(2, 900);
+        let node = test_node(Arc::clone(&backend), 1_800);
+        let object = ObjectId::new(0);
+        for _ in 0..30 {
+            node.read(object).unwrap();
+        }
+        node.force_reconfigure();
+        node.read(object).unwrap(); // fill cache at version 1
+
+        // Write behind the node's back (another region's client).
+        let mut rng = StdRng::seed_from_u64(1);
+        let payload = vec![9u8; 900];
+        backend
+            .put_object(FRANKFURT, object, &payload, &mut rng)
+            .unwrap();
+
+        // Version check rejects the stale chunks; data is fresh.
+        let metrics = node.read(object).unwrap();
+        assert_eq!(metrics.cache_hits, 0, "stale chunks must not count as hits");
+        assert_eq!(metrics.data.as_ref(), payload.as_slice());
+    }
+
+    #[test]
+    fn failure_adaptation_resteers_reads() {
+        let backend = test_backend(2, 900);
+        let node = test_node(Arc::clone(&backend), 900);
+        let object = ObjectId::new(0);
+        node.read(object).unwrap();
+        // São Paulo (region 3) fails; planning routes around it (its two
+        // chunks are replaced by Tokyo's pair and one Sydney chunk) and
+        // reads keep succeeding with correct data.
+        backend.fail_region(agar_net::presets::SAO_PAULO);
+        let metrics = node.read(object).unwrap();
+        assert_eq!(metrics.data.as_ref(), expected_payload(0, 900).as_slice());
+        assert_eq!(metrics.backend_fetches, 9);
+        // Healing restores the original plan.
+        backend.heal_region(agar_net::presets::SAO_PAULO);
+        let metrics = node.read(object).unwrap();
+        assert_eq!(metrics.data.as_ref(), expected_payload(0, 900).as_slice());
+    }
+
+    #[test]
+    fn invalid_settings_rejected() {
+        let backend = test_backend(1, 900);
+        let mut settings = AgarSettings::paper_default(900);
+        settings.reconfiguration_period = Duration::ZERO;
+        assert!(matches!(
+            AgarNode::new(FRANKFURT, Arc::clone(&backend), settings, 0),
+            Err(AgarError::InvalidSetting { .. })
+        ));
+        let mut settings = AgarSettings::paper_default(900);
+        settings.alpha = 1.5;
+        assert!(matches!(
+            AgarNode::new(FRANKFURT, backend, settings, 0),
+            Err(AgarError::InvalidSetting { .. })
+        ));
+    }
+
+    #[test]
+    fn hit_ratio_accounting_counts_partial_hits() {
+        let backend = test_backend(2, 900);
+        // Cache fits 5 chunks only: partial caching of one object.
+        let node = test_node(backend, 500);
+        let object = ObjectId::new(0);
+        for _ in 0..30 {
+            node.read(object).unwrap();
+        }
+        node.force_reconfigure();
+        node.read(object).unwrap(); // fill
+        node.read(object).unwrap(); // partial hit
+        let stats = node.cache_stats();
+        assert!(stats.object_partial_hits() > 0);
+        assert!(stats.object_hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn debug_and_label() {
+        let backend = test_backend(1, 900);
+        let node = test_node(backend, 900);
+        assert_eq!(node.label(), "Agar");
+        assert!(format!("{node:?}").contains("AgarNode"));
+    }
+}

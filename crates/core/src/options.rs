@@ -1,0 +1,364 @@
+//! Caching-option generation (the paper's §IV-A).
+//!
+//! A *caching option* is a hypothetical configuration for one object: a
+//! set of chunks to cache, its weight (number of chunks) and its value
+//! (popularity × expected latency improvement). Generation follows the
+//! paper exactly:
+//!
+//! 1. discard the `m` chunks furthest from the cache (never fetched in
+//!    the failure-free common case);
+//! 2. fill options with chunks from the most distant remaining sites
+//!    inward, one option per weight 1..=k;
+//! 3. the latency improvement of an option is the difference between the
+//!    latency of the furthest region contacted without the cached chunks
+//!    and with them (chunk requests are issued in parallel, so the
+//!    slowest contacted site dominates).
+
+use agar_ec::ObjectId;
+use agar_net::RegionId;
+use agar_store::ObjectManifest;
+use std::time::Duration;
+
+/// One candidate cache allocation for one object.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CachingOption {
+    object: ObjectId,
+    /// Chunk indices to cache, most distant first.
+    chunks: Vec<u8>,
+    /// Popularity × latency-improvement-in-ms.
+    value: f64,
+    /// Expected read latency (slowest contacted site) with these chunks
+    /// cached — kept for diagnostics and tests.
+    expected_latency: Duration,
+}
+
+impl CachingOption {
+    /// The object this option caches chunks of.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The chunk indices this option caches.
+    pub fn chunks(&self) -> &[u8] {
+        &self.chunks
+    }
+
+    /// Number of chunks cached (the Knapsack weight).
+    pub fn weight(&self) -> u32 {
+        self.chunks.len() as u32
+    }
+
+    /// Popularity-weighted latency improvement (the Knapsack value).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Expected read latency when this option is in effect.
+    pub fn expected_latency(&self) -> Duration {
+        self.expected_latency
+    }
+}
+
+/// All caching options for one object, indexed by weight.
+#[derive(Clone, Debug)]
+pub struct ObjectOptions {
+    object: ObjectId,
+    /// `options[w - 1]` caches `w` chunks.
+    options: Vec<CachingOption>,
+    /// Expected read latency with nothing cached.
+    baseline_latency: Duration,
+}
+
+impl ObjectOptions {
+    /// The object these options describe.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The option of exact weight `w`, if `1 <= w <= k`.
+    pub fn by_weight(&self, w: u32) -> Option<&CachingOption> {
+        if w == 0 {
+            return None;
+        }
+        self.options.get(w as usize - 1)
+    }
+
+    /// All options, weight ascending.
+    pub fn iter(&self) -> impl Iterator<Item = &CachingOption> {
+        self.options.iter()
+    }
+
+    /// The highest option value across all weights (used to order keys).
+    pub fn best_value(&self) -> f64 {
+        self.options.iter().map(CachingOption::value).fold(0.0, f64::max)
+    }
+
+    /// Read latency with nothing cached (slowest contacted site).
+    pub fn baseline_latency(&self) -> Duration {
+        self.baseline_latency
+    }
+
+    /// The *dominant* options: strictly increasing latency improvement
+    /// with weight. In the paper's six-region deployment these are the
+    /// weights {1, 3, 5, 7, 9} — adding the second chunk of a region
+    /// never helps until the whole region is removed from the read path.
+    pub fn dominant(&self) -> Vec<&CachingOption> {
+        let mut out: Vec<&CachingOption> = Vec::new();
+        let mut best = 0.0;
+        for option in &self.options {
+            // Improvement is proportional to value at fixed popularity;
+            // compare per-chunk latency improvement directly.
+            let improvement = self
+                .baseline_latency
+                .saturating_sub(option.expected_latency)
+                .as_secs_f64();
+            if improvement > best + 1e-12 {
+                out.push(option);
+                best = improvement;
+            }
+        }
+        out
+    }
+}
+
+/// Generates the caching options for one object.
+///
+/// - `latencies[r]` is the estimated chunk-read latency from the local
+///   region to region `r` (the region manager's estimates);
+/// - `cache_read` is the latency of reading a chunk from the local
+///   cache;
+/// - `popularity` is the request monitor's EWMA popularity.
+///
+/// # Panics
+///
+/// Panics if `latencies` does not cover every region in the manifest —
+/// the caller wires both from the same topology, so a mismatch is a bug.
+pub fn generate_options(
+    manifest: &ObjectManifest,
+    latencies: &[Duration],
+    cache_read: Duration,
+    popularity: f64,
+) -> ObjectOptions {
+    let params = manifest.params();
+    let k = params.data_chunks();
+
+    // All chunks with their site latency, sorted most-distant first.
+    let mut by_distance: Vec<(u8, Duration)> = manifest
+        .chunk_locations()
+        .map(|(chunk, region)| {
+            let latency = *latencies
+                .get(region.index())
+                .unwrap_or_else(|| panic!("no latency estimate for {region}"));
+            (chunk.index().value(), latency)
+        })
+        .collect();
+    // Most distant first; within one region (equal latency) put *higher*
+    // chunk indices first so parity chunks are discarded before data
+    // chunks, keeping decode work minimal in the common case.
+    by_distance.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
+
+    // Discard the m furthest chunks: never fetched without failures, so
+    // caching them would only add cache-miss download cost (§IV-A).
+    let used = &by_distance[params.parity_chunks()..];
+    debug_assert_eq!(used.len(), k);
+
+    // Baseline: slowest of the k used chunks.
+    let baseline_latency = used.first().map(|&(_, l)| l).unwrap_or(cache_read);
+
+    let mut options = Vec::with_capacity(k);
+    for w in 1..=k {
+        // Cache the w most distant used chunks...
+        let chunks: Vec<u8> = used[..w].iter().map(|&(c, _)| c).collect();
+        // ...so the slowest remaining fetch is the (w+1)-th most distant,
+        // or the cache itself if everything needed is cached.
+        let residual = if w == k {
+            cache_read
+        } else {
+            used[w].1.max(cache_read)
+        };
+        let improvement_ms = baseline_latency
+            .saturating_sub(residual)
+            .as_secs_f64()
+            * 1_000.0;
+        options.push(CachingOption {
+            object: manifest.object(),
+            chunks,
+            value: popularity * improvement_ms,
+            expected_latency: residual,
+        });
+    }
+    ObjectOptions {
+        object: manifest.object(),
+        options,
+        baseline_latency,
+    }
+}
+
+/// Convenience wrapper: the region order implied by a latency estimate
+/// vector, nearest first (what the read planner wants).
+pub fn region_order_by_estimates(latencies: &[Duration]) -> Vec<RegionId> {
+    let mut order: Vec<usize> = (0..latencies.len()).collect();
+    order.sort_by_key(|&r| latencies[r]);
+    order.into_iter().map(|r| RegionId::new(r as u16)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agar_ec::CodingParams;
+
+    /// Builds a manifest mirroring the paper's Figure 1 layout: RS(9,3),
+    /// chunk i in region i % 6.
+    fn paper_manifest() -> ObjectManifest {
+        let params = CodingParams::paper_default();
+        let locations = (0..12).map(|i| RegionId::new(i % 6)).collect();
+        ObjectManifest::new(ObjectId::new(1), 1_000_000, 1, params, locations)
+    }
+
+    /// The paper's Table I latencies from Frankfurt, in region-id order
+    /// (FRA, DUB, NVA, SAO, TYO, SYD).
+    fn table1_latencies() -> Vec<Duration> {
+        [80u64, 200, 600, 1400, 3400, 4600]
+            .into_iter()
+            .map(Duration::from_millis)
+            .collect()
+    }
+
+    #[test]
+    fn paper_worked_example_option_values() {
+        // §IV's example: popularity 80; option 1 caches the Tokyo block
+        // with value 80 x (3400 - 1400) = 160_000; option of weight 3
+        // (Tokyo + the two São Paulo blocks) is worth 80 x (3400 - 600).
+        // (The paper quotes "option 2" as caching São Paulo's two blocks
+        // for 80 x (1400 - 600) = 64_000 of *additional* value, i.e. the
+        // increment between weights 1 and 3.)
+        let manifest = paper_manifest();
+        let options = generate_options(
+            &manifest,
+            &table1_latencies(),
+            Duration::from_millis(40),
+            80.0,
+        );
+
+        let w1 = options.by_weight(1).unwrap();
+        assert_eq!(w1.value(), 80.0 * 2000.0);
+        // The single cached chunk is Tokyo's remaining data chunk (#4):
+        // the discarded m = 3 are Sydney's two (#5, #11) and Tokyo's
+        // parity (#10; ties broken toward lower index keeps #4 in use).
+        assert_eq!(w1.chunks(), &[4]);
+
+        let w3 = options.by_weight(3).unwrap();
+        assert_eq!(w3.value(), 80.0 * 2800.0);
+        // Tokyo's chunk plus São Paulo's two.
+        assert_eq!(w3.chunks().len(), 3);
+        assert!(w3.chunks().contains(&4));
+        assert!(w3.chunks().contains(&3));
+        assert!(w3.chunks().contains(&9));
+
+        // Weight 2 adds a São Paulo chunk but the other stays on the
+        // read path: no extra improvement over weight 1.
+        let w2 = options.by_weight(2).unwrap();
+        assert_eq!(w2.value(), w1.value());
+
+        // Full replica: residual latency is the cache itself.
+        let w9 = options.by_weight(9).unwrap();
+        assert_eq!(w9.expected_latency(), Duration::from_millis(40));
+        assert_eq!(w9.value(), 80.0 * (3400.0 - 40.0));
+    }
+
+    #[test]
+    fn baseline_is_slowest_used_chunk() {
+        let manifest = paper_manifest();
+        let options = generate_options(
+            &manifest,
+            &table1_latencies(),
+            Duration::from_millis(40),
+            1.0,
+        );
+        // Furthest used chunk after discarding m = 3: Tokyo at 3400.
+        assert_eq!(options.baseline_latency(), Duration::from_millis(3400));
+    }
+
+    #[test]
+    fn dominant_options_match_region_boundaries() {
+        let manifest = paper_manifest();
+        let options = generate_options(
+            &manifest,
+            &table1_latencies(),
+            Duration::from_millis(40),
+            1.0,
+        );
+        let weights: Vec<u32> = options.dominant().iter().map(|o| o.weight()).collect();
+        assert_eq!(weights, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn values_monotone_in_weight() {
+        let manifest = paper_manifest();
+        let options = generate_options(
+            &manifest,
+            &table1_latencies(),
+            Duration::from_millis(40),
+            5.0,
+        );
+        let values: Vec<f64> = options.iter().map(CachingOption::value).collect();
+        for pair in values.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        assert_eq!(options.best_value(), *values.last().unwrap());
+    }
+
+    #[test]
+    fn zero_popularity_zeroes_values() {
+        let manifest = paper_manifest();
+        let options = generate_options(
+            &manifest,
+            &table1_latencies(),
+            Duration::from_millis(40),
+            0.0,
+        );
+        assert!(options.iter().all(|o| o.value() == 0.0));
+    }
+
+    #[test]
+    fn chunks_are_most_distant_first() {
+        let manifest = paper_manifest();
+        let options = generate_options(
+            &manifest,
+            &table1_latencies(),
+            Duration::from_millis(40),
+            1.0,
+        );
+        let w5 = options.by_weight(5).unwrap();
+        // Distances: TYO(4) > SAO(3,9) > NVA(2,8) > ...
+        assert_eq!(w5.chunks()[0], 4);
+        let set: std::collections::HashSet<u8> = w5.chunks().iter().copied().collect();
+        assert_eq!(set, [4u8, 3, 9, 2, 8].into_iter().collect());
+    }
+
+    #[test]
+    fn by_weight_bounds() {
+        let manifest = paper_manifest();
+        let options = generate_options(
+            &manifest,
+            &table1_latencies(),
+            Duration::from_millis(40),
+            1.0,
+        );
+        assert!(options.by_weight(0).is_none());
+        assert!(options.by_weight(9).is_some());
+        assert!(options.by_weight(10).is_none());
+    }
+
+    #[test]
+    fn region_order_by_estimates_sorts_ascending() {
+        let order = region_order_by_estimates(&table1_latencies());
+        let indices: Vec<usize> = order.iter().map(|r| r.index()).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4, 5]);
+
+        let reversed: Vec<Duration> = table1_latencies().into_iter().rev().collect();
+        let order = region_order_by_estimates(&reversed);
+        let indices: Vec<usize> = order.iter().map(|r| r.index()).collect();
+        assert_eq!(indices, vec![5, 4, 3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,542 @@
+//! Arithmetic in the Galois field GF(2^8).
+//!
+//! The field is constructed as GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1),
+//! i.e. with the reducing polynomial `0x11D` that is conventional for
+//! Reed-Solomon codes. Multiplication and division are table-driven:
+//! exponentiation/logarithm tables with respect to the generator `x`
+//! (`0x02`) are computed at compile time by a `const fn`, so lookups are
+//! branch-free at runtime and there is no lazy initialisation.
+//!
+//! # Examples
+//!
+//! ```
+//! use agar_ec::gf256::Gf256;
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xCA);
+//! // Addition in GF(2^8) is XOR, so every element is its own inverse.
+//! assert_eq!(a + b, Gf256::new(0x53 ^ 0xCA));
+//! assert_eq!(a + a, Gf256::ZERO);
+//! // Multiplication distributes over addition.
+//! let c = Gf256::new(7);
+//! assert_eq!(c * (a + b), c * a + c * b);
+//! ```
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The reducing polynomial x^8 + x^4 + x^3 + x^2 + 1 (without the x^8 bit
+/// it is `0x1D`); this is the polynomial used by most Reed-Solomon
+/// implementations, including the one in the paper's Longhair dependency.
+pub const REDUCING_POLYNOMIAL: u16 = 0x11D;
+
+/// Order of the multiplicative group of GF(2^8).
+pub const GROUP_ORDER: usize = 255;
+
+const fn build_tables() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= REDUCING_POLYNOMIAL;
+        }
+        i += 1;
+    }
+    // Mirror the table so `exp[log a + log b]` never needs a modulo.
+    let mut j = GROUP_ORDER;
+    while j < 512 {
+        exp[j] = exp[j - GROUP_ORDER];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_tables();
+/// `EXP[i]` is the generator raised to the `i`-th power; doubled in length
+/// so that indices up to `2 * 254` need no reduction.
+const EXP: [u8; 512] = TABLES.0;
+/// `LOG[a]` is the discrete logarithm of `a` (undefined, stored as 0, for
+/// `a == 0`; all callers must check for zero first).
+const LOG: [u8; 256] = TABLES.1;
+
+/// An element of GF(2^8).
+///
+/// This is a zero-cost wrapper around `u8` giving field semantics to the
+/// arithmetic operators: `+`/`-` are XOR, `*`/`/` go through the
+/// log/exp tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The conventional generator of the multiplicative group (`x`, i.e. 2).
+    pub const GENERATOR: Gf256 = Gf256(2);
+
+    /// Wraps a byte as a field element.
+    #[inline]
+    pub const fn new(value: u8) -> Self {
+        Gf256(value)
+    }
+
+    /// Returns the underlying byte.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero, which has no inverse.
+    #[inline]
+    pub fn inverse(self) -> Self {
+        assert!(!self.is_zero(), "zero has no multiplicative inverse in GF(2^8)");
+        Gf256(EXP[GROUP_ORDER - LOG[self.0 as usize] as usize])
+    }
+
+    /// Checked multiplicative inverse; `None` for zero.
+    #[inline]
+    pub fn checked_inverse(self) -> Option<Self> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(self.inverse())
+        }
+    }
+
+    /// Raises the element to an arbitrary power.
+    ///
+    /// `0^0` is defined as 1, matching the usual convention for
+    /// Vandermonde matrix construction.
+    pub fn pow(self, mut exponent: usize) -> Self {
+        if exponent == 0 {
+            return Gf256::ONE;
+        }
+        if self.is_zero() {
+            return Gf256::ZERO;
+        }
+        exponent %= GROUP_ORDER;
+        if exponent == 0 {
+            return Gf256::ONE;
+        }
+        let log = LOG[self.0 as usize] as usize;
+        Gf256(EXP[(log * exponent) % GROUP_ORDER])
+    }
+
+    /// `self * a + b`, the fused operation at the heart of matrix-vector
+    /// products over the field.
+    #[inline]
+    pub fn mul_add(self, a: Gf256, b: Gf256) -> Self {
+        self * a + b
+    }
+}
+
+impl From<u8> for Gf256 {
+    #[inline]
+    fn from(value: u8) -> Self {
+        Gf256(value)
+    }
+}
+
+impl From<Gf256> for u8 {
+    #[inline]
+    fn from(value: Gf256) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256(0x{:02x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        // Characteristic 2: subtraction and addition coincide.
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl SubAssign for Gf256 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        // Every element is its own additive inverse.
+        self
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let log = LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize;
+        Gf256(EXP[log])
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        assert!(!rhs.is_zero(), "division by zero in GF(2^8)");
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let log =
+            LOG[self.0 as usize] as usize + GROUP_ORDER - LOG[rhs.0 as usize] as usize;
+        Gf256(EXP[log])
+    }
+}
+
+impl DivAssign for Gf256 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf256) {
+        *self = *self / rhs;
+    }
+}
+
+/// Raw-byte multiply, convenient for slice kernels.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    (Gf256(a) * Gf256(b)).0
+}
+
+/// `dst[i] ^= coefficient * src[i]` for every `i`.
+///
+/// This is the inner loop of Reed-Solomon encoding and decoding: a row
+/// coefficient applied to a whole shard and accumulated into an output
+/// shard.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_add_slice(dst: &mut [u8], src: &[u8], coefficient: u8) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "mul_add_slice requires equal-length slices"
+    );
+    if coefficient == 0 {
+        return;
+    }
+    if coefficient == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let log_c = LOG[coefficient as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= EXP[log_c + LOG[*s as usize] as usize];
+        }
+    }
+}
+
+/// `dst[i] = coefficient * src[i]` for every `i`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_slice(dst: &mut [u8], src: &[u8], coefficient: u8) {
+    assert_eq!(dst.len(), src.len(), "mul_slice requires equal-length slices");
+    if coefficient == 0 {
+        dst.fill(0);
+        return;
+    }
+    if coefficient == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let log_c = LOG[coefficient as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = if *s == 0 {
+            0
+        } else {
+            EXP[log_c + LOG[*s as usize] as usize]
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!(Gf256::new(0b1010) + Gf256::new(0b0110), Gf256::new(0b1100));
+    }
+
+    #[test]
+    fn addition_identity_and_self_inverse() {
+        for v in 0..=255u8 {
+            let a = Gf256::new(v);
+            assert_eq!(a + Gf256::ZERO, a);
+            assert_eq!(a + a, Gf256::ZERO);
+            assert_eq!(-a, a);
+            assert_eq!(a - a, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn multiplication_identity() {
+        for v in 0..=255u8 {
+            let a = Gf256::new(v);
+            assert_eq!(a * Gf256::ONE, a);
+            assert_eq!(Gf256::ONE * a, a);
+            assert_eq!(a * Gf256::ZERO, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn known_products() {
+        // Worked examples with the 0x11D polynomial.
+        assert_eq!(mul(2, 2), 4);
+        assert_eq!(mul(0x80, 2), 0x1D); // overflow wraps through the polynomial
+        assert_eq!(mul(0x8E, 2), 0x01); // 0x8E is the inverse of the generator
+        assert_eq!(Gf256::GENERATOR.inverse(), Gf256::new(0x8E));
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for v in 1..=255u8 {
+            let a = Gf256::new(v);
+            let inv = a.inverse();
+            assert_eq!(a * inv, Gf256::ONE, "inverse failed for {v}");
+            assert_eq!(a.checked_inverse(), Some(inv));
+        }
+        assert_eq!(Gf256::ZERO.checked_inverse(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no multiplicative inverse")]
+    fn zero_inverse_panics() {
+        let _ = Gf256::ZERO.inverse();
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256::ONE / Gf256::ZERO;
+    }
+
+    #[test]
+    fn division_matches_inverse_multiplication() {
+        for a in (0..=255u8).step_by(7) {
+            for b in 1..=255u8 {
+                let lhs = Gf256::new(a) / Gf256::new(b);
+                let rhs = Gf256::new(a) * Gf256::new(b).inverse();
+                assert_eq!(lhs, rhs);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative_spot() {
+        for &(a, b, c) in &[(3u8, 7u8, 250u8), (0x53, 0xCA, 0x01), (255, 254, 253)] {
+            let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+            assert_eq!(a * b, b * a);
+            assert_eq!((a * b) * c, a * (b * c));
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        let mut x = Gf256::ONE;
+        for _ in 0..GROUP_ORDER {
+            assert!(!seen[x.value() as usize], "generator cycled early");
+            seen[x.value() as usize] = true;
+            x *= Gf256::GENERATOR;
+        }
+        assert_eq!(x, Gf256::ONE, "generator order is not 255");
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for v in [0u8, 1, 2, 5, 97, 255] {
+            let a = Gf256::new(v);
+            let mut acc = Gf256::ONE;
+            for e in 0..20 {
+                assert_eq!(a.pow(e), acc, "pow mismatch for {v}^{e}");
+                acc *= a;
+            }
+        }
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+    }
+
+    #[test]
+    fn pow_reduces_exponent_modulo_group_order() {
+        let a = Gf256::new(29);
+        assert_eq!(a.pow(GROUP_ORDER), Gf256::ONE);
+        assert_eq!(a.pow(GROUP_ORDER + 3), a.pow(3));
+        assert_eq!(a.pow(2 * GROUP_ORDER), Gf256::ONE);
+    }
+
+    #[test]
+    fn mul_add_slice_accumulates() {
+        let src = [1u8, 2, 3, 0, 255];
+        let mut dst = [9u8, 9, 9, 9, 9];
+        let expected: Vec<u8> = dst
+            .iter()
+            .zip(src.iter())
+            .map(|(&d, &s)| d ^ mul(s, 29))
+            .collect();
+        mul_add_slice(&mut dst, &src, 29);
+        assert_eq!(dst.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn mul_add_slice_zero_coefficient_is_noop() {
+        let src = [7u8; 16];
+        let mut dst = [3u8; 16];
+        mul_add_slice(&mut dst, &src, 0);
+        assert_eq!(dst, [3u8; 16]);
+    }
+
+    #[test]
+    fn mul_add_slice_one_coefficient_is_xor() {
+        let src = [0xF0u8; 4];
+        let mut dst = [0x0Fu8; 4];
+        mul_add_slice(&mut dst, &src, 1);
+        assert_eq!(dst, [0xFFu8; 4]);
+    }
+
+    #[test]
+    fn mul_slice_overwrites() {
+        let src = [1u8, 2, 4, 8];
+        let mut dst = [0u8; 4];
+        mul_slice(&mut dst, &src, 2);
+        assert_eq!(dst, [2, 4, 8, 16]);
+        mul_slice(&mut dst, &src, 0);
+        assert_eq!(dst, [0; 4]);
+        mul_slice(&mut dst, &src, 1);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mul_add_slice_length_mismatch_panics() {
+        mul_add_slice(&mut [0u8; 3], &[0u8; 4], 1);
+    }
+
+    #[test]
+    fn mul_add_helper_fuses() {
+        let a = Gf256::new(17);
+        let b = Gf256::new(99);
+        let c = Gf256::new(3);
+        assert_eq!(c.mul_add(a, b), c * a + b);
+    }
+
+    #[test]
+    fn distributivity_exhaustive_sample() {
+        for a in (0..=255u8).step_by(17) {
+            for b in (0..=255u8).step_by(13) {
+                for c in (0..=255u8).step_by(29) {
+                    let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+                    assert_eq!(a * (b + c), a * b + a * c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let a: Gf256 = 0xAB_u8.into();
+        let b: u8 = a.into();
+        assert_eq!(b, 0xAB);
+        assert_eq!(a.value(), 0xAB);
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        assert_eq!(format!("{:?}", Gf256::new(0x0F)), "Gf256(0x0f)");
+        assert_eq!(format!("{}", Gf256::new(0x0F)), "0f");
+        assert_eq!(format!("{:x}", Gf256::new(0xAB)), "ab");
+        assert_eq!(format!("{:b}", Gf256::new(2)), "10");
+    }
+}

@@ -1,0 +1,56 @@
+//! # agar-ec — erasure-coding substrate for the Agar reproduction
+//!
+//! A from-scratch implementation of systematic Reed-Solomon erasure
+//! coding over GF(2^8), as required by the Agar caching system
+//! (Halalai et al., ICDCS 2017). The paper's prototype used the Longhair
+//! Cauchy Reed-Solomon library; this crate provides the equivalent
+//! functionality in pure Rust, plus the object/chunk identity types the
+//! rest of the workspace shares.
+//!
+//! The layers, bottom-up:
+//!
+//! - [`gf256`] — table-driven arithmetic in GF(2^8);
+//! - [`matrix`] — dense matrices over the field, with Gauss-Jordan
+//!   inversion and Vandermonde/Cauchy constructions;
+//! - [`rs`] — the systematic [`ReedSolomon`] codec (`any k of k + m`
+//!   shards reconstruct the object);
+//! - [`chunk`] — [`ObjectId`], [`ChunkId`], [`Chunk`] and
+//!   [`CodingParams`] shared by the store, cache and Agar core crates.
+//!
+//! # Examples
+//!
+//! Split a 1 MB object the way the paper's deployment does — RS(9, 3) —
+//! and recover it from a subset of chunks:
+//!
+//! ```
+//! use agar_ec::{CodingParams, ReedSolomon};
+//!
+//! let rs = ReedSolomon::new(CodingParams::paper_default())?;
+//! let object = vec![42u8; 1_000_000];
+//! let mut shards: Vec<Option<bytes::Bytes>> =
+//!     rs.encode_object(&object)?.into_iter().map(Some).collect();
+//!
+//! // Three chunks lost (an entire AWS region plus one more).
+//! shards[2] = None;
+//! shards[3] = None;
+//! shards[11] = None;
+//!
+//! let recovered = rs.reconstruct_object(&shards, object.len())?;
+//! assert_eq!(recovered.as_ref(), object.as_slice());
+//! # Ok::<(), agar_ec::EcError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chunk;
+pub mod error;
+pub mod gf256;
+pub mod matrix;
+pub mod rs;
+
+pub use chunk::{Chunk, ChunkId, ChunkIndex, CodingParams, ObjectId};
+pub use error::EcError;
+pub use gf256::Gf256;
+pub use matrix::Matrix;
+pub use rs::{MatrixKind, ReedSolomon};

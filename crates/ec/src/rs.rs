@@ -1,0 +1,519 @@
+//! Systematic Reed-Solomon encoding and reconstruction over GF(2^8).
+//!
+//! The encoder is *systematic*: the first `k` shards are the data itself,
+//! the last `m` shards are parity. The `(k + m) x k` encoding matrix is
+//! built either from a Vandermonde matrix normalised so its top `k x k`
+//! block is the identity (the default, same construction as Backblaze's
+//! and the paper's Longhair codec family), or from a Cauchy matrix
+//! stacked under the identity. Both guarantee that *any* `k` of the
+//! `k + m` shards suffice to reconstruct the original data — the MDS
+//! property Agar depends on.
+//!
+//! # Examples
+//!
+//! ```
+//! use agar_ec::{CodingParams, ReedSolomon};
+//!
+//! let rs = ReedSolomon::new(CodingParams::new(4, 2)?)?;
+//! let data: Vec<Vec<u8>> = vec![
+//!     b"abcd".to_vec(), b"efgh".to_vec(), b"ijkl".to_vec(), b"mnop".to_vec(),
+//! ];
+//! let parity = rs.encode(&data)?;
+//! assert_eq!(parity.len(), 2);
+//!
+//! // Lose any two shards; reconstruction still succeeds.
+//! let mut shards: Vec<Option<Vec<u8>>> = data
+//!     .iter().cloned().map(Some)
+//!     .chain(parity.iter().cloned().map(Some))
+//!     .collect();
+//! shards[0] = None;
+//! shards[5] = None;
+//! rs.reconstruct(&mut shards)?;
+//! assert_eq!(shards[0].as_deref(), Some(b"abcd".as_slice()));
+//! # Ok::<(), agar_ec::EcError>(())
+//! ```
+
+use crate::chunk::CodingParams;
+use crate::error::EcError;
+use crate::gf256::mul_add_slice;
+use crate::matrix::Matrix;
+use bytes::Bytes;
+
+/// Which matrix construction backs the encoder.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum MatrixKind {
+    /// Vandermonde matrix normalised to systematic form (default).
+    #[default]
+    Vandermonde,
+    /// Identity stacked on a Cauchy matrix (the construction used by
+    /// Cauchy Reed-Solomon codecs such as Longhair).
+    Cauchy,
+}
+
+/// A systematic Reed-Solomon codec for fixed `(k, m)`.
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    params: CodingParams,
+    /// `(k + m) x k` encoding matrix whose top `k x k` block is the
+    /// identity.
+    encoding: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a codec using the systematic-Vandermonde construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters exceed the field size
+    /// (`k + m > 255`); [`CodingParams`] already enforces the rest.
+    pub fn new(params: CodingParams) -> Result<Self, EcError> {
+        Self::with_matrix_kind(params, MatrixKind::Vandermonde)
+    }
+
+    /// Creates a codec with an explicit matrix construction.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::new`].
+    pub fn with_matrix_kind(params: CodingParams, kind: MatrixKind) -> Result<Self, EcError> {
+        let k = params.data_chunks();
+        let m = params.parity_chunks();
+        let encoding = match kind {
+            MatrixKind::Vandermonde => {
+                let vandermonde = Matrix::vandermonde(k + m, k)?;
+                let top = vandermonde.select_rows(&(0..k).collect::<Vec<_>>())?;
+                vandermonde.multiply(&top.inverted()?)?
+            }
+            MatrixKind::Cauchy => {
+                let identity = Matrix::identity(k)?;
+                let parity = Matrix::cauchy(m, k)?;
+                let mut rows: Vec<&[u8]> = Vec::with_capacity(k + m);
+                rows.extend(identity.iter_rows());
+                rows.extend(parity.iter_rows());
+                Matrix::from_rows(&rows)?
+            }
+        };
+        debug_assert!(encoding
+            .select_rows(&(0..k).collect::<Vec<_>>())
+            .map(|top| top.is_identity())
+            .unwrap_or(false));
+        Ok(ReedSolomon { params, encoding })
+    }
+
+    /// The codec's coding parameters.
+    pub fn params(&self) -> CodingParams {
+        self.params
+    }
+
+    /// Borrows the `(k + m) x k` encoding matrix.
+    pub fn encoding_matrix(&self) -> &Matrix {
+        &self.encoding
+    }
+
+    fn check_shard_sizes<T: AsRef<[u8]>>(shards: &[T]) -> Result<usize, EcError> {
+        let len = shards
+            .first()
+            .map(|s| s.as_ref().len())
+            .ok_or(EcError::ShardSizeMismatch)?;
+        if len == 0 || shards.iter().any(|s| s.as_ref().len() != len) {
+            return Err(EcError::ShardSizeMismatch);
+        }
+        Ok(len)
+    }
+
+    /// Computes the `m` parity shards for `k` equal-length data shards.
+    ///
+    /// # Errors
+    ///
+    /// - [`EcError::WrongShardCount`] if `data.len() != k`.
+    /// - [`EcError::ShardSizeMismatch`] if shards are empty or of
+    ///   differing lengths.
+    pub fn encode<T: AsRef<[u8]>>(&self, data: &[T]) -> Result<Vec<Vec<u8>>, EcError> {
+        let k = self.params.data_chunks();
+        if data.len() != k {
+            return Err(EcError::WrongShardCount {
+                provided: data.len(),
+                expected: k,
+            });
+        }
+        let len = Self::check_shard_sizes(data)?;
+        let m = self.params.parity_chunks();
+        let mut parity = vec![vec![0u8; len]; m];
+        for (p, out) in parity.iter_mut().enumerate() {
+            let row = self.encoding.row(k + p);
+            for (c, shard) in data.iter().enumerate() {
+                mul_add_slice(out, shard.as_ref(), row[c]);
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Splits an object into `k` padded data chunks and appends `m`
+    /// parity chunks, returning all `k + m` shards.
+    ///
+    /// The object is zero-padded so every chunk has exactly
+    /// [`CodingParams::chunk_size`] bytes; [`Self::reconstruct_object`]
+    /// strips the padding again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcError::ShardSizeMismatch`] if `object` is empty.
+    pub fn encode_object(&self, object: &[u8]) -> Result<Vec<Bytes>, EcError> {
+        if object.is_empty() {
+            return Err(EcError::ShardSizeMismatch);
+        }
+        let k = self.params.data_chunks();
+        let chunk_size = self.params.chunk_size(object.len());
+        let mut data: Vec<Vec<u8>> = Vec::with_capacity(k);
+        for i in 0..k {
+            let start = (i * chunk_size).min(object.len());
+            let end = ((i + 1) * chunk_size).min(object.len());
+            let mut chunk = object[start..end].to_vec();
+            chunk.resize(chunk_size, 0);
+            data.push(chunk);
+        }
+        let parity = self.encode(&data)?;
+        Ok(data
+            .into_iter()
+            .chain(parity)
+            .map(Bytes::from)
+            .collect())
+    }
+
+    /// Reassembles an object of `object_size` bytes from at least `k` of
+    /// its shards (missing shards are `None`).
+    ///
+    /// # Errors
+    ///
+    /// - [`EcError::WrongShardCount`] if `shards.len() != k + m`.
+    /// - [`EcError::NotEnoughShards`] if fewer than `k` shards are present.
+    /// - [`EcError::ShardSizeMismatch`] on inconsistent shard lengths.
+    pub fn reconstruct_object(
+        &self,
+        shards: &[Option<Bytes>],
+        object_size: usize,
+    ) -> Result<Bytes, EcError> {
+        let mut work: Vec<Option<Vec<u8>>> = shards
+            .iter()
+            .map(|s| s.as_ref().map(|b| b.to_vec()))
+            .collect();
+        self.reconstruct_data(&mut work)?;
+        let k = self.params.data_chunks();
+        let mut object = Vec::with_capacity(object_size);
+        for shard in work.iter().take(k) {
+            let shard = shard.as_ref().expect("data shard reconstructed");
+            let remaining = object_size - object.len();
+            object.extend_from_slice(&shard[..remaining.min(shard.len())]);
+        }
+        Ok(Bytes::from(object))
+    }
+
+    /// Reconstructs *all* missing shards (data and parity) in place.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::reconstruct_object`].
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        self.reconstruct_data(shards)?;
+        // All data shards are now present; re-encode any missing parity.
+        let k = self.params.data_chunks();
+        let missing_parity: Vec<usize> = (k..self.params.total_chunks())
+            .filter(|&i| shards[i].is_none())
+            .collect();
+        if missing_parity.is_empty() {
+            return Ok(());
+        }
+        let data: Vec<&[u8]> = shards[..k]
+            .iter()
+            .map(|s| s.as_ref().expect("data present").as_slice())
+            .collect();
+        let parity = self.encode(&data)?;
+        for i in missing_parity {
+            shards[i] = Some(parity[i - k].clone());
+        }
+        Ok(())
+    }
+
+    /// Reconstructs only the missing *data* shards in place, leaving
+    /// parity shards untouched.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::reconstruct_object`].
+    pub fn reconstruct_data(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        let k = self.params.data_chunks();
+        let total = self.params.total_chunks();
+        if shards.len() != total {
+            return Err(EcError::WrongShardCount {
+                provided: shards.len(),
+                expected: total,
+            });
+        }
+        let present: Vec<usize> = (0..total).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < k {
+            return Err(EcError::NotEnoughShards {
+                present: present.len(),
+                needed: k,
+            });
+        }
+        let shard_len = {
+            let first = present[0];
+            let len = shards[first].as_ref().expect("present").len();
+            if len == 0 {
+                return Err(EcError::ShardSizeMismatch);
+            }
+            for &i in &present {
+                if shards[i].as_ref().expect("present").len() != len {
+                    return Err(EcError::ShardSizeMismatch);
+                }
+            }
+            len
+        };
+        if (0..k).all(|i| shards[i].is_some()) {
+            return Ok(()); // nothing to do
+        }
+
+        // Use the first k present shards to invert the code.
+        let chosen = &present[..k];
+        let sub = self.encoding.select_rows(chosen)?;
+        let decode = sub.inverted()?;
+
+        let missing_data: Vec<usize> = (0..k).filter(|&i| shards[i].is_none()).collect();
+        for &target in &missing_data {
+            // Row `target` of the decode matrix maps the chosen shards
+            // back to data shard `target`.
+            let mut out = vec![0u8; shard_len];
+            let row = decode.row(target);
+            for (j, &src) in chosen.iter().enumerate() {
+                let shard = shards[src].as_ref().expect("chosen shard present");
+                mul_add_slice(&mut out, shard, row[j]);
+            }
+            shards[target] = Some(out);
+        }
+        Ok(())
+    }
+
+    /// Verifies that a complete set of `k + m` shards is consistent with
+    /// the code (i.e. parity matches the data).
+    ///
+    /// # Errors
+    ///
+    /// - [`EcError::WrongShardCount`] if `shards.len() != k + m`.
+    /// - [`EcError::ShardSizeMismatch`] on inconsistent shard lengths.
+    pub fn verify<T: AsRef<[u8]>>(&self, shards: &[T]) -> Result<bool, EcError> {
+        let total = self.params.total_chunks();
+        if shards.len() != total {
+            return Err(EcError::WrongShardCount {
+                provided: shards.len(),
+                expected: total,
+            });
+        }
+        Self::check_shard_sizes(shards)?;
+        let k = self.params.data_chunks();
+        let parity = self.encode(&shards[..k])?;
+        Ok(parity
+            .iter()
+            .zip(&shards[k..])
+            .all(|(computed, given)| computed.as_slice() == given.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 131 + j * 17) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn encode_produces_m_parity_shards() {
+        let rs = ReedSolomon::new(CodingParams::new(9, 3).unwrap()).unwrap();
+        let data = sample_data(9, 64);
+        let parity = rs.encode(&data).unwrap();
+        assert_eq!(parity.len(), 3);
+        assert!(parity.iter().all(|p| p.len() == 64));
+    }
+
+    #[test]
+    fn encode_rejects_bad_input() {
+        let rs = ReedSolomon::new(CodingParams::new(4, 2).unwrap()).unwrap();
+        assert!(matches!(
+            rs.encode(&sample_data(3, 8)),
+            Err(EcError::WrongShardCount { provided: 3, expected: 4 })
+        ));
+        let mut ragged = sample_data(4, 8);
+        ragged[2].pop();
+        assert!(matches!(rs.encode(&ragged), Err(EcError::ShardSizeMismatch)));
+        let empty: Vec<Vec<u8>> = vec![vec![]; 4];
+        assert!(matches!(rs.encode(&empty), Err(EcError::ShardSizeMismatch)));
+    }
+
+    #[test]
+    fn verify_accepts_valid_and_rejects_corrupt() {
+        let rs = ReedSolomon::new(CodingParams::new(5, 2).unwrap()).unwrap();
+        let data = sample_data(5, 32);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+        assert!(rs.verify(&shards).unwrap());
+        shards[3][7] ^= 0xFF;
+        assert!(!rs.verify(&shards).unwrap());
+    }
+
+    #[test]
+    fn reconstruct_from_any_k_shards() {
+        let params = CodingParams::new(4, 3).unwrap();
+        let rs = ReedSolomon::new(params).unwrap();
+        let data = sample_data(4, 16);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+
+        // Enumerate all ways to keep exactly k=4 of the 7 shards.
+        let total = params.total_chunks();
+        for mask in 0u32..(1 << total) {
+            if mask.count_ones() as usize != params.data_chunks() {
+                continue;
+            }
+            let mut shards: Vec<Option<Vec<u8>>> = (0..total)
+                .map(|i| {
+                    if mask & (1 << i) != 0 {
+                        Some(full[i].clone())
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, shard) in shards.iter().enumerate() {
+                assert_eq!(shard.as_ref().unwrap(), &full[i], "mask {mask:#b} shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_fails_below_k() {
+        let rs = ReedSolomon::new(CodingParams::new(4, 2).unwrap()).unwrap();
+        let data = sample_data(4, 8);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.into_iter().map(Some).chain(parity.into_iter().map(Some)).collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[4] = None;
+        assert!(matches!(
+            rs.reconstruct(&mut shards),
+            Err(EcError::NotEnoughShards { present: 3, needed: 4 })
+        ));
+    }
+
+    #[test]
+    fn reconstruct_wrong_count_rejected() {
+        let rs = ReedSolomon::new(CodingParams::new(4, 2).unwrap()).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = vec![Some(vec![1; 4]); 5];
+        assert!(matches!(
+            rs.reconstruct(&mut shards),
+            Err(EcError::WrongShardCount { provided: 5, expected: 6 })
+        ));
+    }
+
+    #[test]
+    fn reconstruct_inconsistent_sizes_rejected() {
+        let rs = ReedSolomon::new(CodingParams::new(2, 1).unwrap()).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            vec![Some(vec![1; 4]), Some(vec![2; 5]), None];
+        assert!(matches!(
+            rs.reconstruct(&mut shards),
+            Err(EcError::ShardSizeMismatch)
+        ));
+    }
+
+    #[test]
+    fn object_roundtrip_with_padding() {
+        let rs = ReedSolomon::new(CodingParams::new(9, 3).unwrap()).unwrap();
+        for size in [1usize, 8, 9, 10, 1000, 12_345] {
+            let object: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            let shards = rs.encode_object(&object).unwrap();
+            assert_eq!(shards.len(), 12);
+
+            // Drop the three parity shards plus keep data: trivial case.
+            let opts: Vec<Option<Bytes>> = shards.iter().cloned().map(Some).collect();
+            let back = rs.reconstruct_object(&opts, size).unwrap();
+            assert_eq!(back.as_ref(), object.as_slice(), "size {size}");
+
+            // Drop three data shards, decode through parity.
+            let mut degraded = opts.clone();
+            degraded[0] = None;
+            degraded[4] = None;
+            degraded[8] = None;
+            let back = rs.reconstruct_object(&degraded, size).unwrap();
+            assert_eq!(back.as_ref(), object.as_slice(), "degraded size {size}");
+        }
+    }
+
+    #[test]
+    fn empty_object_rejected() {
+        let rs = ReedSolomon::new(CodingParams::new(4, 2).unwrap()).unwrap();
+        assert!(rs.encode_object(&[]).is_err());
+    }
+
+    #[test]
+    fn cauchy_construction_is_mds_too() {
+        let params = CodingParams::new(4, 3).unwrap();
+        let rs = ReedSolomon::with_matrix_kind(params, MatrixKind::Cauchy).unwrap();
+        let data = sample_data(4, 16);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        let total = params.total_chunks();
+        for mask in 0u32..(1 << total) {
+            if mask.count_ones() as usize != params.data_chunks() {
+                continue;
+            }
+            let mut shards: Vec<Option<Vec<u8>>> = (0..total)
+                .map(|i| (mask & (1 << i) != 0).then(|| full[i].clone()))
+                .collect();
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, shard) in shards.iter().enumerate() {
+                assert_eq!(shard.as_ref().unwrap(), &full[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn systematic_top_block_is_identity() {
+        for kind in [MatrixKind::Vandermonde, MatrixKind::Cauchy] {
+            let rs =
+                ReedSolomon::with_matrix_kind(CodingParams::new(9, 3).unwrap(), kind).unwrap();
+            let top = rs
+                .encoding_matrix()
+                .select_rows(&(0..9).collect::<Vec<_>>())
+                .unwrap();
+            assert!(top.is_identity(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let rs = ReedSolomon::new(CodingParams::new(6, 2).unwrap()).unwrap();
+        let data = sample_data(6, 100);
+        assert_eq!(rs.encode(&data).unwrap(), rs.encode(&data).unwrap());
+    }
+
+    #[test]
+    fn paper_configuration_rs_9_3() {
+        let rs = ReedSolomon::new(CodingParams::paper_default()).unwrap();
+        // 1 MB object, like the paper's workload.
+        let object: Vec<u8> = (0..1_000_000).map(|i| (i % 241) as u8).collect();
+        let shards = rs.encode_object(&object).unwrap();
+        assert_eq!(shards.len(), 12);
+        assert_eq!(shards[0].len(), 111_112);
+        // Lose an entire "region" worth of chunks (2) plus one more.
+        let mut opts: Vec<Option<Bytes>> = shards.into_iter().map(Some).collect();
+        opts[1] = None;
+        opts[7] = None;
+        opts[10] = None;
+        let back = rs.reconstruct_object(&opts, object.len()).unwrap();
+        assert_eq!(back.as_ref(), object.as_slice());
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the erasure-coding substrate: field axioms,
+//! matrix algebra and the MDS reconstruction invariant.
+
+use agar_ec::gf256::{mul_add_slice, mul_slice, Gf256};
+use agar_ec::matrix::Matrix;
+use agar_ec::{CodingParams, MatrixKind, ReedSolomon};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn gf() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+fn nonzero_gf() -> impl Strategy<Value = Gf256> {
+    (1u8..=255).prop_map(Gf256::new)
+}
+
+proptest! {
+    #[test]
+    fn gf_addition_commutative(a in gf(), b in gf()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn gf_addition_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn gf_multiplication_commutative(a in gf(), b in gf()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn gf_multiplication_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn gf_distributive(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn gf_division_inverts_multiplication(a in gf(), b in nonzero_gf()) {
+        prop_assert_eq!((a * b) / b, a);
+        prop_assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    fn gf_inverse_is_involutive(a in nonzero_gf()) {
+        prop_assert_eq!(a.inverse().inverse(), a);
+        prop_assert_eq!(a * a.inverse(), Gf256::ONE);
+    }
+
+    #[test]
+    fn gf_pow_adds_exponents(a in nonzero_gf(), e1 in 0usize..300, e2 in 0usize..300) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn mul_slice_matches_elementwise(
+        src in vec(any::<u8>(), 1..64),
+        c in any::<u8>(),
+    ) {
+        let mut dst = vec![0u8; src.len()];
+        mul_slice(&mut dst, &src, c);
+        for (d, s) in dst.iter().zip(&src) {
+            prop_assert_eq!(Gf256::new(*d), Gf256::new(*s) * Gf256::new(c));
+        }
+    }
+
+    #[test]
+    fn mul_add_slice_matches_elementwise(
+        src in vec(any::<u8>(), 1..64),
+        c in any::<u8>(),
+    ) {
+        let init = vec![0xA5u8; src.len()];
+        let mut dst = init.clone();
+        mul_add_slice(&mut dst, &src, c);
+        for ((d, s), i) in dst.iter().zip(&src).zip(&init) {
+            prop_assert_eq!(
+                Gf256::new(*d),
+                Gf256::new(*i) + Gf256::new(*s) * Gf256::new(c)
+            );
+        }
+    }
+}
+
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    vec(any::<u8>(), n * n).prop_map(move |data| Matrix::from_vec(n, n, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matrix_inverse_roundtrips(m in square_matrix(4)) {
+        // Not all random matrices are invertible; only check those that are.
+        if let Ok(inv) = m.inverted() {
+            prop_assert!(m.multiply(&inv).unwrap().is_identity());
+            prop_assert!(inv.multiply(&m).unwrap().is_identity());
+        }
+    }
+
+    #[test]
+    fn matrix_multiply_associative(
+        a in square_matrix(3),
+        b in square_matrix(3),
+        c in square_matrix(3),
+    ) {
+        let left = a.multiply(&b).unwrap().multiply(&c).unwrap();
+        let right = a.multiply(&b.multiply(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_neutral(m in square_matrix(5)) {
+        let id = Matrix::identity(5).unwrap();
+        prop_assert_eq!(m.multiply(&id).unwrap(), m.clone());
+        prop_assert_eq!(id.multiply(&m).unwrap(), m);
+    }
+}
+
+/// Strategy producing (k, m, shard_len, missing-set) with k+m <= 12.
+fn code_scenario() -> impl Strategy<Value = (usize, usize, usize, Vec<usize>)> {
+    (1usize..=8, 1usize..=4, 1usize..=48).prop_flat_map(|(k, m, len)| {
+        let total = k + m;
+        // Pick up to m shards to erase.
+        vec(0usize..total, 0..=m).prop_map(move |missing| (k, m, len, missing))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mds_any_m_erasures_recoverable(
+        (k, m, len, missing) in code_scenario(),
+        seed in any::<u64>(),
+    ) {
+        let params = CodingParams::new(k, m).unwrap();
+        for kind in [MatrixKind::Vandermonde, MatrixKind::Cauchy] {
+            let rs = ReedSolomon::with_matrix_kind(params, kind).unwrap();
+            let data: Vec<Vec<u8>> = (0..k)
+                .map(|i| {
+                    (0..len)
+                        .map(|j| (seed ^ (i as u64 * 7919) ^ (j as u64 * 104729)) as u8)
+                        .collect()
+                })
+                .collect();
+            let parity = rs.encode(&data).unwrap();
+            let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+            prop_assert!(rs.verify(&full).unwrap());
+
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            for &i in &missing {
+                shards[i] = None;
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, shard) in shards.iter().enumerate() {
+                prop_assert_eq!(shard.as_ref().unwrap(), &full[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn object_roundtrip_arbitrary_sizes(
+        object in vec(any::<u8>(), 1..4096),
+        k in 2usize..=10,
+        m in 1usize..=4,
+    ) {
+        let params = CodingParams::new(k, m).unwrap();
+        let rs = ReedSolomon::new(params).unwrap();
+        let shards = rs.encode_object(&object).unwrap();
+        prop_assert_eq!(shards.len(), k + m);
+
+        // Erase the last m shards (worst case for systematic layout is
+        // erasing data shards, covered above; here exercise size-trim).
+        let mut opts: Vec<Option<bytes::Bytes>> = shards.into_iter().map(Some).collect();
+        for slot in opts.iter_mut().take(m) {
+            *slot = None;
+        }
+        let back = rs.reconstruct_object(&opts, object.len()).unwrap();
+        prop_assert_eq!(back.as_ref(), object.as_slice());
+    }
+}

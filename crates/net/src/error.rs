@@ -1,0 +1,75 @@
+//! Error type for the networking/simulation substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the `agar-net` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A latency matrix was empty, ragged, or contained invalid entries.
+    InvalidMatrix {
+        /// Number of rows provided.
+        rows: usize,
+        /// Number of columns in the first row.
+        cols: usize,
+    },
+    /// A region name or id did not exist in the topology.
+    UnknownRegion {
+        /// The offending name or rendered id.
+        name: String,
+    },
+    /// The latency matrix and topology disagree on the number of regions.
+    TopologyMismatch {
+        /// Regions in the topology.
+        topology: usize,
+        /// Regions covered by the matrix.
+        matrix: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidMatrix { rows, cols } => {
+                write!(f, "invalid latency matrix of shape {rows}x{cols}")
+            }
+            NetError::UnknownRegion { name } => write!(f, "unknown region {name:?}"),
+            NetError::TopologyMismatch { topology, matrix } => write!(
+                f,
+                "topology has {topology} regions but the latency matrix covers {matrix}"
+            ),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NetError::InvalidMatrix { rows: 2, cols: 3 }
+            .to_string()
+            .contains("2x3"));
+        assert!(NetError::UnknownRegion {
+            name: "Mars".into()
+        }
+        .to_string()
+        .contains("Mars"));
+        assert!(NetError::TopologyMismatch {
+            topology: 6,
+            matrix: 5
+        }
+        .to_string()
+        .contains("6"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<NetError>();
+    }
+}

@@ -1,0 +1,386 @@
+//! Latency models for wide-area chunk fetches.
+//!
+//! The Agar algorithm consumes *observed* per-region chunk-read latencies;
+//! everything else in the system only needs a way to sample "how long does
+//! it take a client in region A to fetch `n` bytes from the store in
+//! region B". A [`LatencyModel`] provides exactly that, with a
+//! deterministic mean (for analysis and option generation) and a jittered
+//! sample (for simulation).
+
+use crate::error::NetError;
+use crate::region::RegionId;
+use rand::RngCore;
+use std::time::Duration;
+
+/// A source of wide-area fetch latencies.
+///
+/// Implementations must be cheap to call: the simulator samples once per
+/// chunk fetch.
+pub trait LatencyModel: Send + Sync {
+    /// Mean latency for a client in `from` to fetch `bytes` bytes from
+    /// the storage service in `to`.
+    fn mean(&self, from: RegionId, to: RegionId, bytes: usize) -> Duration;
+
+    /// A randomised latency sample for one fetch.
+    ///
+    /// The default implementation returns the mean (no jitter).
+    fn sample(
+        &self,
+        from: RegionId,
+        to: RegionId,
+        bytes: usize,
+        rng: &mut dyn RngCore,
+    ) -> Duration {
+        let _ = rng;
+        self.mean(from, to, bytes)
+    }
+}
+
+/// The same fixed latency between every pair of regions — handy for unit
+/// tests and microbenchmarks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConstantLatency(Duration);
+
+impl ConstantLatency {
+    /// Creates a model that always returns `latency`.
+    pub fn new(latency: Duration) -> Self {
+        ConstantLatency(latency)
+    }
+}
+
+impl LatencyModel for ConstantLatency {
+    fn mean(&self, _from: RegionId, _to: RegionId, _bytes: usize) -> Duration {
+        self.0
+    }
+}
+
+/// Multiplicative noise applied to sampled latencies.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum Jitter {
+    /// No noise; samples equal the mean.
+    #[default]
+    None,
+    /// Uniform noise in `[1 - fraction, 1 + fraction]`.
+    Uniform {
+        /// Half-width of the relative noise band (e.g. `0.1` for ±10%).
+        fraction: f64,
+    },
+    /// Mean-preserving log-normal noise, the classic model for WAN
+    /// latency tails.
+    LogNormal {
+        /// Standard deviation of the underlying normal distribution.
+        sigma: f64,
+    },
+}
+
+/// Draws a standard normal variate via the Box-Muller transform.
+///
+/// `rand` deliberately ships without distributions; this is the only
+/// normal sampling the workspace needs.
+pub fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    loop {
+        // Uniform in (0, 1]: avoid ln(0).
+        let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+        let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let r = (-2.0 * u1.ln()).sqrt();
+        let z = r * (std::f64::consts::TAU * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+impl Jitter {
+    /// Applies the noise to a mean value in milliseconds.
+    pub fn apply(self, mean_millis: f64, rng: &mut dyn RngCore) -> f64 {
+        match self {
+            Jitter::None => mean_millis,
+            Jitter::Uniform { fraction } => {
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                mean_millis * (1.0 - fraction + 2.0 * fraction * u)
+            }
+            Jitter::LogNormal { sigma } => {
+                let z = standard_normal(rng);
+                // exp(σz − σ²/2) has mean 1, so samples stay centred on
+                // the configured matrix entry.
+                mean_millis * (sigma * z - sigma * sigma / 2.0).exp()
+            }
+        }
+    }
+}
+
+/// Latency derived from a per-region-pair matrix of chunk-read times.
+///
+/// Matrix entry `[from][to]` is the *total* observed latency, in
+/// milliseconds, for a client in `from` to read one nominal-size chunk
+/// from the store in `to` — exactly what the paper's region manager
+/// estimates (Table I). A configurable fraction of that total is treated
+/// as size-proportional transfer time so that fetches of other sizes
+/// scale sensibly.
+///
+/// # Examples
+///
+/// ```
+/// use agar_net::{MatrixLatency, RegionId};
+/// use agar_net::latency::LatencyModel;
+///
+/// let model = MatrixLatency::from_millis(vec![
+///     vec![10.0, 100.0],
+///     vec![100.0, 10.0],
+/// ])?;
+/// let near = model.mean(RegionId::new(0), RegionId::new(0), model.nominal_bytes());
+/// let far = model.mean(RegionId::new(0), RegionId::new(1), model.nominal_bytes());
+/// assert!(far > near);
+/// # Ok::<(), agar_net::NetError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct MatrixLatency {
+    millis: Vec<Vec<f64>>,
+    nominal_bytes: usize,
+    transfer_fraction: f64,
+    jitter: Jitter,
+}
+
+impl MatrixLatency {
+    /// Default nominal chunk size the matrix is calibrated at: a 1 MB
+    /// object split into 9 data chunks, as in the paper.
+    pub const DEFAULT_NOMINAL_BYTES: usize = 1_000_000usize.div_ceil(9);
+
+    /// Creates a model from a square matrix of per-chunk latencies in
+    /// milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidMatrix`] if the matrix is empty,
+    /// ragged, or contains non-finite/negative entries.
+    pub fn from_millis(millis: Vec<Vec<f64>>) -> Result<Self, NetError> {
+        let n = millis.len();
+        if n == 0
+            || millis.iter().any(|row| row.len() != n)
+            || millis
+                .iter()
+                .flatten()
+                .any(|v| !v.is_finite() || *v < 0.0)
+        {
+            return Err(NetError::InvalidMatrix {
+                rows: n,
+                cols: millis.first().map_or(0, Vec::len),
+            });
+        }
+        Ok(MatrixLatency {
+            millis,
+            nominal_bytes: Self::DEFAULT_NOMINAL_BYTES,
+            transfer_fraction: 0.4,
+            jitter: Jitter::None,
+        })
+    }
+
+    /// Sets the jitter applied to samples. Returns `self` for chaining.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: Jitter) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the nominal chunk size the matrix entries are calibrated at.
+    #[must_use]
+    pub fn with_nominal_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "nominal chunk size must be positive");
+        self.nominal_bytes = bytes;
+        self
+    }
+
+    /// Sets the fraction of each entry that scales with transfer size
+    /// (the rest is fixed round-trip overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_transfer_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "transfer fraction must be within [0, 1]"
+        );
+        self.transfer_fraction = fraction;
+        self
+    }
+
+    /// Number of regions the matrix covers.
+    pub fn regions(&self) -> usize {
+        self.millis.len()
+    }
+
+    /// The nominal chunk size entries are calibrated at.
+    pub fn nominal_bytes(&self) -> usize {
+        self.nominal_bytes
+    }
+
+    /// The configured jitter.
+    pub fn jitter(&self) -> Jitter {
+        self.jitter
+    }
+
+    fn mean_millis(&self, from: RegionId, to: RegionId, bytes: usize) -> f64 {
+        let entry = self.millis[from.index()][to.index()];
+        let fixed = entry * (1.0 - self.transfer_fraction);
+        let variable =
+            entry * self.transfer_fraction * (bytes as f64 / self.nominal_bytes as f64);
+        fixed + variable
+    }
+}
+
+impl LatencyModel for MatrixLatency {
+    /// # Panics
+    ///
+    /// Panics if either region index is outside the matrix.
+    fn mean(&self, from: RegionId, to: RegionId, bytes: usize) -> Duration {
+        Duration::from_secs_f64(self.mean_millis(from, to, bytes) / 1_000.0)
+    }
+
+    fn sample(
+        &self,
+        from: RegionId,
+        to: RegionId,
+        bytes: usize,
+        rng: &mut dyn RngCore,
+    ) -> Duration {
+        let jittered = self
+            .jitter
+            .apply(self.mean_millis(from, to, bytes), rng)
+            .max(0.0);
+        Duration::from_secs_f64(jittered / 1_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_matrix() -> MatrixLatency {
+        MatrixLatency::from_millis(vec![vec![10.0, 100.0], vec![100.0, 10.0]]).unwrap()
+    }
+
+    #[test]
+    fn constant_latency_ignores_everything() {
+        let m = ConstantLatency::new(Duration::from_millis(5));
+        let a = RegionId::new(0);
+        let b = RegionId::new(7);
+        assert_eq!(m.mean(a, b, 1), Duration::from_millis(5));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.sample(a, b, 123, &mut rng), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn matrix_validation() {
+        assert!(matches!(
+            MatrixLatency::from_millis(vec![]),
+            Err(NetError::InvalidMatrix { .. })
+        ));
+        assert!(matches!(
+            MatrixLatency::from_millis(vec![vec![1.0], vec![1.0]]),
+            Err(NetError::InvalidMatrix { .. })
+        ));
+        assert!(matches!(
+            MatrixLatency::from_millis(vec![vec![1.0, 2.0], vec![f64::NAN, 1.0]]),
+            Err(NetError::InvalidMatrix { .. })
+        ));
+        assert!(matches!(
+            MatrixLatency::from_millis(vec![vec![-1.0]]),
+            Err(NetError::InvalidMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn mean_at_nominal_size_matches_entry() {
+        let m = sample_matrix();
+        let d = m.mean(RegionId::new(0), RegionId::new(1), m.nominal_bytes());
+        assert!((d.as_secs_f64() - 0.1).abs() < 1e-9, "{d:?}");
+    }
+
+    #[test]
+    fn mean_scales_with_bytes() {
+        let m = sample_matrix().with_transfer_fraction(0.5);
+        let a = RegionId::new(0);
+        let b = RegionId::new(1);
+        let nominal = m.mean(a, b, m.nominal_bytes()).as_secs_f64();
+        let double = m.mean(a, b, 2 * m.nominal_bytes()).as_secs_f64();
+        let tiny = m.mean(a, b, 0).as_secs_f64();
+        // Fixed half stays, variable half doubles / disappears.
+        assert!((double - nominal * 1.5).abs() < 1e-9);
+        assert!((tiny - nominal * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_transfer_fraction_is_size_independent() {
+        let m = sample_matrix().with_transfer_fraction(0.0);
+        let a = RegionId::new(0);
+        let b = RegionId::new(1);
+        assert_eq!(m.mean(a, b, 1), m.mean(a, b, 10_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn transfer_fraction_validated() {
+        let _ = sample_matrix().with_transfer_fraction(1.5);
+    }
+
+    #[test]
+    fn uniform_jitter_stays_in_band() {
+        let m = sample_matrix().with_jitter(Jitter::Uniform { fraction: 0.1 });
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = RegionId::new(0);
+        let b = RegionId::new(1);
+        let mean = m.mean(a, b, m.nominal_bytes()).as_secs_f64();
+        for _ in 0..500 {
+            let s = m.sample(a, b, m.nominal_bytes(), &mut rng).as_secs_f64();
+            assert!(s >= mean * 0.9 - 1e-9 && s <= mean * 1.1 + 1e-9, "sample {s}");
+        }
+    }
+
+    #[test]
+    fn lognormal_jitter_is_mean_preserving() {
+        let m = sample_matrix().with_jitter(Jitter::LogNormal { sigma: 0.2 });
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = RegionId::new(0);
+        let b = RegionId::new(1);
+        let mean = m.mean(a, b, m.nominal_bytes()).as_secs_f64();
+        let n = 20_000;
+        let sum: f64 = (0..n)
+            .map(|_| m.sample(a, b, m.nominal_bytes(), &mut rng).as_secs_f64())
+            .sum();
+        let avg = sum / n as f64;
+        assert!(
+            (avg - mean).abs() / mean < 0.02,
+            "avg {avg} vs mean {mean} drifted"
+        );
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let m = sample_matrix().with_jitter(Jitter::LogNormal { sigma: 0.3 });
+        let a = RegionId::new(0);
+        let b = RegionId::new(1);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10)
+                .map(|_| m.sample(a, b, 100, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Calibrated deployment presets.
+//!
+//! The paper evaluates Agar on six AWS regions (Figure 1). The
+//! reproduction cannot measure real WAN latencies, so
+//! [`aws_six_regions`] ships a latency matrix *calibrated to reproduce
+//! the measured curve shapes in the paper's Figure 2*:
+//!
+//! - From **Frankfurt**, caching up to 3 chunks barely helps (the next
+//!   regions are nearly as slow as the slowest), then latency falls off a
+//!   cliff at 5–7 chunks, and 7 ≈ 9 chunks.
+//! - From **Sydney**, 3 cached chunks already help a lot (Europe and
+//!   São Paulo are all far), and the curve flattens from 5 on.
+//!
+//! Matrix entry `[client][source]` is the full observed latency, in
+//! milliseconds, for one nominal chunk read (1 MB / 9 ≈ 111 KiB,
+//! including request overhead) — the quantity the paper's region manager
+//! estimates and Table I reports. A [`paper_table_one`] preset with the
+//! paper's illustrative Table I numbers is also provided; note the paper's
+//! own measured Figure 2 is inconsistent with its illustrative Table I, so
+//! the calibrated preset is the default everywhere.
+
+use crate::latency::{Jitter, MatrixLatency};
+use crate::region::{RegionId, Topology};
+use std::time::Duration;
+
+/// Index of Frankfurt in the six-region presets.
+pub const FRANKFURT: RegionId = RegionId::new(0);
+/// Index of Dublin in the six-region presets.
+pub const DUBLIN: RegionId = RegionId::new(1);
+/// Index of N. Virginia in the six-region presets.
+pub const N_VIRGINIA: RegionId = RegionId::new(2);
+/// Index of São Paulo in the six-region presets.
+pub const SAO_PAULO: RegionId = RegionId::new(3);
+/// Index of Tokyo in the six-region presets.
+pub const TOKYO: RegionId = RegionId::new(4);
+/// Index of Sydney in the six-region presets.
+pub const SYDNEY: RegionId = RegionId::new(5);
+
+/// The six region names, in preset id order.
+pub const SIX_REGION_NAMES: [&str; 6] = [
+    "Frankfurt",
+    "Dublin",
+    "N. Virginia",
+    "Sao Paulo",
+    "Tokyo",
+    "Sydney",
+];
+
+/// A fully-parameterised geo deployment: topology, WAN latency model and
+/// the client-side constants the simulation needs.
+#[derive(Clone, Debug)]
+pub struct GeoPreset {
+    /// The regions the deployment spans.
+    pub topology: Topology,
+    /// Per-chunk-read WAN latency model.
+    pub latency: MatrixLatency,
+    /// Latency for reading one chunk from the *local* in-region cache
+    /// (memcached in the paper).
+    pub cache_read: Duration,
+    /// Fixed client-side overhead per object read (decode, request
+    /// handling; the paper's YCSB client measures whole-object reads).
+    pub client_overhead: Duration,
+}
+
+impl GeoPreset {
+    /// Convenience: region id by preset name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is not in the topology (preset names are
+    /// compile-time constants, so a miss is a programming error).
+    pub fn region(&self, name: &str) -> RegionId {
+        self.topology
+            .by_name(name)
+            .unwrap_or_else(|| panic!("region {name:?} not in preset topology"))
+    }
+}
+
+/// The calibrated six-region AWS deployment used by all experiments.
+///
+/// See the module docs for the calibration rationale. Jitter defaults to
+/// mean-preserving log-normal with σ = 0.05 — enough noise that averages
+/// over 1 000 reads resemble measured data, small enough not to change
+/// any ordering.
+pub fn aws_six_regions() -> GeoPreset {
+    // Row = client region, column = source region, entries in ms for one
+    // nominal (111 KiB) chunk read including request overhead.
+    let millis: Vec<Vec<f64>> = vec![
+        //        FRA     DUB     NVA     SAO     TYO     SYD
+        /*FRA*/ vec![50.0, 280.0, 760.0, 860.0, 1000.0, 1050.0],
+        /*DUB*/ vec![280.0, 50.0, 700.0, 820.0, 1050.0, 1100.0],
+        /*NVA*/ vec![760.0, 700.0, 50.0, 600.0, 900.0, 950.0],
+        /*SAO*/ vec![860.0, 820.0, 600.0, 50.0, 1200.0, 1250.0],
+        /*TYO*/ vec![1000.0, 1050.0, 900.0, 1200.0, 50.0, 250.0],
+        /*SYD*/ vec![1000.0, 1050.0, 600.0, 1150.0, 250.0, 150.0],
+    ];
+    GeoPreset {
+        topology: Topology::from_names(SIX_REGION_NAMES),
+        latency: MatrixLatency::from_millis(millis)
+            .expect("preset matrix is square and finite")
+            .with_jitter(Jitter::LogNormal { sigma: 0.05 }),
+        cache_read: Duration::from_millis(40),
+        client_overhead: Duration::from_millis(100),
+    }
+}
+
+/// The paper's illustrative Table I latencies (as seen from Frankfurt),
+/// extended to a plausible full matrix.
+///
+/// Only the Frankfurt row is given in the paper; the other rows are
+/// derived by symmetry and geography. Useful for unit tests that want to
+/// recompute the §IV worked example (e.g. a weight-1 caching option for
+/// Frankfurt is worth 2 000 ms: Tokyo 3 400 − São Paulo 1 400).
+pub fn paper_table_one() -> GeoPreset {
+    let millis: Vec<Vec<f64>> = vec![
+        //        FRA      DUB      NVA      SAO      TYO      SYD
+        /*FRA*/ vec![80.0, 200.0, 600.0, 1400.0, 3400.0, 4600.0],
+        /*DUB*/ vec![200.0, 80.0, 500.0, 1300.0, 3600.0, 4700.0],
+        /*NVA*/ vec![600.0, 500.0, 80.0, 900.0, 2800.0, 3900.0],
+        /*SAO*/ vec![1400.0, 1300.0, 900.0, 80.0, 4200.0, 4500.0],
+        /*TYO*/ vec![3400.0, 3600.0, 2800.0, 4200.0, 80.0, 1200.0],
+        /*SYD*/ vec![4600.0, 4700.0, 3900.0, 4500.0, 1200.0, 80.0],
+    ];
+    GeoPreset {
+        topology: Topology::from_names(SIX_REGION_NAMES),
+        latency: MatrixLatency::from_millis(millis)
+            .expect("preset matrix is square and finite"),
+        cache_read: Duration::from_millis(40),
+        client_overhead: Duration::from_millis(100),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+
+    #[test]
+    fn six_regions_present_in_order() {
+        let preset = aws_six_regions();
+        assert_eq!(preset.topology.len(), 6);
+        assert_eq!(preset.region("Frankfurt"), FRANKFURT);
+        assert_eq!(preset.region("Sydney"), SYDNEY);
+        assert_eq!(preset.latency.regions(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in preset topology")]
+    fn unknown_region_panics() {
+        aws_six_regions().region("Atlantis");
+    }
+
+    #[test]
+    fn local_reads_are_fastest_per_row() {
+        for preset in [aws_six_regions(), paper_table_one()] {
+            let nominal = preset.latency.nominal_bytes();
+            for client in preset.topology.ids() {
+                let local = preset.latency.mean(client, client, nominal);
+                for source in preset.topology.ids() {
+                    if source != client {
+                        assert!(
+                            preset.latency.mean(client, source, nominal) >= local,
+                            "client {client} source {source}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_is_faster_than_any_backend_read() {
+        let preset = aws_six_regions();
+        let nominal = preset.latency.nominal_bytes();
+        for client in preset.topology.ids() {
+            for source in preset.topology.ids() {
+                assert!(preset.latency.mean(client, source, nominal) > preset.cache_read);
+            }
+        }
+    }
+
+    #[test]
+    fn frankfurt_ordering_matches_calibration_story() {
+        // From Frankfurt the three slowest sources are Sydney, Tokyo and
+        // São Paulo with a small spread (flat Fig. 2 start), and Dublin is
+        // dramatically closer (the cliff).
+        let preset = aws_six_regions();
+        let nominal = preset.latency.nominal_bytes();
+        let ms = |to: RegionId| {
+            preset
+                .latency
+                .mean(FRANKFURT, to, nominal)
+                .as_secs_f64()
+                * 1_000.0
+        };
+        assert!(ms(SYDNEY) > ms(TOKYO));
+        assert!(ms(TOKYO) > ms(SAO_PAULO));
+        assert!(ms(SAO_PAULO) > ms(N_VIRGINIA));
+        // The flat part: slowest three within ~25% of each other.
+        assert!(ms(SAO_PAULO) / ms(SYDNEY) > 0.75);
+        // The cliff: Dublin under half of N. Virginia.
+        assert!(ms(DUBLIN) < ms(N_VIRGINIA) / 2.0);
+    }
+
+    #[test]
+    fn sydney_benefits_early_story() {
+        // From Sydney, the third-slowest source is still ≥ ~2x the
+        // fourth-slowest, so caching 3 chunks already removes a large
+        // latency step (Fig. 2's Sydney curve).
+        let preset = aws_six_regions();
+        let nominal = preset.latency.nominal_bytes();
+        let mut sorted: Vec<f64> = preset
+            .topology
+            .ids()
+            .map(|to| preset.latency.mean(SYDNEY, to, nominal).as_secs_f64())
+            .collect();
+        sorted.sort_by(f64::total_cmp);
+        // sorted[5] is slowest; after discarding m=3 (slowest 3 entries'
+        // worth of chunks) the relevant step is sorted[3] vs sorted[2].
+        assert!(sorted[3] / sorted[2] > 1.5);
+    }
+
+    #[test]
+    fn table_one_frankfurt_row_matches_paper() {
+        let preset = paper_table_one();
+        let nominal = preset.latency.nominal_bytes();
+        let expect = [80.0, 200.0, 600.0, 1400.0, 3400.0, 4600.0];
+        for (i, want) in expect.iter().enumerate() {
+            let got = preset
+                .latency
+                .mean(FRANKFURT, RegionId::new(i as u16), nominal)
+                .as_secs_f64()
+                * 1_000.0;
+            assert!((got - want).abs() < 1e-6, "col {i}: {got} vs {want}");
+        }
+    }
+}

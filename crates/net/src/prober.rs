@@ -1,0 +1,195 @@
+//! Latency probing.
+//!
+//! Agar's region manager "periodically measures how much it takes to read
+//! a data chunk from each region" (§III-a). The [`Prober`] performs that
+//! warm-up measurement against any [`LatencyModel`] and aggregates the
+//! samples into a [`LatencyEstimate`].
+
+use crate::latency::LatencyModel;
+use crate::region::RegionId;
+use rand::RngCore;
+use std::time::Duration;
+
+/// Aggregated latency observations for one (client, source) region pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LatencyEstimate {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+}
+
+impl LatencyEstimate {
+    /// Builds an estimate from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        assert!(!samples.is_empty(), "latency estimate needs at least one sample");
+        let total: Duration = samples.iter().sum();
+        LatencyEstimate {
+            mean: total / samples.len() as u32,
+            min: *samples.iter().min().expect("non-empty"),
+            max: *samples.iter().max().expect("non-empty"),
+            samples: samples.len(),
+        }
+    }
+
+    /// Mean observed latency.
+    pub fn mean(&self) -> Duration {
+        self.mean
+    }
+
+    /// Fastest observed sample.
+    pub fn min(&self) -> Duration {
+        self.min
+    }
+
+    /// Slowest observed sample.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// Number of samples aggregated.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+}
+
+impl std::fmt::Display for LatencyEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1}ms (min {:.1}, max {:.1}, n={})",
+            self.mean.as_secs_f64() * 1e3,
+            self.min.as_secs_f64() * 1e3,
+            self.max.as_secs_f64() * 1e3,
+            self.samples
+        )
+    }
+}
+
+/// Probes chunk-read latency from a client region to every other region.
+#[derive(Debug, Clone, Copy)]
+pub struct Prober {
+    chunk_bytes: usize,
+    probes_per_region: usize,
+}
+
+impl Prober {
+    /// Creates a prober that fetches `chunk_bytes`-sized probes,
+    /// `probes_per_region` times per region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probes_per_region` is zero.
+    pub fn new(chunk_bytes: usize, probes_per_region: usize) -> Self {
+        assert!(probes_per_region > 0, "need at least one probe per region");
+        Prober {
+            chunk_bytes,
+            probes_per_region,
+        }
+    }
+
+    /// Probes a single (client, source) pair.
+    pub fn probe(
+        &self,
+        model: &dyn LatencyModel,
+        from: RegionId,
+        to: RegionId,
+        rng: &mut dyn RngCore,
+    ) -> LatencyEstimate {
+        let samples: Vec<Duration> = (0..self.probes_per_region)
+            .map(|_| model.sample(from, to, self.chunk_bytes, rng))
+            .collect();
+        LatencyEstimate::from_samples(&samples)
+    }
+
+    /// Probes every region in `0..regions` from the client region,
+    /// returning estimates indexed by region id.
+    pub fn probe_all(
+        &self,
+        model: &dyn LatencyModel,
+        from: RegionId,
+        regions: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<LatencyEstimate> {
+        (0..regions)
+            .map(|to| self.probe(model, from, RegionId::new(to as u16), rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{ConstantLatency, Jitter, MatrixLatency};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimate_from_samples_aggregates() {
+        let est = LatencyEstimate::from_samples(&[
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ]);
+        assert_eq!(est.mean(), Duration::from_millis(20));
+        assert_eq!(est.min(), Duration::from_millis(10));
+        assert_eq!(est.max(), Duration::from_millis(30));
+        assert_eq!(est.samples(), 3);
+        assert!(est.to_string().contains("20.0ms"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = LatencyEstimate::from_samples(&[]);
+    }
+
+    #[test]
+    fn probing_constant_model_is_exact() {
+        let model = ConstantLatency::new(Duration::from_millis(7));
+        let prober = Prober::new(1024, 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let est = prober.probe(&model, RegionId::new(0), RegionId::new(1), &mut rng);
+        assert_eq!(est.mean(), Duration::from_millis(7));
+        assert_eq!(est.min(), est.max());
+    }
+
+    #[test]
+    fn probe_all_covers_every_region() {
+        let model = MatrixLatency::from_millis(vec![
+            vec![10.0, 50.0, 90.0],
+            vec![50.0, 10.0, 70.0],
+            vec![90.0, 70.0, 10.0],
+        ])
+        .unwrap();
+        let prober = Prober::new(model.nominal_bytes(), 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ests = prober.probe_all(&model, RegionId::new(0), 3, &mut rng);
+        assert_eq!(ests.len(), 3);
+        assert!(ests[0].mean() < ests[1].mean());
+        assert!(ests[1].mean() < ests[2].mean());
+    }
+
+    #[test]
+    fn jittered_probes_converge_to_mean() {
+        let model = MatrixLatency::from_millis(vec![vec![100.0]])
+            .unwrap()
+            .with_jitter(Jitter::LogNormal { sigma: 0.1 });
+        let prober = Prober::new(model.nominal_bytes(), 2000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = prober.probe(&model, RegionId::new(0), RegionId::new(0), &mut rng);
+        let mean_ms = est.mean().as_secs_f64() * 1e3;
+        assert!((mean_ms - 100.0).abs() < 2.0, "mean {mean_ms}");
+        assert!(est.min() < est.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn zero_probes_rejected() {
+        let _ = Prober::new(1, 0);
+    }
+}

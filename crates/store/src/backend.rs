@@ -1,0 +1,468 @@
+//! The geo-distributed erasure-coded backend (the paper's Figure 1
+//! substrate): one bucket per region, round-robin chunk placement, and
+//! latency-modelled chunk fetches.
+
+use crate::bucket::Bucket;
+use crate::error::StoreError;
+use crate::manifest::ObjectManifest;
+use crate::placement::PlacementPolicy;
+use agar_ec::{ChunkId, CodingParams, ObjectId, ReedSolomon};
+use agar_net::latency::LatencyModel;
+use agar_net::{RegionId, Topology};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use rand::RngCore;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Result of fetching one chunk from the backend.
+#[derive(Clone, Debug)]
+pub struct ChunkFetch {
+    /// The chunk payload.
+    pub data: Bytes,
+    /// Version of the owning object the chunk encodes.
+    pub version: u64,
+    /// Simulated fetch latency.
+    pub latency: Duration,
+}
+
+/// The multi-region erasure-coded object store.
+///
+/// Thread-safe behind `&self`; clients own their RNGs so all randomness
+/// stays caller-seeded and deterministic.
+pub struct Backend {
+    topology: Topology,
+    latency: Arc<dyn LatencyModel>,
+    params: CodingParams,
+    codec: ReedSolomon,
+    placement: Box<dyn PlacementPolicy>,
+    buckets: Vec<Bucket>,
+    manifests: RwLock<HashMap<ObjectId, ObjectManifest>>,
+}
+
+impl Backend {
+    /// Creates an empty backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Coding`] if the coding parameters are
+    /// rejected by the codec, or [`StoreError::InvalidPlacement`] if the
+    /// topology is empty.
+    pub fn new(
+        topology: Topology,
+        latency: Arc<dyn LatencyModel>,
+        params: CodingParams,
+        placement: Box<dyn PlacementPolicy>,
+    ) -> Result<Self, StoreError> {
+        if topology.is_empty() {
+            return Err(StoreError::InvalidPlacement {
+                what: "topology must have at least one region",
+            });
+        }
+        let codec = ReedSolomon::new(params)?;
+        let buckets = topology.ids().map(Bucket::new).collect();
+        Ok(Backend {
+            topology,
+            latency,
+            params,
+            codec,
+            placement,
+            buckets,
+            manifests: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The deployment topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The erasure-coding parameters.
+    pub fn params(&self) -> CodingParams {
+        self.params
+    }
+
+    /// The shared latency model.
+    pub fn latency_model(&self) -> &Arc<dyn LatencyModel> {
+        &self.latency
+    }
+
+    /// The codec (shared with clients so they can decode).
+    pub fn codec(&self) -> &ReedSolomon {
+        &self.codec
+    }
+
+    fn bucket(&self, region: RegionId) -> Result<&Bucket, StoreError> {
+        self.buckets
+            .get(region.index())
+            .ok_or(StoreError::InvalidPlacement {
+                what: "region outside topology",
+            })
+    }
+
+    /// Encodes and stores an object, creating or bumping its manifest.
+    ///
+    /// The write latency is the maximum over the sampled per-chunk write
+    /// latencies (chunks are written in parallel from `writer_region`).
+    ///
+    /// # Errors
+    ///
+    /// - [`StoreError::RegionUnavailable`] if any placement target is
+    ///   failed (writes require full placement, like S3's durability).
+    /// - [`StoreError::Coding`] for empty payloads.
+    pub fn put_object(
+        &self,
+        writer_region: RegionId,
+        object: ObjectId,
+        data: &[u8],
+        rng: &mut dyn RngCore,
+    ) -> Result<(u64, Duration), StoreError> {
+        let shards = self.codec.encode_object(data)?;
+        let total = self.params.total_chunks();
+        let locations = self
+            .placement
+            .place(object, total, self.topology.len());
+        if locations.len() != total {
+            return Err(StoreError::InvalidPlacement {
+                what: "placement did not cover every chunk",
+            });
+        }
+        for &region in &locations {
+            if !self.bucket(region)?.is_available() {
+                return Err(StoreError::RegionUnavailable { region });
+            }
+        }
+
+        // Determine the new version under the manifest lock.
+        let version = {
+            let mut manifests = self.manifests.write();
+            match manifests.get_mut(&object) {
+                Some(manifest) => {
+                    manifest.bump_version();
+                    manifest.version()
+                }
+                None => {
+                    let manifest = ObjectManifest::new(
+                        object,
+                        data.len(),
+                        1,
+                        self.params,
+                        locations.clone(),
+                    );
+                    let v = manifest.version();
+                    manifests.insert(object, manifest);
+                    v
+                }
+            }
+        };
+
+        let mut worst = Duration::ZERO;
+        for (i, (shard, &region)) in shards.iter().zip(&locations).enumerate() {
+            let id = ChunkId::new(object, i as u8);
+            self.bucket(region)?.put(id, shard.clone(), version);
+            let latency = self
+                .latency
+                .sample(writer_region, region, shard.len(), rng);
+            worst = worst.max(latency);
+        }
+        Ok((version, worst))
+    }
+
+    /// Returns a copy of the object's manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::UnknownObject`] if the object was never
+    /// written.
+    pub fn manifest(&self, object: ObjectId) -> Result<ObjectManifest, StoreError> {
+        self.manifests
+            .read()
+            .get(&object)
+            .cloned()
+            .ok_or(StoreError::UnknownObject { object })
+    }
+
+    /// Fetches one chunk on behalf of a client in `client_region`,
+    /// sampling the WAN latency.
+    ///
+    /// # Errors
+    ///
+    /// - [`StoreError::UnknownObject`] / [`StoreError::UnknownChunk`] for
+    ///   missing metadata or data;
+    /// - [`StoreError::RegionUnavailable`] if the hosting region is
+    ///   failed.
+    pub fn fetch_chunk(
+        &self,
+        client_region: RegionId,
+        chunk: ChunkId,
+        rng: &mut dyn RngCore,
+    ) -> Result<ChunkFetch, StoreError> {
+        let manifest = self.manifest(chunk.object())?;
+        let region = manifest.location(chunk.index().value() as usize);
+        let bucket = self.bucket(region)?;
+        if !bucket.is_available() {
+            return Err(StoreError::RegionUnavailable { region });
+        }
+        let stored = bucket
+            .get(&chunk)
+            .ok_or(StoreError::UnknownChunk { chunk, region })?;
+        let latency = self
+            .latency
+            .sample(client_region, region, stored.data.len(), rng);
+        Ok(ChunkFetch {
+            data: stored.data,
+            version: stored.version,
+            latency,
+        })
+    }
+
+    /// Marks a region failed: every fetch from it errors until healed.
+    pub fn fail_region(&self, region: RegionId) {
+        if let Ok(bucket) = self.bucket(region) {
+            bucket.set_available(false);
+        }
+    }
+
+    /// Heals a previously failed region.
+    pub fn heal_region(&self, region: RegionId) {
+        if let Ok(bucket) = self.bucket(region) {
+            bucket.set_available(true);
+        }
+    }
+
+    /// Whether the region is currently reachable.
+    pub fn is_region_available(&self, region: RegionId) -> bool {
+        self.bucket(region).map(Bucket::is_available).unwrap_or(false)
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.manifests.read().len()
+    }
+
+    /// All stored object ids (sorted, for deterministic iteration).
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.manifests.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Total bytes stored across all buckets (data + parity).
+    pub fn stored_bytes(&self) -> usize {
+        self.buckets.iter().map(Bucket::stored_bytes).sum()
+    }
+
+    /// Per-region stored byte counts (diagnostics).
+    pub fn bytes_per_region(&self) -> Vec<(RegionId, usize)> {
+        self.buckets
+            .iter()
+            .map(|b| (b.region(), b.stored_bytes()))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backend")
+            .field("regions", &self.topology.len())
+            .field("params", &self.params)
+            .field("placement", &self.placement.name())
+            .field("objects", &self.object_count())
+            .field("stored_bytes", &self.stored_bytes())
+            .finish()
+    }
+}
+
+/// Fills a backend with `count` deterministic objects of `size` bytes
+/// each, written from region 0 (population is not part of any timed
+/// experiment).
+///
+/// # Errors
+///
+/// Propagates [`Backend::put_object`] failures.
+pub fn populate(
+    backend: &Backend,
+    count: u64,
+    size: usize,
+    rng: &mut dyn RngCore,
+) -> Result<(), StoreError> {
+    let writer = RegionId::new(0);
+    for i in 0..count {
+        // Cheap deterministic payload; contents only matter for
+        // integrity checks.
+        let data: Vec<u8> = (0..size)
+            .map(|j| (i.wrapping_mul(31).wrapping_add(j as u64 * 7) % 251) as u8)
+            .collect();
+        backend.put_object(writer, ObjectId::new(i), &data, rng)?;
+    }
+    Ok(())
+}
+
+/// Regenerates the deterministic payload `populate` wrote for object `i`
+/// (for integrity assertions in tests and examples).
+pub fn expected_payload(i: u64, size: usize) -> Vec<u8> {
+    (0..size)
+        .map(|j| (i.wrapping_mul(31).wrapping_add(j as u64 * 7) % 251) as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::RoundRobin;
+    use agar_net::ConstantLatency;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_backend(regions: usize) -> Backend {
+        let names: Vec<String> = (0..regions).map(|i| format!("r{i}")).collect();
+        Backend::new(
+            Topology::from_names(names),
+            Arc::new(ConstantLatency::new(Duration::from_millis(10))),
+            CodingParams::new(4, 2).unwrap(),
+            Box::new(RoundRobin),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn put_creates_manifest_and_chunks() {
+        let backend = test_backend(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (version, latency) = backend
+            .put_object(RegionId::new(0), ObjectId::new(1), &[1, 2, 3, 4, 5, 6, 7, 8], &mut rng)
+            .unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(latency, Duration::from_millis(10));
+        let manifest = backend.manifest(ObjectId::new(1)).unwrap();
+        assert_eq!(manifest.size(), 8);
+        assert_eq!(manifest.chunk_size(), 2);
+        assert_eq!(backend.object_count(), 1);
+        // 6 chunks x 2 bytes.
+        assert_eq!(backend.stored_bytes(), 12);
+    }
+
+    #[test]
+    fn rewrites_bump_versions() {
+        let backend = test_backend(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let id = ObjectId::new(0);
+        backend.put_object(RegionId::new(0), id, &[1; 8], &mut rng).unwrap();
+        let (v2, _) = backend.put_object(RegionId::new(0), id, &[2; 8], &mut rng).unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(backend.manifest(id).unwrap().version(), 2);
+        // Chunks carry the new version.
+        let fetch = backend
+            .fetch_chunk(RegionId::new(0), ChunkId::new(id, 0), &mut rng)
+            .unwrap();
+        assert_eq!(fetch.version, 2);
+    }
+
+    #[test]
+    fn fetch_chunk_roundtrip() {
+        let backend = test_backend(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let id = ObjectId::new(5);
+        backend.put_object(RegionId::new(0), id, &[9; 8], &mut rng).unwrap();
+        let fetch = backend
+            .fetch_chunk(RegionId::new(1), ChunkId::new(id, 3), &mut rng)
+            .unwrap();
+        assert_eq!(fetch.data.len(), 2);
+        assert_eq!(fetch.latency, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn unknown_object_and_chunk_errors() {
+        let backend = test_backend(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            backend.manifest(ObjectId::new(9)),
+            Err(StoreError::UnknownObject { .. })
+        ));
+        assert!(matches!(
+            backend.fetch_chunk(RegionId::new(0), ChunkId::new(ObjectId::new(9), 0), &mut rng),
+            Err(StoreError::UnknownObject { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_region_rejects_fetches_and_writes() {
+        let backend = test_backend(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let id = ObjectId::new(0);
+        backend.put_object(RegionId::new(0), id, &[1; 8], &mut rng).unwrap();
+
+        backend.fail_region(RegionId::new(1));
+        assert!(!backend.is_region_available(RegionId::new(1)));
+        // Chunk 1 lives in region 1 under round-robin.
+        assert!(matches!(
+            backend.fetch_chunk(RegionId::new(0), ChunkId::new(id, 1), &mut rng),
+            Err(StoreError::RegionUnavailable { .. })
+        ));
+        // Writes need all target regions.
+        assert!(matches!(
+            backend.put_object(RegionId::new(0), ObjectId::new(2), &[1; 8], &mut rng),
+            Err(StoreError::RegionUnavailable { .. })
+        ));
+
+        backend.heal_region(RegionId::new(1));
+        assert!(backend
+            .fetch_chunk(RegionId::new(0), ChunkId::new(id, 1), &mut rng)
+            .is_ok());
+    }
+
+    #[test]
+    fn populate_writes_expected_payloads() {
+        let backend = test_backend(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        populate(&backend, 5, 64, &mut rng).unwrap();
+        assert_eq!(backend.object_count(), 5);
+        assert_eq!(backend.object_ids().len(), 5);
+        // Reconstruct object 3 from its data chunks and compare.
+        let manifest = backend.manifest(ObjectId::new(3)).unwrap();
+        let mut shards: Vec<Option<Bytes>> = vec![None; 6];
+        for (chunk, _) in manifest.chunk_locations() {
+            let fetch = backend
+                .fetch_chunk(RegionId::new(0), chunk, &mut rng)
+                .unwrap();
+            shards[chunk.index().value() as usize] = Some(fetch.data);
+        }
+        let object = backend
+            .codec()
+            .reconstruct_object(&shards, manifest.size())
+            .unwrap();
+        assert_eq!(object.as_ref(), expected_payload(3, 64).as_slice());
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        let result = Backend::new(
+            Topology::new(),
+            Arc::new(ConstantLatency::new(Duration::ZERO)),
+            CodingParams::new(2, 1).unwrap(),
+            Box::new(RoundRobin),
+        );
+        assert!(matches!(result, Err(StoreError::InvalidPlacement { .. })));
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let backend = test_backend(3);
+        let s = format!("{backend:?}");
+        assert!(s.contains("round-robin"));
+        assert!(s.contains("regions: 3"));
+    }
+
+    #[test]
+    fn bytes_per_region_balances_round_robin() {
+        let backend = test_backend(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        populate(&backend, 6, 60, &mut rng).unwrap();
+        let per_region = backend.bytes_per_region();
+        assert_eq!(per_region.len(), 3);
+        // 6 chunks over 3 regions: 2 chunks/region/object, equal bytes.
+        let first = per_region[0].1;
+        assert!(per_region.iter().all(|&(_, b)| b == first));
+    }
+}

@@ -1,0 +1,145 @@
+//! A per-region chunk bucket — the stand-in for one S3 bucket.
+
+use agar_ec::ChunkId;
+use agar_net::RegionId;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One chunk as stored durably in a bucket.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoredChunk {
+    /// Chunk payload.
+    pub data: Bytes,
+    /// Version of the owning object this chunk was encoded from.
+    pub version: u64,
+}
+
+/// A region's durable chunk store.
+///
+/// Thread-safe: reads and writes take a shared reference, so a
+/// [`crate::Backend`] can be shared across simulated clients.
+#[derive(Debug)]
+pub struct Bucket {
+    region: RegionId,
+    chunks: RwLock<HashMap<ChunkId, StoredChunk>>,
+    available: AtomicBool,
+}
+
+impl Bucket {
+    /// Creates an empty, available bucket for `region`.
+    pub fn new(region: RegionId) -> Self {
+        Bucket {
+            region,
+            chunks: RwLock::new(HashMap::new()),
+            available: AtomicBool::new(true),
+        }
+    }
+
+    /// The region this bucket lives in.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Stores (or overwrites) a chunk.
+    pub fn put(&self, id: ChunkId, data: Bytes, version: u64) {
+        self.chunks
+            .write()
+            .insert(id, StoredChunk { data, version });
+    }
+
+    /// Reads a chunk (no availability check — the backend enforces that).
+    pub fn get(&self, id: &ChunkId) -> Option<StoredChunk> {
+        self.chunks.read().get(id).cloned()
+    }
+
+    /// Whether the chunk exists.
+    pub fn contains(&self, id: &ChunkId) -> bool {
+        self.chunks.read().contains_key(id)
+    }
+
+    /// Removes a chunk, returning it.
+    pub fn remove(&self, id: &ChunkId) -> Option<StoredChunk> {
+        self.chunks.write().remove(id)
+    }
+
+    /// Number of chunks stored.
+    pub fn len(&self) -> usize {
+        self.chunks.read().len()
+    }
+
+    /// Whether the bucket stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.read().is_empty()
+    }
+
+    /// Total payload bytes stored.
+    pub fn stored_bytes(&self) -> usize {
+        self.chunks.read().values().map(|c| c.data.len()).sum()
+    }
+
+    /// Whether the region is reachable (failure injection).
+    pub fn is_available(&self) -> bool {
+        self.available.load(Ordering::Acquire)
+    }
+
+    /// Marks the region reachable or failed.
+    pub fn set_available(&self, available: bool) {
+        self.available.store(available, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agar_ec::ObjectId;
+
+    fn chunk_id(o: u64, i: u8) -> ChunkId {
+        ChunkId::new(ObjectId::new(o), i)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let bucket = Bucket::new(RegionId::new(1));
+        assert_eq!(bucket.region(), RegionId::new(1));
+        bucket.put(chunk_id(0, 0), Bytes::from_static(b"abc"), 7);
+        let stored = bucket.get(&chunk_id(0, 0)).unwrap();
+        assert_eq!(stored.data.as_ref(), b"abc");
+        assert_eq!(stored.version, 7);
+        assert!(bucket.contains(&chunk_id(0, 0)));
+        assert!(!bucket.contains(&chunk_id(0, 1)));
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let bucket = Bucket::new(RegionId::new(0));
+        bucket.put(chunk_id(0, 0), Bytes::from_static(b"v1"), 1);
+        bucket.put(chunk_id(0, 0), Bytes::from_static(b"v2"), 2);
+        assert_eq!(bucket.len(), 1);
+        assert_eq!(bucket.get(&chunk_id(0, 0)).unwrap().version, 2);
+    }
+
+    #[test]
+    fn accounting() {
+        let bucket = Bucket::new(RegionId::new(0));
+        assert!(bucket.is_empty());
+        bucket.put(chunk_id(0, 0), Bytes::from(vec![0u8; 10]), 0);
+        bucket.put(chunk_id(1, 0), Bytes::from(vec![0u8; 20]), 0);
+        assert_eq!(bucket.len(), 2);
+        assert_eq!(bucket.stored_bytes(), 30);
+        assert_eq!(bucket.remove(&chunk_id(0, 0)).unwrap().data.len(), 10);
+        assert_eq!(bucket.stored_bytes(), 20);
+        assert!(bucket.remove(&chunk_id(9, 9)).is_none());
+    }
+
+    #[test]
+    fn availability_toggle() {
+        let bucket = Bucket::new(RegionId::new(0));
+        assert!(bucket.is_available());
+        bucket.set_available(false);
+        assert!(!bucket.is_available());
+        bucket.set_available(true);
+        assert!(bucket.is_available());
+    }
+}

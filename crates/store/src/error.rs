@@ -1,0 +1,122 @@
+//! Error type for the storage backend.
+
+use agar_ec::{ChunkId, EcError, ObjectId};
+use agar_net::RegionId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the `agar-store` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The object has never been written.
+    UnknownObject {
+        /// The requested object.
+        object: ObjectId,
+    },
+    /// The requested chunk does not exist in the region's bucket.
+    UnknownChunk {
+        /// The requested chunk.
+        chunk: ChunkId,
+        /// The bucket's region.
+        region: RegionId,
+    },
+    /// The region is marked failed (failure injection).
+    RegionUnavailable {
+        /// The unavailable region.
+        region: RegionId,
+    },
+    /// Fewer than `k` chunks are reachable for the object.
+    NotEnoughChunks {
+        /// The object being read.
+        object: ObjectId,
+        /// Reachable chunks.
+        reachable: usize,
+        /// Chunks needed to decode.
+        needed: usize,
+    },
+    /// The topology and placement disagree (e.g. region out of range).
+    InvalidPlacement {
+        /// Explanation of the inconsistency.
+        what: &'static str,
+    },
+    /// An erasure-coding operation failed.
+    Coding(EcError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownObject { object } => write!(f, "unknown object {object}"),
+            StoreError::UnknownChunk { chunk, region } => {
+                write!(f, "chunk {chunk} not found in {region}")
+            }
+            StoreError::RegionUnavailable { region } => {
+                write!(f, "{region} is unavailable")
+            }
+            StoreError::NotEnoughChunks {
+                object,
+                reachable,
+                needed,
+            } => write!(
+                f,
+                "object {object}: only {reachable} chunks reachable, need {needed}"
+            ),
+            StoreError::InvalidPlacement { what } => write!(f, "invalid placement: {what}"),
+            StoreError::Coding(e) => write!(f, "erasure coding failed: {e}"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Coding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EcError> for StoreError {
+    fn from(e: EcError) -> Self {
+        StoreError::Coding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let object = ObjectId::new(3);
+        assert!(StoreError::UnknownObject { object }
+            .to_string()
+            .contains("obj-3"));
+        assert!(StoreError::RegionUnavailable {
+            region: RegionId::new(2)
+        }
+        .to_string()
+        .contains("region-2"));
+        assert!(StoreError::NotEnoughChunks {
+            object,
+            reachable: 5,
+            needed: 9
+        }
+        .to_string()
+        .contains("need 9"));
+    }
+
+    #[test]
+    fn coding_error_wraps_with_source() {
+        let err = StoreError::from(EcError::SingularMatrix);
+        assert!(err.to_string().contains("singular"));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<StoreError>();
+    }
+}

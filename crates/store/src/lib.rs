@@ -1,0 +1,57 @@
+//! # agar-store — the geo-distributed erasure-coded object store
+//!
+//! The substrate under Agar (Halalai et al., ICDCS 2017, Figure 1): an
+//! S3-like object store spanning several regions, where each object is
+//! Reed-Solomon-encoded into `k + m` chunks distributed round-robin, one
+//! bucket per region. This crate provides:
+//!
+//! - [`Bucket`] — a region's durable chunk store with failure injection;
+//! - [`PlacementPolicy`] / [`RoundRobin`] — the paper's chunk layout;
+//! - [`ObjectManifest`] — per-object metadata (size, version, locations);
+//! - [`Backend`] — the multi-region store: encode-and-place writes,
+//!   latency-sampled chunk fetches, region failure injection;
+//! - [`StorageClient`] — the paper's cache-less "Backend" baseline
+//!   reader (fetch the `k` cheapest chunks in parallel, decode).
+//!
+//! # Examples
+//!
+//! ```
+//! use agar_ec::{CodingParams, ObjectId};
+//! use agar_net::presets::{aws_six_regions, FRANKFURT};
+//! use agar_store::{populate, Backend, RoundRobin, StorageClient};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! let preset = aws_six_regions();
+//! let backend = Backend::new(
+//!     preset.topology,
+//!     Arc::new(preset.latency),
+//!     CodingParams::paper_default(),
+//!     Box::new(RoundRobin),
+//! )?;
+//! let mut rng = StdRng::seed_from_u64(0);
+//! populate(&backend, 10, 9_000, &mut rng)?;
+//!
+//! let mut client = StorageClient::new(FRANKFURT, 42);
+//! let outcome = client.read(&backend, ObjectId::new(3))?;
+//! assert_eq!(outcome.data.len(), 9_000);
+//! # Ok::<(), agar_store::StoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod bucket;
+pub mod client;
+pub mod error;
+pub mod manifest;
+pub mod placement;
+
+pub use backend::{expected_payload, populate, Backend, ChunkFetch};
+pub use bucket::{Bucket, StoredChunk};
+pub use client::{plan_backend_fetch, regions_by_latency, ReadOutcome, StorageClient};
+pub use error::StoreError;
+pub use manifest::ObjectManifest;
+pub use placement::{PlacementPolicy, RotatedRoundRobin, RoundRobin};

@@ -1,0 +1,157 @@
+//! Object manifests: the metadata a client needs to locate and decode an
+//! object's chunks.
+
+use agar_ec::{ChunkId, CodingParams, ObjectId};
+use agar_net::RegionId;
+use serde::{Deserialize, Serialize};
+
+/// Metadata for one stored object.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ObjectManifest {
+    object: ObjectId,
+    size: usize,
+    version: u64,
+    params: CodingParams,
+    /// Region of chunk `i` at index `i`; length is `k + m`.
+    locations: Vec<RegionId>,
+}
+
+impl ObjectManifest {
+    /// Creates a manifest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations.len() != params.total_chunks()` — manifests
+    /// are created only by the backend, so a mismatch is a bug.
+    pub fn new(
+        object: ObjectId,
+        size: usize,
+        version: u64,
+        params: CodingParams,
+        locations: Vec<RegionId>,
+    ) -> Self {
+        assert_eq!(
+            locations.len(),
+            params.total_chunks(),
+            "manifest must map every chunk to a region"
+        );
+        ObjectManifest {
+            object,
+            size,
+            version,
+            params,
+            locations,
+        }
+    }
+
+    /// The object this manifest describes.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// Object payload size in bytes (pre-padding).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current version; bumped by every write.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Erasure-coding parameters.
+    pub fn params(&self) -> CodingParams {
+        self.params
+    }
+
+    /// Size of each chunk in bytes.
+    pub fn chunk_size(&self) -> usize {
+        self.params.chunk_size(self.size)
+    }
+
+    /// The region hosting chunk `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn location(&self, index: usize) -> RegionId {
+        self.locations[index]
+    }
+
+    /// All (chunk id, region) pairs in chunk-index order.
+    pub fn chunk_locations(&self) -> impl Iterator<Item = (ChunkId, RegionId)> + '_ {
+        self.locations
+            .iter()
+            .enumerate()
+            .map(|(i, &region)| (ChunkId::new(self.object, i as u8), region))
+    }
+
+    /// The chunk indices hosted by `region`.
+    pub fn chunks_in_region(&self, region: RegionId) -> Vec<u8> {
+        self.locations
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == region)
+            .map(|(i, _)| i as u8)
+            .collect()
+    }
+
+    pub(crate) fn bump_version(&mut self) {
+        self.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObjectManifest {
+        let params = CodingParams::new(4, 2).unwrap();
+        let locations = (0..6).map(|i| RegionId::new(i % 3)).collect();
+        ObjectManifest::new(ObjectId::new(9), 1000, 0, params, locations)
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.object(), ObjectId::new(9));
+        assert_eq!(m.size(), 1000);
+        assert_eq!(m.version(), 0);
+        assert_eq!(m.params().data_chunks(), 4);
+        assert_eq!(m.chunk_size(), 250);
+        assert_eq!(m.location(4), RegionId::new(1));
+    }
+
+    #[test]
+    fn chunk_locations_enumerates_in_order() {
+        let m = sample();
+        let locs: Vec<(u8, usize)> = m
+            .chunk_locations()
+            .map(|(c, r)| (c.index().value(), r.index()))
+            .collect();
+        assert_eq!(locs, vec![(0, 0), (1, 1), (2, 2), (3, 0), (4, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn chunks_in_region_filters() {
+        let m = sample();
+        assert_eq!(m.chunks_in_region(RegionId::new(0)), vec![0, 3]);
+        assert_eq!(m.chunks_in_region(RegionId::new(2)), vec![2, 5]);
+        assert!(m.chunks_in_region(RegionId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn version_bumps() {
+        let mut m = sample();
+        m.bump_version();
+        m.bump_version();
+        assert_eq!(m.version(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "every chunk")]
+    fn mismatched_locations_panic() {
+        let params = CodingParams::new(4, 2).unwrap();
+        let _ = ObjectManifest::new(ObjectId::new(0), 10, 0, params, vec![RegionId::new(0)]);
+    }
+}

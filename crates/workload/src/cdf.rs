@@ -1,0 +1,145 @@
+//! Popularity CDF computation — the data behind the paper's Figure 9.
+//!
+//! Figure 9 plots, for Zipfian skews 0.5/0.8/1.1/1.4, the cumulative
+//! percentage of requests that refer to the most popular `x` objects
+//! (e.g. x = 5, y = 40% means the top 5 objects account for 40% of
+//! requests).
+
+use crate::error::WorkloadError;
+use crate::zipf::Zipfian;
+
+/// One point of a popularity CDF: the `top_objects` most popular objects
+/// account for `cumulative_fraction` of requests.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CdfPoint {
+    /// Number of most-popular objects considered.
+    pub top_objects: u64,
+    /// Fraction of requests they capture, in `[0, 1]`.
+    pub cumulative_fraction: f64,
+}
+
+/// Computes the exact popularity CDF of a Zipfian workload for the top
+/// `max_top` objects (Figure 9 uses 50).
+///
+/// # Errors
+///
+/// Propagates [`Zipfian::new`] validation; additionally rejects
+/// `max_top > object_count` or `max_top == 0`.
+pub fn zipf_popularity_cdf(
+    object_count: u64,
+    skew: f64,
+    max_top: u64,
+) -> Result<Vec<CdfPoint>, WorkloadError> {
+    if max_top == 0 || max_top > object_count {
+        return Err(WorkloadError::InvalidParameter {
+            what: "max_top must be in 1..=object_count",
+        });
+    }
+    let zipf = Zipfian::new(object_count, skew)?;
+    Ok((1..=max_top)
+        .map(|top| CdfPoint {
+            top_objects: top,
+            cumulative_fraction: zipf.cumulative_probability(top),
+        })
+        .collect())
+}
+
+/// Computes an *empirical* popularity CDF from a sequence of observed
+/// keys: sorts keys by observed frequency and accumulates.
+///
+/// Useful to cross-check that generated traces match the analytic curve.
+pub fn empirical_popularity_cdf(keys: &[u64], max_top: usize) -> Vec<CdfPoint> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    let mut freqs: Vec<u64> = counts.into_values().collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    let total = keys.len() as f64;
+    let mut acc = 0u64;
+    freqs
+        .iter()
+        .take(max_top)
+        .enumerate()
+        .map(|(i, &f)| {
+            acc += f;
+            CdfPoint {
+                top_objects: (i + 1) as u64,
+                cumulative_fraction: if total > 0.0 { acc as f64 / total } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        for skew in [0.5, 0.8, 1.1, 1.4] {
+            let cdf = zipf_popularity_cdf(300, skew, 50).unwrap();
+            assert_eq!(cdf.len(), 50);
+            let mut prev = 0.0;
+            for p in &cdf {
+                assert!(p.cumulative_fraction >= prev, "skew {skew}");
+                assert!(p.cumulative_fraction <= 1.0 + 1e-12);
+                prev = p.cumulative_fraction;
+            }
+        }
+    }
+
+    #[test]
+    fn higher_skew_dominates_pointwise() {
+        let low = zipf_popularity_cdf(300, 0.5, 50).unwrap();
+        let high = zipf_popularity_cdf(300, 1.4, 50).unwrap();
+        for (l, h) in low.iter().zip(&high) {
+            assert!(h.cumulative_fraction >= l.cumulative_fraction);
+        }
+    }
+
+    #[test]
+    fn paper_figure9_reading() {
+        // Fig. 9's example reading: around skew 1.1 the top-5 objects
+        // capture roughly 40% of requests.
+        let cdf = zipf_popularity_cdf(300, 1.1, 50).unwrap();
+        let top5 = cdf[4].cumulative_fraction;
+        assert!(top5 > 0.30 && top5 < 0.55, "top-5 mass {top5}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(zipf_popularity_cdf(300, 1.1, 0).is_err());
+        assert!(zipf_popularity_cdf(300, 1.1, 301).is_err());
+        assert!(zipf_popularity_cdf(0, 1.1, 1).is_err());
+    }
+
+    #[test]
+    fn empirical_cdf_tracks_analytic() {
+        let zipf = Zipfian::new(100, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let keys: Vec<u64> = (0..100_000).map(|_| zipf.sample(&mut rng)).collect();
+        let analytic = zipf_popularity_cdf(100, 1.1, 20).unwrap();
+        let empirical = empirical_popularity_cdf(&keys, 20);
+        for (a, e) in analytic.iter().zip(&empirical) {
+            assert!(
+                (a.cumulative_fraction - e.cumulative_fraction).abs() < 0.02,
+                "top {}: analytic {} vs empirical {}",
+                a.top_objects,
+                a.cumulative_fraction,
+                e.cumulative_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_cdf_handles_empty_and_short_input() {
+        assert!(empirical_popularity_cdf(&[], 10).is_empty());
+        let points = empirical_popularity_cdf(&[1, 1, 2], 10);
+        assert_eq!(points.len(), 2);
+        assert!((points[1].cumulative_fraction - 1.0).abs() < 1e-12);
+    }
+}

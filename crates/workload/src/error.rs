@@ -1,0 +1,44 @@
+//! Error type for workload generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the `agar-workload` crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A generator parameter was out of range.
+    InvalidParameter {
+        /// Description of the violated constraint.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidParameter { what } => {
+                write!(f, "invalid workload parameter: {what}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_constraint() {
+        let err = WorkloadError::InvalidParameter { what: "n too big" };
+        assert!(err.to_string().contains("n too big"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<WorkloadError>();
+    }
+}

@@ -1,0 +1,44 @@
+//! # agar-workload — YCSB-style workload generation
+//!
+//! The Agar paper drives its evaluation with a modified YCSB client:
+//! read-only workloads over 300 × 1 MB objects, keys drawn from Zipfian
+//! distributions with skews between 0.2 and 1.4 (default 1.1), plus a
+//! uniform control. This crate reproduces that driver:
+//!
+//! - [`Zipfian`] — exact inverse-CDF Zipfian sampling valid for *any*
+//!   skew (YCSB's Gray-formula generator only handles skew < 1, but the
+//!   paper sweeps up to 1.4), with an optional scrambled key space;
+//! - [`dist`] — uniform, hotspot, latest and sequential distributions
+//!   behind the [`KeyDistribution`] trait;
+//! - [`WorkloadSpec`]/[`OpStream`] — seeded, deterministic operation
+//!   streams with a configurable read/write mix;
+//! - [`cdf`] — analytic and empirical popularity CDFs (Figure 9).
+//!
+//! # Examples
+//!
+//! The paper's default workload:
+//!
+//! ```
+//! use agar_workload::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::paper_default();
+//! let ops: Vec<_> = spec.stream(42)?.collect();
+//! assert_eq!(ops.len(), 1_000);
+//! assert!(ops.iter().all(|op| op.is_read()));
+//! # Ok::<(), agar_workload::WorkloadError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cdf;
+pub mod dist;
+pub mod error;
+pub mod spec;
+pub mod zipf;
+
+pub use cdf::{empirical_popularity_cdf, zipf_popularity_cdf, CdfPoint};
+pub use dist::{Hotspot, KeyDistribution, Latest, Sequential, UniformKeys};
+pub use error::WorkloadError;
+pub use spec::{Distribution, Op, OpStream, WorkloadSpec};
+pub use zipf::Zipfian;

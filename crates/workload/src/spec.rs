@@ -1,0 +1,333 @@
+//! Workload specification and operation streams.
+//!
+//! A [`WorkloadSpec`] captures the paper's experiment knobs — catalogue
+//! size, object size, request distribution, read/write mix — and turns
+//! them into a deterministic, seeded [`OpStream`] of operations, playing
+//! the role of the (modified) YCSB client driver.
+
+use crate::dist::{Hotspot, KeyDistribution, Latest, Sequential, UniformKeys};
+use crate::error::WorkloadError;
+use crate::zipf::Zipfian;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which key distribution a workload draws from.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Every object equally popular.
+    Uniform,
+    /// Zipfian with the given skew (the paper's default is 1.1).
+    Zipfian {
+        /// Skew exponent (θ).
+        skew: f64,
+    },
+    /// Scrambled Zipfian: same popularity profile, permuted key space.
+    ScrambledZipfian {
+        /// Skew exponent (θ).
+        skew: f64,
+        /// Seed for the permutation.
+        scramble_seed: u64,
+    },
+    /// A hot set receiving a fixed fraction of accesses.
+    Hotspot {
+        /// Number of keys in the hot set.
+        hot_keys: u64,
+        /// Fraction of operations hitting the hot set.
+        hot_fraction: f64,
+    },
+    /// Most recently added keys are hottest.
+    Latest {
+        /// Skew exponent of the underlying Zipfian.
+        skew: f64,
+    },
+    /// Round-robin scan of the catalogue.
+    Sequential,
+}
+
+impl Distribution {
+    /// Builds the sampler for a catalogue of `n` keys.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation from the underlying generator.
+    pub fn build(self, n: u64) -> Result<Box<dyn KeyDistribution>, WorkloadError> {
+        Ok(match self {
+            Distribution::Uniform => Box::new(UniformKeys::new(n)?),
+            Distribution::Zipfian { skew } => Box::new(Zipfian::new(n, skew)?),
+            Distribution::ScrambledZipfian {
+                skew,
+                scramble_seed,
+            } => Box::new(Zipfian::new(n, skew)?.scrambled(scramble_seed)),
+            Distribution::Hotspot {
+                hot_keys,
+                hot_fraction,
+            } => Box::new(Hotspot::new(n, hot_keys, hot_fraction)?),
+            Distribution::Latest { skew } => Box::new(Latest::new(n, skew)?),
+            Distribution::Sequential => Box::new(Sequential::new(n)?),
+        })
+    }
+
+    /// Human-readable label matching the paper's figure axes.
+    pub fn label(&self) -> String {
+        match self {
+            Distribution::Uniform => "uniform".into(),
+            Distribution::Zipfian { skew } => format!("zipf {skew}"),
+            Distribution::ScrambledZipfian { skew, .. } => format!("scrambled-zipf {skew}"),
+            Distribution::Hotspot {
+                hot_keys,
+                hot_fraction,
+            } => format!("hotspot {hot_keys}@{hot_fraction}"),
+            Distribution::Latest { skew } => format!("latest {skew}"),
+            Distribution::Sequential => "sequential".into(),
+        }
+    }
+}
+
+/// One generated operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Op {
+    /// Read the whole object with this key.
+    Read {
+        /// Object key in `0..object_count`.
+        key: u64,
+    },
+    /// Overwrite the object with this key.
+    Write {
+        /// Object key in `0..object_count`.
+        key: u64,
+    },
+}
+
+impl Op {
+    /// The key the operation touches.
+    pub fn key(self) -> u64 {
+        match self {
+            Op::Read { key } | Op::Write { key } => key,
+        }
+    }
+
+    /// Whether this is a read.
+    pub fn is_read(self) -> bool {
+        matches!(self, Op::Read { .. })
+    }
+}
+
+/// A complete workload description (the YCSB workload file equivalent).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of objects in the catalogue (the paper uses 300).
+    pub object_count: u64,
+    /// Size of each object in bytes (the paper uses 1 MB).
+    pub object_size: usize,
+    /// Number of operations to generate per run (the paper uses 1 000).
+    pub operations: usize,
+    /// Fraction of operations that are reads (the paper's workloads are
+    /// read-only: 1.0).
+    pub read_fraction: f64,
+    /// Key popularity distribution.
+    pub distribution: Distribution,
+}
+
+impl WorkloadSpec {
+    /// The paper's default workload: 300 × 1 MB objects, 1 000 reads,
+    /// Zipfian skew 1.1, read-only.
+    pub fn paper_default() -> Self {
+        WorkloadSpec {
+            object_count: 300,
+            object_size: 1_000_000,
+            operations: 1_000,
+            read_fraction: 1.0,
+            distribution: Distribution::Zipfian { skew: 1.1 },
+        }
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] for an empty catalogue,
+    /// zero-byte objects, or a read fraction outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.object_count == 0 {
+            return Err(WorkloadError::InvalidParameter {
+                what: "object_count must be positive",
+            });
+        }
+        if self.object_size == 0 {
+            return Err(WorkloadError::InvalidParameter {
+                what: "object_size must be positive",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.read_fraction) {
+            return Err(WorkloadError::InvalidParameter {
+                what: "read_fraction must be in [0, 1]",
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds a deterministic operation stream for this spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from the spec or distribution.
+    pub fn stream(&self, seed: u64) -> Result<OpStream, WorkloadError> {
+        self.validate()?;
+        Ok(OpStream {
+            dist: self.distribution.build(self.object_count)?,
+            rng: StdRng::seed_from_u64(seed),
+            read_fraction: self.read_fraction,
+            remaining: self.operations,
+        })
+    }
+}
+
+/// A seeded iterator of operations.
+pub struct OpStream {
+    dist: Box<dyn KeyDistribution>,
+    rng: StdRng,
+    read_fraction: f64,
+    remaining: usize,
+}
+
+impl OpStream {
+    /// Draws the next operation without consuming the stream budget
+    /// (useful for open-ended simulations).
+    pub fn draw(&mut self) -> Op {
+        let key = self.dist.sample(&mut self.rng);
+        let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.read_fraction {
+            Op::Read { key }
+        } else {
+            Op::Write { key }
+        }
+    }
+}
+
+impl Iterator for OpStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.draw())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for OpStream {}
+
+impl std::fmt::Debug for OpStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpStream")
+            .field("distribution", &self.dist.label())
+            .field("read_fraction", &self.read_fraction)
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let spec = WorkloadSpec::paper_default();
+        spec.validate().unwrap();
+        assert_eq!(spec.object_count, 300);
+        assert_eq!(spec.object_size, 1_000_000);
+        assert_eq!(spec.operations, 1_000);
+        assert_eq!(spec.read_fraction, 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut spec = WorkloadSpec::paper_default();
+        spec.object_count = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = WorkloadSpec::paper_default();
+        spec.object_size = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = WorkloadSpec::paper_default();
+        spec.read_fraction = 1.5;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn stream_yields_exactly_n_ops() {
+        let spec = WorkloadSpec::paper_default();
+        let ops: Vec<Op> = spec.stream(1).unwrap().collect();
+        assert_eq!(ops.len(), 1_000);
+        assert!(ops.iter().all(|op| op.is_read()));
+        assert!(ops.iter().all(|op| op.key() < 300));
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let spec = WorkloadSpec::paper_default();
+        let a: Vec<Op> = spec.stream(42).unwrap().collect();
+        let b: Vec<Op> = spec.stream(42).unwrap().collect();
+        let c: Vec<Op> = spec.stream(43).unwrap().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn read_fraction_mixes_writes() {
+        let mut spec = WorkloadSpec::paper_default();
+        spec.read_fraction = 0.5;
+        spec.operations = 10_000;
+        let reads = spec.stream(7).unwrap().filter(|op| op.is_read()).count();
+        let frac = reads as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.03, "read fraction {frac}");
+    }
+
+    #[test]
+    fn all_distributions_build() {
+        for dist in [
+            Distribution::Uniform,
+            Distribution::Zipfian { skew: 1.1 },
+            Distribution::ScrambledZipfian {
+                skew: 0.9,
+                scramble_seed: 1,
+            },
+            Distribution::Hotspot {
+                hot_keys: 5,
+                hot_fraction: 0.8,
+            },
+            Distribution::Latest { skew: 1.0 },
+            Distribution::Sequential,
+        ] {
+            let mut spec = WorkloadSpec::paper_default();
+            spec.distribution = dist;
+            let ops: Vec<Op> = spec.stream(3).unwrap().collect();
+            assert_eq!(ops.len(), 1_000, "{}", dist.label());
+            assert!(!dist.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let spec = WorkloadSpec::paper_default();
+        let mut stream = spec.stream(1).unwrap();
+        assert_eq!(stream.len(), 1_000);
+        stream.next();
+        assert_eq!(stream.len(), 999);
+    }
+
+    #[test]
+    fn debug_output_nonempty() {
+        let spec = WorkloadSpec::paper_default();
+        let stream = spec.stream(1).unwrap();
+        assert!(format!("{stream:?}").contains("zipf"));
+    }
+}

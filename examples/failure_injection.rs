@@ -1,0 +1,84 @@
+//! Failure injection: erasure coding's whole point is surviving region
+//! outages. Kill regions one by one and watch reads keep succeeding —
+//! with rising latency — until fewer than k chunks remain reachable.
+//!
+//! ```sh
+//! cargo run --release --example failure_injection
+//! ```
+
+use agar::{AgarNode, AgarSettings, CachingClient};
+use agar_ec::{CodingParams, ObjectId};
+use agar_net::presets::{aws_six_regions, DUBLIN, FRANKFURT, N_VIRGINIA, SAO_PAULO};
+use agar_store::{expected_payload, populate, Backend, RoundRobin};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let preset = aws_six_regions();
+    let backend = Arc::new(Backend::new(
+        preset.topology.clone(),
+        Arc::new(preset.latency.clone()),
+        CodingParams::paper_default(),
+        Box::new(RoundRobin),
+    )?);
+    let mut rng = StdRng::seed_from_u64(5);
+    const SIZE: usize = 90_000;
+    populate(&backend, 20, SIZE, &mut rng)?;
+
+    let node = AgarNode::new(
+        FRANKFURT,
+        Arc::clone(&backend),
+        AgarSettings::paper_default(2 * SIZE),
+        17,
+    )?;
+    let object = ObjectId::new(0);
+
+    let read_and_report = |label: &str| -> Result<bool, Box<dyn Error>> {
+        match node.read(object) {
+            Ok(metrics) => {
+                assert_eq!(metrics.data.as_ref(), expected_payload(0, SIZE).as_slice());
+                println!(
+                    "{label:<28} ok: {:>5.0} ms, decode needed: {}",
+                    metrics.latency.as_secs_f64() * 1e3,
+                    metrics.decoded
+                );
+                Ok(true)
+            }
+            Err(e) => {
+                println!("{label:<28} FAILED: {e}");
+                Ok(false)
+            }
+        }
+    };
+
+    read_and_report("all regions healthy")?;
+
+    // RS(9, 3) with 2 chunks per region tolerates one full region loss
+    // (2 chunks) plus one more chunk; a second region loss (4 chunks
+    // total) exceeds m = 3 — but only if the client *needed* them.
+    backend.fail_region(SAO_PAULO);
+    read_and_report("São Paulo down")?;
+
+    backend.fail_region(DUBLIN);
+    let ok = read_and_report("São Paulo + Dublin down")?;
+    assert!(
+        !ok,
+        "four chunks lost exceeds m = 3; the read must fail loudly"
+    );
+
+    backend.heal_region(SAO_PAULO);
+    read_and_report("São Paulo healed")?;
+
+    backend.fail_region(N_VIRGINIA);
+    let ok = read_and_report("Dublin + N. Virginia down")?;
+    assert!(!ok, "four chunks lost again");
+
+    backend.heal_region(DUBLIN);
+    backend.heal_region(N_VIRGINIA);
+    read_and_report("all healed")?;
+
+    println!("\nagar re-plans around failed regions and fails loudly past m losses");
+    Ok(())
+}

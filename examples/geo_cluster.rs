@@ -1,0 +1,56 @@
+//! Geo-cluster comparison: run the paper's Figure 6 experiment in
+//! miniature — Agar vs LRU-5 vs LFU-7 vs the raw backend, from two very
+//! different vantage points (Frankfurt, central; Sydney, remote).
+//!
+//! ```sh
+//! cargo run --release --example geo_cluster
+//! ```
+
+use agar_bench::{run_averaged, Deployment, PolicySpec, RunConfig, Scale};
+use agar_net::presets::{FRANKFURT, SYDNEY};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let scale = Scale {
+        object_size: 90_000,
+        object_count: 150,
+    };
+    println!(
+        "populating {}x{} KB deployment...",
+        scale.object_count,
+        scale.object_size / 1000
+    );
+    let deployment = Deployment::build(scale);
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "policy", "Frankfurt", "Sydney", "hit-ratio"
+    );
+    for policy in [
+        PolicySpec::Agar,
+        PolicySpec::Lru(5),
+        PolicySpec::Lfu(7),
+        PolicySpec::Backend,
+    ] {
+        let mut row = (0.0, 0.0, 0.0);
+        for (region, slot) in [(FRANKFURT, 0), (SYDNEY, 1)] {
+            let mut config = RunConfig::paper_default(region, policy);
+            config.workload.operations = 600;
+            let result = run_averaged(&deployment, &config, 3);
+            match slot {
+                0 => row.0 = result.mean_latency_ms,
+                _ => row.1 = result.mean_latency_ms,
+            }
+            row.2 = result.hit_ratio;
+        }
+        println!(
+            "{:<10} {:>8.0}ms {:>8.0}ms {:>9.1}%",
+            policy.label(),
+            row.0,
+            row.1,
+            row.2 * 100.0
+        );
+    }
+    println!("\nexpected shape: Agar < LFU-7 < LRU-5 << Backend, at both sites");
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the §VI extensions: write coherence across
+//! regions and collaborative caching between neighbours.
+
+use agar::{AgarNode, AgarSettings, CachingClient, CollaborativeGroup, WriteCoordinator};
+use agar_ec::{CodingParams, ObjectId};
+use agar_net::presets::{aws_six_regions, DUBLIN, FRANKFURT, SYDNEY};
+use agar_store::{populate, Backend, RoundRobin};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const SIZE: usize = 9_000;
+
+fn deployment() -> (Arc<Backend>, Vec<Arc<AgarNode>>) {
+    let preset = aws_six_regions();
+    let backend = Arc::new(
+        Backend::new(
+            preset.topology.clone(),
+            Arc::new(preset.latency.clone()),
+            CodingParams::paper_default(),
+            Box::new(RoundRobin),
+        )
+        .unwrap(),
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    populate(&backend, 10, SIZE, &mut rng).unwrap();
+    let nodes = preset
+        .topology
+        .ids()
+        .map(|region| {
+            Arc::new(
+                AgarNode::new(
+                    region,
+                    Arc::clone(&backend),
+                    AgarSettings::paper_default(3 * SIZE),
+                    region.index() as u64 + 100,
+                )
+                .unwrap(),
+            )
+        })
+        .collect();
+    (backend, nodes)
+}
+
+fn warm(node: &AgarNode, object: ObjectId) {
+    for _ in 0..40 {
+        node.read(object).unwrap();
+    }
+    node.force_reconfigure();
+    node.read(object).unwrap();
+}
+
+#[test]
+fn writes_propagate_through_all_region_caches() {
+    let (backend, nodes) = deployment();
+    let object = ObjectId::new(0);
+    for node in &nodes {
+        warm(node, object);
+    }
+    let coordinator = WriteCoordinator::new(Arc::clone(&backend), nodes.clone(), 5);
+    let payload = vec![0xCDu8; SIZE];
+    let (version, _) = coordinator.write(DUBLIN, object, &payload).unwrap();
+    assert_eq!(version, 2);
+    for node in &nodes {
+        let metrics = node.read(object).unwrap();
+        assert_eq!(
+            metrics.data.as_ref(),
+            payload.as_slice(),
+            "stale read at {}",
+            node.region()
+        );
+    }
+}
+
+#[test]
+fn repeated_writes_keep_monotonic_versions() {
+    let (backend, nodes) = deployment();
+    let coordinator = WriteCoordinator::new(backend, nodes, 6);
+    let object = ObjectId::new(3);
+    for round in 2..6u64 {
+        let payload = vec![round as u8; SIZE];
+        let (version, _) = coordinator.write(FRANKFURT, object, &payload).unwrap();
+        assert_eq!(version, round);
+    }
+    assert_eq!(coordinator.writes(), 4);
+}
+
+#[test]
+fn collaborative_reads_tap_neighbour_caches() {
+    let (backend, nodes) = deployment();
+    let object = ObjectId::new(0);
+    // Dublin holds the object; Frankfurt's cache is cold.
+    warm(&nodes[DUBLIN.index()], object);
+    let group = CollaborativeGroup::new(Arc::clone(&backend), nodes.clone(), 9);
+    let solo = nodes[FRANKFURT.index()].read(object).unwrap();
+    let collab = group.read(FRANKFURT.index(), object).unwrap();
+    assert_eq!(collab.data.as_ref(), solo.data.as_ref());
+    assert!(
+        collab.latency <= solo.latency,
+        "collaboration must not be slower: {:?} vs {:?}",
+        collab.latency,
+        solo.latency
+    );
+    assert!(group.remote_hits() > 0, "no neighbour hits recorded");
+}
+
+#[test]
+fn collaboration_across_the_planet_is_useless() {
+    let (backend, nodes) = deployment();
+    let object = ObjectId::new(1);
+    // Sydney holds the object; Frankfurt reads. Sydney's cache is as far
+    // as the worst backend region, so collaboration should change little.
+    warm(&nodes[SYDNEY.index()], object);
+    let group = CollaborativeGroup::new(Arc::clone(&backend), nodes.clone(), 9);
+    let collab = group.read(FRANKFURT.index(), object).unwrap();
+    assert_eq!(collab.data.len(), SIZE);
+    // Latency must stay in the backend ballpark (no magic).
+    assert!(collab.latency.as_millis() > 300);
+}

@@ -1,0 +1,40 @@
+//! Reproducibility: every layer of the system is seeded, so identical
+//! seeds must yield bit-identical experiment results.
+
+use agar_bench::{run_once, Deployment, PolicySpec, RunConfig, Scale};
+use agar_net::presets::FRANKFURT;
+
+#[test]
+fn full_experiment_runs_are_bit_deterministic() {
+    let deployment = Deployment::build(Scale::tiny());
+    for policy in [PolicySpec::Agar, PolicySpec::Lru(5), PolicySpec::Lfu(7)] {
+        let mut config = RunConfig::paper_default(FRANKFURT, policy);
+        config.workload.operations = 300;
+        let a = run_once(&deployment, &config);
+        let b = run_once(&deployment, &config);
+        assert_eq!(a.mean_latency_ms, b.mean_latency_ms, "{policy:?}");
+        assert_eq!(a.hit_ratio, b.hit_ratio, "{policy:?}");
+        assert_eq!(a.total_hits, b.total_hits, "{policy:?}");
+        assert_eq!(a.cache_contents, b.cache_contents, "{policy:?}");
+        assert_eq!(a.sim_duration, b.sim_duration, "{policy:?}");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let deployment = Deployment::build(Scale::tiny());
+    let mut config = RunConfig::paper_default(FRANKFURT, PolicySpec::Lru(5));
+    config.workload.operations = 300;
+    let a = run_once(&deployment, &config);
+    config.seed += 1;
+    let b = run_once(&deployment, &config);
+    assert_ne!(a.mean_latency_ms, b.mean_latency_ms);
+}
+
+#[test]
+fn deployments_are_reproducible() {
+    let a = Deployment::build(Scale::tiny());
+    let b = Deployment::build(Scale::tiny());
+    assert_eq!(a.backend.object_count(), b.backend.object_count());
+    assert_eq!(a.backend.stored_bytes(), b.backend.stored_bytes());
+}
