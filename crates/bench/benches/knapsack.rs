@@ -87,8 +87,7 @@ fn bench_greedy_and_generation(c: &mut Criterion) {
                 .map(|i| {
                     let object = ObjectId::new(i);
                     let locations = (0..12).map(|c| RegionId::new(c % 6)).collect();
-                    let manifest =
-                        ObjectManifest::new(object, 1_000_000, 1, params, locations);
+                    let manifest = ObjectManifest::new(object, 1_000_000, 1, params, locations);
                     generate_options(
                         &manifest,
                         black_box(&latencies),

@@ -59,9 +59,11 @@ fn main() {
         }
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
-        ids = ["fig2", "table1", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10", "ablation"]
-            .map(String::from)
-            .to_vec();
+        ids = [
+            "fig2", "table1", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10", "ablation",
+        ]
+        .map(String::from)
+        .to_vec();
     }
 
     eprintln!(

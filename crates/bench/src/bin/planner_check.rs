@@ -11,7 +11,6 @@ use agar_workload::Zipfian;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-
 fn main() {
     let deployment = Deployment::build(Scale::tiny());
     let n = deployment.scale.object_count;
@@ -30,31 +29,52 @@ fn main() {
         monitor.end_epoch();
         let mut rm = RegionManager::new(region, deployment.preset.topology.clone());
         let mut rng = StdRng::seed_from_u64(1);
-        rm.warm_up(&deployment.preset.latency, deployment.scale.chunk_size(), 50, &mut rng);
+        rm.warm_up(
+            &deployment.preset.latency,
+            deployment.scale.chunk_size(),
+            50,
+            &mut rng,
+        );
 
         let manager = CacheManager::new(deployment.scale.cache_bytes(10.0))
             .with_solver(KnapsackSolver::new());
-        let options = manager.build_options(&monitor, &rm, &deployment.backend, deployment.preset.cache_read);
+        let options = manager.build_options(
+            &monitor,
+            &rm,
+            &deployment.backend,
+            deployment.preset.cache_read,
+        );
         let config = KnapsackSolver::new().populate(&options, capacity_chunks);
 
         // Expected latency under a static config c(i) chunks for object i.
         let expect = |alloc: &dyn Fn(u64) -> u32| -> f64 {
-            (0..n).map(|i| {
-                let w = alloc(i);
-                let resid = options[&ObjectId::new(i)].by_weight(w)
-                    .map(|o| o.expected_latency())
-                    .unwrap_or(options[&ObjectId::new(i)].baseline_latency());
-                zipf.probability(i) * (100.0 + resid.as_secs_f64() * 1e3)
-            }).sum()
+            (0..n)
+                .map(|i| {
+                    let w = alloc(i);
+                    let resid = options[&ObjectId::new(i)]
+                        .by_weight(w)
+                        .map(|o| o.expected_latency())
+                        .unwrap_or(options[&ObjectId::new(i)].baseline_latency());
+                    zipf.probability(i) * (100.0 + resid.as_secs_f64() * 1e3)
+                })
+                .sum()
         };
 
         // Agar's config
         let mut agar_alloc = std::collections::HashMap::new();
-        for o in config.options() { agar_alloc.insert(o.object().index(), o.weight()); }
+        for o in config.options() {
+            agar_alloc.insert(o.object().index(), o.weight());
+        }
         let agar = expect(&|i| agar_alloc.get(&i).copied().unwrap_or(0));
-        println!("{name}: knapsack weight={} value={:.0}", config.weight(), config.value());
+        println!(
+            "{name}: knapsack weight={} value={:.0}",
+            config.weight(),
+            config.value()
+        );
         let mut counts = std::collections::BTreeMap::new();
-        for o in config.options() { *counts.entry(o.weight()).or_insert(0u32) += 1; }
+        for o in config.options() {
+            *counts.entry(o.weight()).or_insert(0u32) += 1;
+        }
         println!("  allocation: {counts:?}");
         println!("  Agar ideal static: {agar:.0} ms");
         for c in [5u32, 7, 9] {

@@ -150,7 +150,7 @@ pub fn policy_comparison(
                 cache_mb: 10.0,
                 workload: params.workload(zipf_default()),
                 clients: 2,
-                seed: 0xF16_6,
+                seed: 0xF166,
             };
             let result = run_averaged(deployment, &config, params.runs);
             eprintln!(
@@ -280,16 +280,14 @@ pub fn fig8b(deployment: &Deployment, params: &ExperimentParams) -> Table {
         PolicySpec::Lfu(5),
         PolicySpec::Lfu(9),
     ];
-    let workloads: Vec<(String, Distribution)> = std::iter::once((
-        "uniform".to_string(),
-        Distribution::Uniform,
-    ))
-    .chain(
-        [0.2f64, 0.5, 0.8, 0.9, 1.0, 1.1, 1.4]
-            .into_iter()
-            .map(|skew| (format!("zipf {skew}"), Distribution::Zipfian { skew })),
-    )
-    .collect();
+    let workloads: Vec<(String, Distribution)> =
+        std::iter::once(("uniform".to_string(), Distribution::Uniform))
+            .chain(
+                [0.2f64, 0.5, 0.8, 0.9, 1.0, 1.1, 1.4]
+                    .into_iter()
+                    .map(|skew| (format!("zipf {skew}"), Distribution::Zipfian { skew })),
+            )
+            .collect();
 
     let mut table = Table::new(
         "Figure 8b — avg read latency (ms) vs workload (Frankfurt, 10 MB cache)",
@@ -334,8 +332,7 @@ pub fn fig9(deployment: &Deployment, _params: &ExperimentParams) -> Table {
     let cdfs: Vec<_> = skews
         .iter()
         .map(|&s| {
-            zipf_popularity_cdf(deployment.scale.object_count, s, 50)
-                .expect("valid CDF parameters")
+            zipf_popularity_cdf(deployment.scale.object_count, s, 50).expect("valid CDF parameters")
         })
         .collect();
     for top in [1usize, 2, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50] {
@@ -434,8 +431,7 @@ pub fn ablation(deployment: &Deployment, params: &ExperimentParams) -> Table {
         monitor.record_read(agar_ec::ObjectId::new(op.key()));
     }
     monitor.end_epoch();
-    let mut region_manager =
-        RegionManager::new(FRANKFURT, deployment.preset.topology.clone());
+    let mut region_manager = RegionManager::new(FRANKFURT, deployment.preset.topology.clone());
     let mut rng = StdRng::seed_from_u64(0xAB1A);
     region_manager.warm_up(
         &deployment.preset.latency,

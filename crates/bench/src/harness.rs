@@ -9,8 +9,7 @@
 //! statistics.
 
 use agar::{
-    AgarNode, AgarSettings, BackendOnlyClient, BaselinePolicy, CachingClient,
-    FixedChunksClient,
+    AgarNode, AgarSettings, BackendOnlyClient, BaselinePolicy, CachingClient, FixedChunksClient,
 };
 use agar_ec::{CodingParams, ObjectId};
 use agar_net::presets::{aws_six_regions, paper_table_one, GeoPreset};
@@ -118,7 +117,10 @@ impl Deployment {
         };
         // Anchor the latency matrix at this scale's chunk size so the
         // calibrated per-chunk latencies hold verbatim at any scale.
-        preset.latency = preset.latency.clone().with_nominal_bytes(scale.chunk_size());
+        preset.latency = preset
+            .latency
+            .clone()
+            .with_nominal_bytes(scale.chunk_size());
         let backend = Backend::new(
             preset.topology.clone(),
             Arc::new(preset.latency.clone()),
@@ -238,8 +240,9 @@ fn make_client(
             // the exact run would dominate the experiment.
             let capacity_chunks = cache_bytes / deployment.scale.chunk_size().max(1);
             if capacity_chunks >= 200 {
-                settings.solver =
-                    agar::KnapsackSolver::new().with_early_termination(30).with_passes(1);
+                settings.solver = agar::KnapsackSolver::new()
+                    .with_early_termination(30)
+                    .with_passes(1);
             }
             Arc::new(
                 AgarNode::new(

@@ -26,7 +26,6 @@ pub mod harness;
 pub mod table;
 
 pub use harness::{
-    LatencyProfile,
-    run_averaged, run_once, Deployment, PolicySpec, RunConfig, RunResult, Scale,
+    run_averaged, run_once, Deployment, LatencyProfile, PolicySpec, RunConfig, RunResult, Scale,
 };
 pub use table::Table;

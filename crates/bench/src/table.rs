@@ -122,10 +122,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Table {
-        let mut t = Table::new(
-            "Demo",
-            vec!["policy".into(), "latency".into()],
-        );
+        let mut t = Table::new("Demo", vec!["policy".into(), "latency".into()]);
         t.push_row(vec!["Agar".into(), "416".into()]);
         t.push_row(vec!["LFU-7".into(), "489".into()]);
         t

@@ -55,7 +55,10 @@ impl<K: Eq + Hash + Clone + Debug> EvictionPolicy<K> for Lru<K> {
     }
 
     fn on_access(&mut self, key: &K) {
-        debug_assert!(self.by_key.contains_key(key), "access to untracked key {key:?}");
+        debug_assert!(
+            self.by_key.contains_key(key),
+            "access to untracked key {key:?}"
+        );
         self.touch(key);
     }
 

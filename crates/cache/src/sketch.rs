@@ -6,7 +6,7 @@
 //! [`ApproxRequestMonitor`](../tinylfu) admission policy and the
 //! monitor-scaling ablation both build on this sketch.
 
-use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
 
 type DefaultBuild = BuildHasherDefault<std::collections::hash_map::DefaultHasher>;
 
@@ -80,9 +80,7 @@ impl CountMinSketch {
     }
 
     fn hash<T: Hash>(&self, item: &T) -> u64 {
-        let mut hasher = self.build.build_hasher();
-        item.hash(&mut hasher);
-        hasher.finish()
+        self.build.hash_one(item)
     }
 
     /// Records one access, aging all counters every halving period.
@@ -97,7 +95,7 @@ impl CountMinSketch {
             }
         }
         self.increments += 1;
-        if self.increments % self.halving_period == 0 {
+        if self.increments.is_multiple_of(self.halving_period) {
             self.halve();
         }
     }
@@ -156,7 +154,7 @@ mod tests {
             }
         }
         for i in 0..500u32 {
-            assert!(s.estimate(&i) >= i % 7 + 1, "key {i}");
+            assert!(s.estimate(&i) > i % 7, "key {i}");
         }
     }
 

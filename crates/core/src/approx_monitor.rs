@@ -68,8 +68,8 @@ impl ApproxRequestMonitor {
         let estimate = self.sketch.estimate(&object);
 
         // Maintain the top-K candidate set under the estimated counts.
-        if self.candidates.contains_key(&object) {
-            self.candidates.insert(object, estimate);
+        if let Some(count) = self.candidates.get_mut(&object) {
+            *count = estimate;
             return;
         }
         if self.candidates.len() < self.max_candidates {
@@ -119,8 +119,7 @@ impl ApproxRequestMonitor {
 
     /// Tracked objects with popularity, hottest first.
     pub fn popularities(&self) -> Vec<(ObjectId, f64)> {
-        let mut v: Vec<(ObjectId, f64)> =
-            self.popularity.iter().map(|(&k, &p)| (k, p)).collect();
+        let mut v: Vec<(ObjectId, f64)> = self.popularity.iter().map(|(&k, &p)| (k, p)).collect();
         v.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("popularities are finite")
@@ -202,10 +201,7 @@ mod tests {
             .collect();
         // The top-10 sets overlap almost entirely (order may differ in
         // the tail of the head).
-        let overlap = exact_top
-            .iter()
-            .filter(|o| approx_top.contains(o))
-            .count();
+        let overlap = exact_top.iter().filter(|o| approx_top.contains(o)).count();
         assert!(overlap >= 8, "only {overlap}/10 of the hot set matched");
     }
 

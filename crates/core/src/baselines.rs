@@ -202,10 +202,7 @@ impl FixedChunksClient {
         let cache_hits = have.len();
 
         // 2. Backend fetches for the remainder.
-        let exclude: Vec<ChunkId> = have
-            .iter()
-            .map(|&(i, _)| ChunkId::new(object, i))
-            .collect();
+        let exclude: Vec<ChunkId> = have.iter().map(|&(i, _)| ChunkId::new(object, i)).collect();
         let order = regions_by_latency(&self.backend, self.region);
         let plan = plan_backend_fetch(&self.backend, self.region, object, &order, &exclude)?;
         let mut worst = Duration::ZERO;
@@ -655,8 +652,7 @@ mod tests {
     #[test]
     fn backend_only_client_never_caches() {
         let backend = test_backend(2, 900);
-        let client =
-            BackendOnlyClient::new(FRANKFURT, backend, Duration::from_millis(100), 5);
+        let client = BackendOnlyClient::new(FRANKFURT, backend, Duration::from_millis(100), 5);
         assert_eq!(client.label(), "Backend");
         for _ in 0..3 {
             let metrics = client.read(ObjectId::new(0)).unwrap();

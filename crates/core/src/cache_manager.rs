@@ -151,9 +151,7 @@ mod tests {
         assert!(config.total_chunks() > 0);
         assert!(config.total_chunks() <= 10);
         // The hottest object must be in the configuration.
-        assert!(config
-            .objects()
-            .any(|o| o == agar_ec::ObjectId::new(0)));
+        assert!(config.objects().any(|o| o == agar_ec::ObjectId::new(0)));
         assert_eq!(config.epoch(), 1);
     }
 

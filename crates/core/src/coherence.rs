@@ -39,11 +39,7 @@ pub struct WriteCoordinator {
 
 impl WriteCoordinator {
     /// Creates a coordinator over the given Agar nodes (one per region).
-    pub fn new(
-        backend: Arc<agar_store::Backend>,
-        nodes: Vec<Arc<AgarNode>>,
-        seed: u64,
-    ) -> Self {
+    pub fn new(backend: Arc<agar_store::Backend>, nodes: Vec<Arc<AgarNode>>, seed: u64) -> Self {
         WriteCoordinator {
             nodes,
             backend,
@@ -156,8 +152,7 @@ mod tests {
             .contains_key(&object));
         assert!(nodes[SYDNEY.index()].cache_contents().contains_key(&object));
 
-        let coordinator =
-            WriteCoordinator::new(Arc::clone(&backend), nodes.clone(), 9);
+        let coordinator = WriteCoordinator::new(Arc::clone(&backend), nodes.clone(), 9);
         let payload = vec![3u8; 900];
         let (version, latency) = coordinator.write(FRANKFURT, object, &payload).unwrap();
         assert_eq!(version, 2);

@@ -39,9 +39,7 @@ impl CacheConfiguration {
     /// The chunks to cache for `object` (empty when the object is not in
     /// the configuration).
     pub fn chunks_for(&self, object: ObjectId) -> &[u8] {
-        self.per_object
-            .get(&object)
-            .map_or(&[], Vec::as_slice)
+        self.per_object.get(&object).map_or(&[], Vec::as_slice)
     }
 
     /// Whether a specific chunk belongs to the configuration.
@@ -124,10 +122,7 @@ mod tests {
         assert!(config.total_chunks() <= 12);
         assert!(config.planned_value() > 0.0);
         assert_eq!(config.epoch(), 3);
-        let sum: usize = config
-            .objects()
-            .map(|o| config.chunks_for(o).len())
-            .sum();
+        let sum: usize = config.objects().map(|o| config.chunks_for(o).len()).sum();
         assert_eq!(sum as u32, config.total_chunks());
     }
 

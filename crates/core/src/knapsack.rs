@@ -150,8 +150,7 @@ pub fn relax(
             }
         };
         let replacement_value = replacement.as_ref().map_or(0.0, CachingOption::value);
-        let candidate_value =
-            config.value() - old.value() + replacement_value + option.value();
+        let candidate_value = config.value() - old.value() + replacement_value + option.value();
         if candidate_value > best_value + 1e-9 {
             best_value = candidate_value;
             best = Some(config.replace_and_add(index, replacement, option.clone()));
@@ -334,10 +333,7 @@ pub fn greedy(all_options: &HashMap<ObjectId, ObjectOptions>, capacity: u32) -> 
 /// every combination of at most one option per object.
 ///
 /// Runtime is `O((k + 1)^objects)`; intended for ≤ ~6 objects.
-pub fn exhaustive_optimum(
-    all_options: &HashMap<ObjectId, ObjectOptions>,
-    capacity: u32,
-) -> Config {
+pub fn exhaustive_optimum(all_options: &HashMap<ObjectId, ObjectOptions>, capacity: u32) -> Config {
     let objects: Vec<&ObjectOptions> = {
         let mut v: Vec<&ObjectOptions> = all_options.values().collect();
         v.sort_by_key(|o| o.object());
@@ -389,8 +385,7 @@ mod tests {
             .map(|(i, &pop)| {
                 let object = ObjectId::new(i as u64);
                 let locations = (0..12).map(|c| RegionId::new(c % 6)).collect();
-                let manifest =
-                    ObjectManifest::new(object, 1_000_000, 1, params, locations);
+                let manifest = ObjectManifest::new(object, 1_000_000, 1, params, locations);
                 (
                     object,
                     generate_options(&manifest, &latencies, Duration::from_millis(40), pop),

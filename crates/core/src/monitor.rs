@@ -41,10 +41,7 @@ impl RequestMonitor {
     ///
     /// Panics if `alpha` is outside `(0, 1]`.
     pub fn with_alpha(alpha: f64) -> Self {
-        assert!(
-            alpha > 0.0 && alpha <= 1.0,
-            "EWMA alpha must be in (0, 1]"
-        );
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
         RequestMonitor {
             alpha,
             current_epoch_freq: HashMap::new(),
@@ -102,8 +99,7 @@ impl RequestMonitor {
 
     /// All tracked objects with their popularity, most popular first.
     pub fn popularities(&self) -> Vec<(ObjectId, f64)> {
-        let mut v: Vec<(ObjectId, f64)> =
-            self.popularity.iter().map(|(&k, &p)| (k, p)).collect();
+        let mut v: Vec<(ObjectId, f64)> = self.popularity.iter().map(|(&k, &p)| (k, p)).collect();
         v.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("popularities are finite")

@@ -220,7 +220,13 @@ impl AgarNode {
     /// (closing the monitoring epoch), regardless of the period.
     pub fn force_reconfigure(&self) {
         let inner = &mut *self.inner.lock();
-        Self::reconfigure_inner(inner, &self.manager, &self.backend, &self.settings, self.region);
+        Self::reconfigure_inner(
+            inner,
+            &self.manager,
+            &self.backend,
+            &self.settings,
+            self.region,
+        );
     }
 
     /// Drops every cached chunk of `object` (coherence invalidation).
@@ -454,7 +460,11 @@ impl AgarNode {
         inner.reconfigurations += 1;
     }
 
-    fn read_inner(&self, inner: &mut NodeInner, object: ObjectId) -> Result<ReadMetrics, AgarError> {
+    fn read_inner(
+        &self,
+        inner: &mut NodeInner,
+        object: ObjectId,
+    ) -> Result<ReadMetrics, AgarError> {
         inner.monitor.record_read(object);
         let manifest = self.backend.manifest(object)?;
         let k = manifest.params().data_chunks();
@@ -491,8 +501,7 @@ impl AgarNode {
         loop {
             attempts += 1;
             let order = inner.region_manager.region_order();
-            let plan =
-                plan_backend_fetch(&self.backend, self.region, object, &order, &exclude)?;
+            let plan = plan_backend_fetch(&self.backend, self.region, object, &order, &exclude)?;
             let mut failed_region = None;
             fetched.clear();
             worst_backend = Duration::ZERO;
@@ -514,9 +523,7 @@ impl AgarNode {
             match failed_region {
                 None => break,
                 Some(_) if attempts < 3 => continue, // re-plan around the failure
-                Some(region) => {
-                    return Err(StoreError::RegionUnavailable { region }.into())
-                }
+                Some(region) => return Err(StoreError::RegionUnavailable { region }.into()),
             }
         }
         let backend_fetches = fetched.len();
@@ -528,8 +535,7 @@ impl AgarNode {
         } else {
             Duration::ZERO
         };
-        let latency =
-            self.settings.client_overhead + cache_component.max(worst_backend);
+        let latency = self.settings.client_overhead + cache_component.max(worst_backend);
 
         // 4. Reconstruct.
         let total = manifest.params().total_chunks();
@@ -604,7 +610,13 @@ impl CachingClient for AgarNode {
             }
             Some(last) => {
                 if now.saturating_duration_since(last) >= self.settings.reconfiguration_period {
-                    Self::reconfigure_inner(inner, &self.manager, &self.backend, &self.settings, self.region);
+                    Self::reconfigure_inner(
+                        inner,
+                        &self.manager,
+                        &self.backend,
+                        &self.settings,
+                        self.region,
+                    );
                     inner.last_reconfiguration = Some(now);
                     true
                 } else {
@@ -704,7 +716,10 @@ mod tests {
         // Next read fills the cache (still slow), the one after hits.
         node.read(object).unwrap();
         let warm = node.read(object).unwrap();
-        assert!(warm.cache_hits > 0, "expected cache hits after reconfiguration");
+        assert!(
+            warm.cache_hits > 0,
+            "expected cache hits after reconfiguration"
+        );
         assert!(
             warm.latency < cold.latency,
             "warm {:?} vs cold {:?}",
@@ -733,6 +748,7 @@ mod tests {
     fn config_changes_evict_stale_objects() {
         let backend = test_backend(4, 900);
         let node = test_node(backend, 900); // one object's worth
+
         // Make object 0 hot, reconfigure, warm it.
         for _ in 0..50 {
             node.read(ObjectId::new(0)).unwrap();
@@ -759,7 +775,10 @@ mod tests {
         let obj0_chunks = contents
             .get(&ObjectId::new(0))
             .map_or(0, |chunks| chunks.len());
-        assert!(obj0_chunks <= 1, "object 0 should have shrunk: {contents:?}");
+        assert!(
+            obj0_chunks <= 1,
+            "object 0 should have shrunk: {contents:?}"
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl ObjectOptions {
 
     /// The highest option value across all weights (used to order keys).
     pub fn best_value(&self) -> f64 {
-        self.options.iter().map(CachingOption::value).fold(0.0, f64::max)
+        self.options
+            .iter()
+            .map(CachingOption::value)
+            .fold(0.0, f64::max)
     }
 
     /// Read latency with nothing cached (slowest contacted site).
@@ -176,10 +179,7 @@ pub fn generate_options(
         } else {
             used[w].1.max(cache_read)
         };
-        let improvement_ms = baseline_latency
-            .saturating_sub(residual)
-            .as_secs_f64()
-            * 1_000.0;
+        let improvement_ms = baseline_latency.saturating_sub(residual).as_secs_f64() * 1_000.0;
         options.push(CachingOption {
             object: manifest.object(),
             chunks,

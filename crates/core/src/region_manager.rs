@@ -140,7 +140,12 @@ mod tests {
         let preset = aws_six_regions();
         let mut manager = RegionManager::new(FRANKFURT, preset.topology.clone());
         let mut rng = StdRng::seed_from_u64(0);
-        manager.warm_up(&preset.latency, preset.latency.nominal_bytes(), 10, &mut rng);
+        manager.warm_up(
+            &preset.latency,
+            preset.latency.nominal_bytes(),
+            10,
+            &mut rng,
+        );
         manager
     }
 
@@ -149,7 +154,11 @@ mod tests {
         let manager = warmed_manager();
         let order = manager.region_order();
         assert_eq!(order[0], FRANKFURT, "home region is nearest");
-        assert_eq!(*order.last().unwrap(), SYDNEY, "Sydney is furthest from Frankfurt");
+        assert_eq!(
+            *order.last().unwrap(),
+            SYDNEY,
+            "Sydney is furthest from Frankfurt"
+        );
         // Estimates close to the calibrated means.
         let est = manager.estimate(SYDNEY).as_secs_f64() * 1e3;
         assert!((est - 1050.0).abs() < 100.0, "Sydney estimate {est}ms");
@@ -201,7 +210,10 @@ mod tests {
             3,
             &mut rng,
         );
-        assert_eq!(manager.estimate(RegionId::new(1)), Duration::from_millis(25));
+        assert_eq!(
+            manager.estimate(RegionId::new(1)),
+            Duration::from_millis(25)
+        );
         assert_eq!(manager.estimates().len(), 2);
         assert_eq!(manager.home(), RegionId::new(0));
         assert_eq!(manager.topology().len(), 2);

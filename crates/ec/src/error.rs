@@ -149,7 +149,10 @@ mod tests {
         for (err, needle) in cases {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
-            assert!(!msg.ends_with('.'), "{msg:?} should not end with punctuation");
+            assert!(
+                !msg.ends_with('.'),
+                "{msg:?} should not end with punctuation"
+            );
         }
     }
 

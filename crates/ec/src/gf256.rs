@@ -1,6 +1,6 @@
 //! Arithmetic in the Galois field GF(2^8).
 //!
-//! The field is constructed as GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1),
+//! The field is constructed as GF(2)\[x\] / (x^8 + x^4 + x^3 + x^2 + 1),
 //! i.e. with the reducing polynomial `0x11D` that is conventional for
 //! Reed-Solomon codes. Multiplication and division are table-driven:
 //! exponentiation/logarithm tables with respect to the generator `x`
@@ -105,7 +105,10 @@ impl Gf256 {
     /// Panics if `self` is zero, which has no inverse.
     #[inline]
     pub fn inverse(self) -> Self {
-        assert!(!self.is_zero(), "zero has no multiplicative inverse in GF(2^8)");
+        assert!(
+            !self.is_zero(),
+            "zero has no multiplicative inverse in GF(2^8)"
+        );
         Gf256(EXP[GROUP_ORDER - LOG[self.0 as usize] as usize])
     }
 
@@ -199,6 +202,8 @@ impl fmt::Octal for Gf256 {
 impl Add for Gf256 {
     type Output = Gf256;
     #[inline]
+    // In GF(2^8) addition is carry-less: xor is the field operation.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn add(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
     }
@@ -206,6 +211,7 @@ impl Add for Gf256 {
 
 impl AddAssign for Gf256 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)]
     fn add_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }
@@ -214,6 +220,7 @@ impl AddAssign for Gf256 {
 impl Sub for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: Gf256) -> Gf256 {
         // Characteristic 2: subtraction and addition coincide.
         Gf256(self.0 ^ rhs.0)
@@ -222,6 +229,7 @@ impl Sub for Gf256 {
 
 impl SubAssign for Gf256 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)]
     fn sub_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }
@@ -266,8 +274,7 @@ impl Div for Gf256 {
         if self.0 == 0 {
             return Gf256::ZERO;
         }
-        let log =
-            LOG[self.0 as usize] as usize + GROUP_ORDER - LOG[rhs.0 as usize] as usize;
+        let log = LOG[self.0 as usize] as usize + GROUP_ORDER - LOG[rhs.0 as usize] as usize;
         Gf256(EXP[log])
     }
 }
@@ -323,7 +330,11 @@ pub fn mul_add_slice(dst: &mut [u8], src: &[u8], coefficient: u8) {
 ///
 /// Panics if the slices have different lengths.
 pub fn mul_slice(dst: &mut [u8], src: &[u8], coefficient: u8) {
-    assert_eq!(dst.len(), src.len(), "mul_slice requires equal-length slices");
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "mul_slice requires equal-length slices"
+    );
     if coefficient == 0 {
         dst.fill(0);
         return;

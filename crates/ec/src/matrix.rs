@@ -66,11 +66,17 @@ impl Matrix {
     /// Returns [`EcError::InvalidDimensions`] on ragged or empty input.
     pub fn from_rows(rows: &[&[u8]]) -> Result<Self, EcError> {
         if rows.is_empty() || rows[0].is_empty() {
-            return Err(EcError::InvalidDimensions { rows: rows.len(), cols: 0 });
+            return Err(EcError::InvalidDimensions {
+                rows: rows.len(),
+                cols: 0,
+            });
         }
         let cols = rows[0].len();
         if rows.iter().any(|r| r.len() != cols) {
-            return Err(EcError::InvalidDimensions { rows: rows.len(), cols });
+            return Err(EcError::InvalidDimensions {
+                rows: rows.len(),
+                cols,
+            });
         }
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
@@ -158,7 +164,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> u8 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -169,7 +178,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: u8) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -227,12 +239,18 @@ impl Matrix {
     /// or [`EcError::InvalidDimensions`] if `indices` is empty.
     pub fn select_rows(&self, indices: &[usize]) -> Result<Matrix, EcError> {
         if indices.is_empty() {
-            return Err(EcError::InvalidDimensions { rows: 0, cols: self.cols });
+            return Err(EcError::InvalidDimensions {
+                rows: 0,
+                cols: self.cols,
+            });
         }
         let mut data = Vec::with_capacity(indices.len() * self.cols);
         for &i in indices {
             if i >= self.rows {
-                return Err(EcError::RowOutOfBounds { row: i, rows: self.rows });
+                return Err(EcError::RowOutOfBounds {
+                    row: i,
+                    rows: self.rows,
+                });
             }
             data.extend_from_slice(self.row(i));
         }
@@ -350,8 +368,7 @@ impl Matrix {
                     continue;
                 }
                 for c in 0..2 * n {
-                    let v = Gf256::new(work.get(r, c))
-                        + factor * Gf256::new(work.get(col, c));
+                    let v = Gf256::new(work.get(r, c)) + factor * Gf256::new(work.get(col, c));
                     work.set(r, c, v.value());
                 }
             }
@@ -395,8 +412,14 @@ mod tests {
 
     #[test]
     fn invalid_dimensions_rejected() {
-        assert!(matches!(Matrix::zero(0, 3), Err(EcError::InvalidDimensions { .. })));
-        assert!(matches!(Matrix::zero(3, 0), Err(EcError::InvalidDimensions { .. })));
+        assert!(matches!(
+            Matrix::zero(0, 3),
+            Err(EcError::InvalidDimensions { .. })
+        ));
+        assert!(matches!(
+            Matrix::zero(3, 0),
+            Err(EcError::InvalidDimensions { .. })
+        ));
         assert!(matches!(
             Matrix::from_vec(2, 2, vec![1, 2, 3]),
             Err(EcError::InvalidDimensions { .. })
@@ -420,7 +443,10 @@ mod tests {
     fn multiply_dimension_mismatch() {
         let a = Matrix::zero(2, 3).unwrap();
         let b = Matrix::zero(2, 3).unwrap();
-        assert!(matches!(a.multiply(&b), Err(EcError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.multiply(&b),
+            Err(EcError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -485,10 +511,19 @@ mod tests {
     fn vandermonde_any_square_submatrix_invertible() {
         let m = Matrix::vandermonde(8, 4).unwrap();
         // Try several 4-row selections.
-        for sel in [[0, 1, 2, 3], [4, 5, 6, 7], [0, 2, 4, 6], [1, 3, 5, 7], [0, 3, 5, 6]] {
+        for sel in [
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+            [0, 2, 4, 6],
+            [1, 3, 5, 7],
+            [0, 3, 5, 6],
+        ] {
             let square = m.select_rows(&sel).unwrap();
             let inv = square.inverted().unwrap();
-            assert!(square.multiply(&inv).unwrap().is_identity(), "selection {sel:?}");
+            assert!(
+                square.multiply(&inv).unwrap().is_identity(),
+                "selection {sel:?}"
+            );
         }
     }
 
@@ -498,7 +533,10 @@ mod tests {
         for sel in [[0, 1, 2, 3, 4], [1, 2, 3, 4, 5], [0, 2, 3, 4, 5]] {
             let square = m.select_rows(&sel).unwrap();
             let inv = square.inverted().unwrap();
-            assert!(square.multiply(&inv).unwrap().is_identity(), "selection {sel:?}");
+            assert!(
+                square.multiply(&inv).unwrap().is_identity(),
+                "selection {sel:?}"
+            );
         }
     }
 

@@ -173,11 +173,7 @@ impl ReedSolomon {
             data.push(chunk);
         }
         let parity = self.encode(&data)?;
-        Ok(data
-            .into_iter()
-            .chain(parity)
-            .map(Bytes::from)
-            .collect())
+        Ok(data.into_iter().chain(parity).map(Bytes::from).collect())
     }
 
     /// Reassembles an object of `object_size` bytes from at least `k` of
@@ -342,11 +338,17 @@ mod tests {
         let rs = ReedSolomon::new(CodingParams::new(4, 2).unwrap()).unwrap();
         assert!(matches!(
             rs.encode(&sample_data(3, 8)),
-            Err(EcError::WrongShardCount { provided: 3, expected: 4 })
+            Err(EcError::WrongShardCount {
+                provided: 3,
+                expected: 4
+            })
         ));
         let mut ragged = sample_data(4, 8);
         ragged[2].pop();
-        assert!(matches!(rs.encode(&ragged), Err(EcError::ShardSizeMismatch)));
+        assert!(matches!(
+            rs.encode(&ragged),
+            Err(EcError::ShardSizeMismatch)
+        ));
         let empty: Vec<Vec<u8>> = vec![vec![]; 4];
         assert!(matches!(rs.encode(&empty), Err(EcError::ShardSizeMismatch)));
     }
@@ -387,7 +389,11 @@ mod tests {
                 .collect();
             rs.reconstruct(&mut shards).unwrap();
             for (i, shard) in shards.iter().enumerate() {
-                assert_eq!(shard.as_ref().unwrap(), &full[i], "mask {mask:#b} shard {i}");
+                assert_eq!(
+                    shard.as_ref().unwrap(),
+                    &full[i],
+                    "mask {mask:#b} shard {i}"
+                );
             }
         }
     }
@@ -397,14 +403,20 @@ mod tests {
         let rs = ReedSolomon::new(CodingParams::new(4, 2).unwrap()).unwrap();
         let data = sample_data(4, 8);
         let parity = rs.encode(&data).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> =
-            data.into_iter().map(Some).chain(parity.into_iter().map(Some)).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .into_iter()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
         shards[0] = None;
         shards[1] = None;
         shards[4] = None;
         assert!(matches!(
             rs.reconstruct(&mut shards),
-            Err(EcError::NotEnoughShards { present: 3, needed: 4 })
+            Err(EcError::NotEnoughShards {
+                present: 3,
+                needed: 4
+            })
         ));
     }
 
@@ -414,15 +426,17 @@ mod tests {
         let mut shards: Vec<Option<Vec<u8>>> = vec![Some(vec![1; 4]); 5];
         assert!(matches!(
             rs.reconstruct(&mut shards),
-            Err(EcError::WrongShardCount { provided: 5, expected: 6 })
+            Err(EcError::WrongShardCount {
+                provided: 5,
+                expected: 6
+            })
         ));
     }
 
     #[test]
     fn reconstruct_inconsistent_sizes_rejected() {
         let rs = ReedSolomon::new(CodingParams::new(2, 1).unwrap()).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> =
-            vec![Some(vec![1; 4]), Some(vec![2; 5]), None];
+        let mut shards: Vec<Option<Vec<u8>>> = vec![Some(vec![1; 4]), Some(vec![2; 5]), None];
         assert!(matches!(
             rs.reconstruct(&mut shards),
             Err(EcError::ShardSizeMismatch)
@@ -483,8 +497,7 @@ mod tests {
     #[test]
     fn systematic_top_block_is_identity() {
         for kind in [MatrixKind::Vandermonde, MatrixKind::Cauchy] {
-            let rs =
-                ReedSolomon::with_matrix_kind(CodingParams::new(9, 3).unwrap(), kind).unwrap();
+            let rs = ReedSolomon::with_matrix_kind(CodingParams::new(9, 3).unwrap(), kind).unwrap();
             let top = rs
                 .encoding_matrix()
                 .select_rows(&(0..9).collect::<Vec<_>>())

@@ -157,10 +157,7 @@ impl MatrixLatency {
         let n = millis.len();
         if n == 0
             || millis.iter().any(|row| row.len() != n)
-            || millis
-                .iter()
-                .flatten()
-                .any(|v| !v.is_finite() || *v < 0.0)
+            || millis.iter().flatten().any(|v| !v.is_finite() || *v < 0.0)
         {
             return Err(NetError::InvalidMatrix {
                 rows: n,
@@ -224,8 +221,7 @@ impl MatrixLatency {
     fn mean_millis(&self, from: RegionId, to: RegionId, bytes: usize) -> f64 {
         let entry = self.millis[from.index()][to.index()];
         let fixed = entry * (1.0 - self.transfer_fraction);
-        let variable =
-            entry * self.transfer_fraction * (bytes as f64 / self.nominal_bytes as f64);
+        let variable = entry * self.transfer_fraction * (bytes as f64 / self.nominal_bytes as f64);
         fixed + variable
     }
 }
@@ -336,7 +332,10 @@ mod tests {
         let mean = m.mean(a, b, m.nominal_bytes()).as_secs_f64();
         for _ in 0..500 {
             let s = m.sample(a, b, m.nominal_bytes(), &mut rng).as_secs_f64();
-            assert!(s >= mean * 0.9 - 1e-9 && s <= mean * 1.1 + 1e-9, "sample {s}");
+            assert!(
+                s >= mean * 0.9 - 1e-9 && s <= mean * 1.1 + 1e-9,
+                "sample {s}"
+            );
         }
     }
 

@@ -35,16 +35,16 @@
 
 pub mod error;
 pub mod latency;
-pub mod prober;
 pub mod presets;
+pub mod prober;
 pub mod region;
 pub mod sim;
 pub mod time;
 
 pub use error::NetError;
 pub use latency::{ConstantLatency, Jitter, MatrixLatency};
-pub use prober::{LatencyEstimate, Prober};
 pub use presets::GeoPreset;
+pub use prober::{LatencyEstimate, Prober};
 pub use region::{Region, RegionId, Topology};
 pub use sim::{Scheduler, Simulation};
 pub use time::SimTime;

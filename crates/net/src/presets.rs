@@ -87,7 +87,8 @@ pub fn aws_six_regions() -> GeoPreset {
     // nominal (111 KiB) chunk read including request overhead.
     let millis: Vec<Vec<f64>> = vec![
         //        FRA     DUB     NVA     SAO     TYO     SYD
-        /*FRA*/ vec![50.0, 280.0, 760.0, 860.0, 1000.0, 1050.0],
+        /*FRA*/
+        vec![50.0, 280.0, 760.0, 860.0, 1000.0, 1050.0],
         /*DUB*/ vec![280.0, 50.0, 700.0, 820.0, 1050.0, 1100.0],
         /*NVA*/ vec![760.0, 700.0, 50.0, 600.0, 900.0, 950.0],
         /*SAO*/ vec![860.0, 820.0, 600.0, 50.0, 1200.0, 1250.0],
@@ -114,7 +115,8 @@ pub fn aws_six_regions() -> GeoPreset {
 pub fn paper_table_one() -> GeoPreset {
     let millis: Vec<Vec<f64>> = vec![
         //        FRA      DUB      NVA      SAO      TYO      SYD
-        /*FRA*/ vec![80.0, 200.0, 600.0, 1400.0, 3400.0, 4600.0],
+        /*FRA*/
+        vec![80.0, 200.0, 600.0, 1400.0, 3400.0, 4600.0],
         /*DUB*/ vec![200.0, 80.0, 500.0, 1300.0, 3600.0, 4700.0],
         /*NVA*/ vec![600.0, 500.0, 80.0, 900.0, 2800.0, 3900.0],
         /*SAO*/ vec![1400.0, 1300.0, 900.0, 80.0, 4200.0, 4500.0],
@@ -123,8 +125,7 @@ pub fn paper_table_one() -> GeoPreset {
     ];
     GeoPreset {
         topology: Topology::from_names(SIX_REGION_NAMES),
-        latency: MatrixLatency::from_millis(millis)
-            .expect("preset matrix is square and finite"),
+        latency: MatrixLatency::from_millis(millis).expect("preset matrix is square and finite"),
         cache_read: Duration::from_millis(40),
         client_overhead: Duration::from_millis(100),
     }
@@ -186,13 +187,7 @@ mod tests {
         // dramatically closer (the cliff).
         let preset = aws_six_regions();
         let nominal = preset.latency.nominal_bytes();
-        let ms = |to: RegionId| {
-            preset
-                .latency
-                .mean(FRANKFURT, to, nominal)
-                .as_secs_f64()
-                * 1_000.0
-        };
+        let ms = |to: RegionId| preset.latency.mean(FRANKFURT, to, nominal).as_secs_f64() * 1_000.0;
         assert!(ms(SYDNEY) > ms(TOKYO));
         assert!(ms(TOKYO) > ms(SAO_PAULO));
         assert!(ms(SAO_PAULO) > ms(N_VIRGINIA));

@@ -26,7 +26,10 @@ impl LatencyEstimate {
     ///
     /// Panics if `samples` is empty.
     pub fn from_samples(samples: &[Duration]) -> Self {
-        assert!(!samples.is_empty(), "latency estimate needs at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "latency estimate needs at least one sample"
+        );
         let total: Duration = samples.iter().sum();
         LatencyEstimate {
             mean: total / samples.len() as u32,

@@ -71,7 +71,10 @@ fn interleaved_periodic_and_reactive_events_stay_ordered() {
     // A periodic 1 s tick and a burst of one-shot events must interleave
     // deterministically by timestamp.
     let mut sim = Simulation::new(Vec::<(u64, &'static str)>::new());
-    fn tick(log: &mut Vec<(u64, &'static str)>, sched: &mut agar_net::Scheduler<Vec<(u64, &'static str)>>) {
+    fn tick(
+        log: &mut Vec<(u64, &'static str)>,
+        sched: &mut agar_net::Scheduler<Vec<(u64, &'static str)>>,
+    ) {
         log.push((sched.now().as_millis(), "tick"));
         if sched.now() < SimTime::from_secs(5) {
             sched.schedule_in(Duration::from_secs(1), tick);
@@ -100,8 +103,12 @@ fn probe_then_simulate_pipeline() {
     let preset = aws_six_regions();
     let prober = agar_net::Prober::new(100_000, 5);
     let mut rng = StdRng::seed_from_u64(3);
-    let estimates =
-        prober.probe_all(&preset.latency, RegionId::new(0), preset.topology.len(), &mut rng);
+    let estimates = prober.probe_all(
+        &preset.latency,
+        RegionId::new(0),
+        preset.topology.len(),
+        &mut rng,
+    );
     // Nearest region by estimate is home itself.
     let nearest = estimates
         .iter()

@@ -120,9 +120,7 @@ impl Backend {
     ) -> Result<(u64, Duration), StoreError> {
         let shards = self.codec.encode_object(data)?;
         let total = self.params.total_chunks();
-        let locations = self
-            .placement
-            .place(object, total, self.topology.len());
+        let locations = self.placement.place(object, total, self.topology.len());
         if locations.len() != total {
             return Err(StoreError::InvalidPlacement {
                 what: "placement did not cover every chunk",
@@ -143,13 +141,8 @@ impl Backend {
                     manifest.version()
                 }
                 None => {
-                    let manifest = ObjectManifest::new(
-                        object,
-                        data.len(),
-                        1,
-                        self.params,
-                        locations.clone(),
-                    );
+                    let manifest =
+                        ObjectManifest::new(object, data.len(), 1, self.params, locations.clone());
                     let v = manifest.version();
                     manifests.insert(object, manifest);
                     v
@@ -161,9 +154,7 @@ impl Backend {
         for (i, (shard, &region)) in shards.iter().zip(&locations).enumerate() {
             let id = ChunkId::new(object, i as u8);
             self.bucket(region)?.put(id, shard.clone(), version);
-            let latency = self
-                .latency
-                .sample(writer_region, region, shard.len(), rng);
+            let latency = self.latency.sample(writer_region, region, shard.len(), rng);
             worst = worst.max(latency);
         }
         Ok((version, worst))
@@ -233,7 +224,9 @@ impl Backend {
 
     /// Whether the region is currently reachable.
     pub fn is_region_available(&self, region: RegionId) -> bool {
-        self.bucket(region).map(Bucket::is_available).unwrap_or(false)
+        self.bucket(region)
+            .map(Bucket::is_available)
+            .unwrap_or(false)
     }
 
     /// Number of stored objects.
@@ -331,7 +324,12 @@ mod tests {
         let backend = test_backend(3);
         let mut rng = StdRng::seed_from_u64(0);
         let (version, latency) = backend
-            .put_object(RegionId::new(0), ObjectId::new(1), &[1, 2, 3, 4, 5, 6, 7, 8], &mut rng)
+            .put_object(
+                RegionId::new(0),
+                ObjectId::new(1),
+                &[1, 2, 3, 4, 5, 6, 7, 8],
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(version, 1);
         assert_eq!(latency, Duration::from_millis(10));
@@ -348,8 +346,12 @@ mod tests {
         let backend = test_backend(3);
         let mut rng = StdRng::seed_from_u64(0);
         let id = ObjectId::new(0);
-        backend.put_object(RegionId::new(0), id, &[1; 8], &mut rng).unwrap();
-        let (v2, _) = backend.put_object(RegionId::new(0), id, &[2; 8], &mut rng).unwrap();
+        backend
+            .put_object(RegionId::new(0), id, &[1; 8], &mut rng)
+            .unwrap();
+        let (v2, _) = backend
+            .put_object(RegionId::new(0), id, &[2; 8], &mut rng)
+            .unwrap();
         assert_eq!(v2, 2);
         assert_eq!(backend.manifest(id).unwrap().version(), 2);
         // Chunks carry the new version.
@@ -364,7 +366,9 @@ mod tests {
         let backend = test_backend(3);
         let mut rng = StdRng::seed_from_u64(0);
         let id = ObjectId::new(5);
-        backend.put_object(RegionId::new(0), id, &[9; 8], &mut rng).unwrap();
+        backend
+            .put_object(RegionId::new(0), id, &[9; 8], &mut rng)
+            .unwrap();
         let fetch = backend
             .fetch_chunk(RegionId::new(1), ChunkId::new(id, 3), &mut rng)
             .unwrap();
@@ -381,7 +385,11 @@ mod tests {
             Err(StoreError::UnknownObject { .. })
         ));
         assert!(matches!(
-            backend.fetch_chunk(RegionId::new(0), ChunkId::new(ObjectId::new(9), 0), &mut rng),
+            backend.fetch_chunk(
+                RegionId::new(0),
+                ChunkId::new(ObjectId::new(9), 0),
+                &mut rng
+            ),
             Err(StoreError::UnknownObject { .. })
         ));
     }
@@ -391,7 +399,9 @@ mod tests {
         let backend = test_backend(3);
         let mut rng = StdRng::seed_from_u64(0);
         let id = ObjectId::new(0);
-        backend.put_object(RegionId::new(0), id, &[1; 8], &mut rng).unwrap();
+        backend
+            .put_object(RegionId::new(0), id, &[1; 8], &mut rng)
+            .unwrap();
 
         backend.fail_region(RegionId::new(1));
         assert!(!backend.is_region_available(RegionId::new(1)));

@@ -152,7 +152,9 @@ impl StorageClient {
 
         let k = manifest.params().data_chunks();
         let decoded = !(0..k).all(|i| shards[i].is_some());
-        let data = backend.codec().reconstruct_object(&shards, manifest.size())?;
+        let data = backend
+            .codec()
+            .reconstruct_object(&shards, manifest.size())?;
         Ok(ReadOutcome {
             data,
             latency: worst,
@@ -217,8 +219,7 @@ mod tests {
         populate(&backend, 1, 900, &mut rng).unwrap();
         let order = regions_by_latency(&backend, FRANKFURT);
         assert_eq!(order[0], FRANKFURT);
-        let plan =
-            plan_backend_fetch(&backend, FRANKFURT, ObjectId::new(0), &order, &[]).unwrap();
+        let plan = plan_backend_fetch(&backend, FRANKFURT, ObjectId::new(0), &order, &[]).unwrap();
         let from_sydney = plan.iter().filter(|(_, r)| *r == SYDNEY).count();
         let from_tokyo = plan.iter().filter(|(_, r)| *r == TOKYO).count();
         assert_eq!(from_sydney, 0, "the m furthest chunks are never planned");

@@ -40,7 +40,10 @@ fn every_single_region_failure_is_survivable() {
                 expected_payload(i, SIZE).as_slice(),
                 "region {r} down, object {i}"
             );
-            assert!(out.sources.iter().all(|&(_, reg)| reg.index() != r as usize));
+            assert!(out
+                .sources
+                .iter()
+                .all(|&(_, reg)| reg.index() != r as usize));
         }
     }
 }
@@ -86,9 +89,13 @@ fn writes_resume_after_heal() {
     let backend = backend();
     let mut client = StorageClient::new(RegionId::new(0), 5);
     backend.fail_region(RegionId::new(4));
-    assert!(client.write(&backend, ObjectId::new(9), &[1; SIZE]).is_err());
+    assert!(client
+        .write(&backend, ObjectId::new(9), &[1; SIZE])
+        .is_err());
     backend.heal_region(RegionId::new(4));
-    let (version, _) = client.write(&backend, ObjectId::new(9), &[1; SIZE]).unwrap();
+    let (version, _) = client
+        .write(&backend, ObjectId::new(9), &[1; SIZE])
+        .unwrap();
     assert_eq!(version, 1);
     let out = client.read(&backend, ObjectId::new(9)).unwrap();
     assert_eq!(out.data.as_ref(), [1; SIZE].as_slice());

@@ -119,7 +119,11 @@ impl KeyDistribution for Hotspot {
     }
 
     fn label(&self) -> String {
-        format!("hotspot({}/{:.0}%)", self.hot_keys, self.hot_fraction * 100.0)
+        format!(
+            "hotspot({}/{:.0}%)",
+            self.hot_keys,
+            self.hot_fraction * 100.0
+        )
     }
 }
 
@@ -152,9 +156,7 @@ impl Sequential {
 
 impl KeyDistribution for Sequential {
     fn sample(&self, _rng: &mut dyn RngCore) -> u64 {
-        self.next
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-            % self.n
+        self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % self.n
     }
 
     fn n(&self) -> u64 {
@@ -214,7 +216,7 @@ mod tests {
     fn uniform_covers_range_evenly() {
         let d = UniformKeys::new(10).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut counts = vec![0u64; 10];
+        let mut counts = [0u64; 10];
         for _ in 0..100_000 {
             counts[d.sample(&mut rng) as usize] += 1;
         }

@@ -246,7 +246,7 @@ mod tests {
     #[test]
     fn scramble_is_a_permutation() {
         let z = Zipfian::new(64, 1.0).unwrap().scrambled(9);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for rank in 0..64u64 {
             let key = match &z.permutation {
                 Some(p) => p[rank as usize],
@@ -276,7 +276,7 @@ mod tests {
     fn scrambled_preserves_marginal_popularity() {
         let z = Zipfian::new(20, 1.2).unwrap().scrambled(5);
         let mut rng = StdRng::seed_from_u64(13);
-        let mut counts = vec![0u64; 20];
+        let mut counts = [0u64; 20];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng) as usize] += 1;
         }

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let zipf = Zipfian::new(100, 1.1)?;
     let mut workload_rng = StdRng::seed_from_u64(99);
-    println!("{:<7} {:>6} {:>9} {:>10}  hottest cached objects", "epoch", "shift", "avg ms", "hit-ratio");
+    println!(
+        "{:<7} {:>6} {:>9} {:>10}  hottest cached objects",
+        "epoch", "shift", "avg ms", "hit-ratio"
+    );
 
     // Phase 1 epochs draw hot keys from rank 0 up; phase 2 shifts the
     // popularity ranking by 50 (objects 50.. become the hot set).

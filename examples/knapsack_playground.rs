@@ -9,8 +9,8 @@
 
 use agar::{exhaustive_optimum, generate_options, greedy, KnapsackSolver, ObjectOptions};
 use agar_ec::{CodingParams, ObjectId};
-use agar_net::presets::{paper_table_one, FRANKFURT};
 use agar_net::latency::LatencyModel;
+use agar_net::presets::{paper_table_one, FRANKFURT};
 use agar_store::ObjectManifest;
 use std::collections::HashMap;
 use std::error::Error;

@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!(
             "{:<12} cached {:?} chunks of {object}",
             backend.topology().region(node.region()).unwrap().name(),
-            node.cache_contents().get(&object).map(Vec::len).unwrap_or(0),
+            node.cache_contents()
+                .get(&object)
+                .map(Vec::len)
+                .unwrap_or(0),
         );
     }
 

@@ -11,11 +11,7 @@ use agar_bench::{run_averaged, Deployment, PolicySpec, RunConfig, Scale};
 use agar_net::presets::{FRANKFURT, SYDNEY};
 use agar_workload::Distribution;
 
-fn config(
-    region: agar_net::RegionId,
-    policy: PolicySpec,
-    dist: Distribution,
-) -> RunConfig {
+fn config(region: agar_net::RegionId, policy: PolicySpec, dist: Distribution) -> RunConfig {
     let mut config = RunConfig::paper_default(region, policy);
     config.workload.operations = 1_000;
     config.workload.distribution = dist;
@@ -72,9 +68,16 @@ fn uniform_workload_levels_the_field() {
     // choice makes little difference.
     let deployment = Deployment::build(Scale::tiny());
     let uniform = Distribution::Uniform;
-    let agar = run_averaged(&deployment, &config(FRANKFURT, PolicySpec::Agar, uniform), 2);
-    let backend =
-        run_averaged(&deployment, &config(FRANKFURT, PolicySpec::Backend, uniform), 1);
+    let agar = run_averaged(
+        &deployment,
+        &config(FRANKFURT, PolicySpec::Agar, uniform),
+        2,
+    );
+    let backend = run_averaged(
+        &deployment,
+        &config(FRANKFURT, PolicySpec::Backend, uniform),
+        1,
+    );
     // Agar cannot be much better than the backend when nothing is hot.
     assert!(
         agar.mean_latency_ms > backend.mean_latency_ms * 0.85,

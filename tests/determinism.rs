@@ -2,7 +2,7 @@
 //! seeds must yield bit-identical experiment results.
 
 use agar_bench::{run_once, Deployment, PolicySpec, RunConfig, Scale};
-use agar_net::presets::FRANKFURT;
+use agar_net::presets::{FRANKFURT, SYDNEY};
 
 #[test]
 fn full_experiment_runs_are_bit_deterministic() {
@@ -17,6 +17,39 @@ fn full_experiment_runs_are_bit_deterministic() {
         assert_eq!(a.total_hits, b.total_hits, "{policy:?}");
         assert_eq!(a.cache_contents, b.cache_contents, "{policy:?}");
         assert_eq!(a.sim_duration, b.sim_duration, "{policy:?}");
+    }
+}
+
+#[test]
+fn seeded_runs_are_byte_identical_across_fresh_deployments() {
+    // Stronger than field-by-field equality: the entire `RunResult` —
+    // including float bit patterns and the full cache-contents map —
+    // must match byte for byte, even when the deployment itself is
+    // rebuilt from scratch. This pins the discrete-event simulator's
+    // determinism so future refactors (parallelism, event reordering,
+    // hash-map iteration) cannot silently change results.
+    for region in [FRANKFURT, SYDNEY] {
+        for policy in [PolicySpec::Agar, PolicySpec::Lru(3), PolicySpec::Backend] {
+            let mut config = RunConfig::paper_default(region, policy);
+            config.workload.operations = 200;
+            let a = run_once(&Deployment::build(Scale::tiny()), &config);
+            let b = run_once(&Deployment::build(Scale::tiny()), &config);
+            assert_eq!(
+                a.mean_latency_ms.to_bits(),
+                b.mean_latency_ms.to_bits(),
+                "{policy:?} at {region}: mean latency bits diverged"
+            );
+            assert_eq!(
+                a.hit_ratio.to_bits(),
+                b.hit_ratio.to_bits(),
+                "{policy:?} at {region}: hit ratio bits diverged"
+            );
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{policy:?} at {region}: full run result diverged"
+            );
+        }
     }
 }
 

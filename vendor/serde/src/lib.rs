@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde through `#[derive(Serialize,
+//! Deserialize)]` annotations — no code path actually serialises
+//! anything yet. Since crates.io is unreachable from the build
+//! environment, this proc-macro crate accepts those derives and expands
+//! them to nothing, keeping the annotations in place so a future PR can
+//! swap in the real serde without touching the annotated types.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
