@@ -1,0 +1,45 @@
+//! Concurrent read throughput (host execution time): `M` OS-thread
+//! clients hammering one shared Agar node on a cache-hit-heavy
+//! workload. The pre-refactor node serialised the whole read path
+//! behind one mutex, so added threads bought nothing; the sharded read
+//! pipeline is expected to scale aggregate ops/s ≥ 2x from 1 to 4
+//! threads (asserted by `tests/concurrent_reads.rs`; reported here).
+
+use agar_bench::{build_warm_node, run_threads, throughput_scaling, Deployment, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const OPS_PER_THREAD: usize = 400;
+const HOT_OBJECTS: u64 = 8;
+
+fn bench_concurrent_reads(c: &mut Criterion) {
+    let deployment = Deployment::build(Scale::tiny());
+    let region = deployment.region("Frankfurt");
+    let node = build_warm_node(&deployment, region, 10.0, HOT_OBJECTS, 0xBE4C);
+    let mut group = c.benchmark_group("concurrent_reads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}_threads")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(run_threads(&node, threads, OPS_PER_THREAD, HOT_OBJECTS)))
+            },
+        );
+    }
+    group.finish();
+
+    // Headline number for the log: aggregate scaling 1 -> 4 threads.
+    let runs = throughput_scaling(&deployment, region, &[1, 4], OPS_PER_THREAD);
+    eprintln!(
+        "concurrent_reads: 1 thread {:.0} ops/s, 4 threads {:.0} ops/s ({:.2}x), {:.1}% cache hits",
+        runs[0].ops_per_sec,
+        runs[1].ops_per_sec,
+        runs[1].ops_per_sec / runs[0].ops_per_sec,
+        runs[1].hit_fraction() * 100.0
+    );
+}
+
+criterion_group!(benches, bench_concurrent_reads);
+criterion_main!(benches);

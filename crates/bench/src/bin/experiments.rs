@@ -4,6 +4,8 @@
 //! cargo run -p agar-bench --release --bin experiments -- [ids...] [--tiny] [--runs N] [--ops N]
 //!
 //! ids: fig2 table1 fig6 fig7 fig8a fig8b fig9 fig10 ablation all   (default: all)
+//!      throughput   (multi-threaded wall-clock scaling; not part of `all`
+//!                    because it measures the host, not the simulation)
 //! --tiny        run at test scale (fast, same shapes)
 //! --runs N      repetitions to average (default 5, paper value)
 //! --ops N       operations per run (default 1000, paper value)
@@ -96,6 +98,10 @@ fn main() {
             "fig9" => vec![experiments::fig9(&deployment, &params)],
             "fig10" => vec![experiments::fig10(&deployment, &params)],
             "ablation" => vec![experiments::ablation(&deployment, &params)],
+            "throughput" => vec![agar_bench::throughput::throughput_table(
+                &deployment,
+                params.operations,
+            )],
             other => usage(&format!("unknown experiment {other}")),
         };
         for table in tables {
@@ -121,7 +127,7 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|all]... \
+        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|all]... \
          [--tiny] [--runs N] [--ops N] [--out DIR]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });

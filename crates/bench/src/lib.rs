@@ -24,8 +24,10 @@
 pub mod experiments;
 pub mod harness;
 pub mod table;
+pub mod throughput;
 
 pub use harness::{
     run_averaged, run_once, Deployment, LatencyProfile, PolicySpec, RunConfig, RunResult, Scale,
 };
 pub use table::Table;
+pub use throughput::{build_warm_node, run_threads, throughput_scaling, ThroughputRun};

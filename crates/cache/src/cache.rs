@@ -208,6 +208,20 @@ where
         }
     }
 
+    /// Evicts the policy's current victim, returning it (or `None` when
+    /// the cache is empty). Used by wrappers that enforce a capacity
+    /// bound spanning several caches (see the sharded cache).
+    pub fn evict_one(&mut self) -> Option<(K, V)> {
+        let victim = self.policy.evict_candidate()?;
+        let entry = self
+            .entries
+            .remove(&victim)
+            .expect("policy and entry map agree");
+        self.used -= entry.weight();
+        self.stats.record_eviction();
+        Some((victim, entry))
+    }
+
     /// Removes an entry, returning it.
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let value = self.entries.remove(key)?;
@@ -478,6 +492,22 @@ mod tests {
         assert_eq!(c.weight(), 123);
         assert_eq!(c.version(), 9);
         assert_eq!(c.data().len(), 123);
+    }
+
+    #[test]
+    fn evict_one_follows_policy_order() {
+        let mut cache = Cache::with_capacity(100, Lru::new());
+        cache.insert(1u32, bytes(10));
+        cache.insert(2, bytes(10));
+        cache.get(&1); // refresh 1: the LRU victim is now 2
+        let (key, value) = cache.evict_one().unwrap();
+        assert_eq!(key, 2);
+        assert_eq!(value.weight(), 10);
+        assert_eq!(cache.used_bytes(), 10);
+        assert_eq!(cache.stats().evictions(), 1);
+        assert!(cache.evict_one().is_some());
+        assert!(cache.evict_one().is_none());
+        assert_eq!(cache.used_bytes(), 0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod fifo;
 pub mod lfu;
 pub mod lru;
 pub mod policy;
+pub mod sharded;
 pub mod sketch;
 pub mod slru;
 pub mod stats;
@@ -52,9 +53,10 @@ pub use fifo::Fifo;
 pub use lfu::Lfu;
 pub use lru::Lru;
 pub use policy::{AnyPolicy, EvictionPolicy, PolicyKind};
+pub use sharded::{ShardedChunkCache, DEFAULT_CACHE_SHARDS};
 pub use sketch::CountMinSketch;
 pub use slru::Slru;
-pub use stats::CacheStats;
+pub use stats::{AtomicCacheStats, CacheStats};
 pub use tinylfu::TinyLfu;
 
 use agar_ec::ChunkId;

@@ -1,0 +1,424 @@
+//! A sharded chunk cache for concurrently shared nodes.
+//!
+//! The plain [`Cache`] needs `&mut self` (its eviction
+//! policy updates recency metadata on every read), so a node sharing one
+//! cache across client threads would serialise every lookup behind a
+//! single lock. [`ShardedChunkCache`] removes that bottleneck:
+//!
+//! - entries are spread over `N` shards by a deterministic hash of the
+//!   [`ChunkId`], each shard a small [`ChunkCache`] behind its own
+//!   mutex, so lookups of different chunks proceed in parallel;
+//! - the *byte* capacity stays **global**: an atomic counter tracks the
+//!   total, and inserts evict per-shard policy victims round-robin
+//!   across shards until the whole cache fits again (approximate global
+//!   LRU/LFU, exact global capacity);
+//! - statistics live in an [`AtomicCacheStats`], so hot-path hit/miss
+//!   accounting never takes a lock. (The per-shard caches keep their
+//!   own private counters too — those only see shard-local events and
+//!   are deliberately never exposed here; [`ShardedChunkCache::stats`]
+//!   is the single source of truth.)
+//!
+//! Everything is deterministic under single-threaded use: shard
+//! selection hashes only the chunk id, and the eviction cursor advances
+//! in call order.
+
+use crate::cache::{CachedChunk, InsertOutcome, Weigh};
+use crate::policy::{AnyPolicy, PolicyKind};
+use crate::stats::{AtomicCacheStats, CacheStats};
+use crate::{Cache, ChunkCache};
+use agar_ec::ChunkId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default shard count: enough to keep a handful of client threads off
+/// each other's locks without fragmenting tiny test caches.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// A concurrently accessible chunk cache: `N` independently locked
+/// shards under one global byte budget.
+///
+/// # Examples
+///
+/// ```
+/// use agar_cache::{CachedChunk, PolicyKind, ShardedChunkCache};
+/// use agar_ec::{ChunkId, ObjectId};
+/// use bytes::Bytes;
+///
+/// let cache = ShardedChunkCache::new(1_000, PolicyKind::Lru, 4);
+/// let id = ChunkId::new(ObjectId::new(0), 3);
+/// cache.insert(id, CachedChunk::new(Bytes::from(vec![0u8; 100]), 1));
+/// assert_eq!(cache.get(&id).map(|c| c.version()), Some(1));
+/// assert_eq!(cache.stats().chunk_hits(), 1);
+/// ```
+pub struct ShardedChunkCache {
+    shards: Vec<Mutex<ChunkCache>>,
+    capacity: usize,
+    used: AtomicUsize,
+    evict_cursor: AtomicUsize,
+    stats: AtomicCacheStats,
+}
+
+impl ShardedChunkCache {
+    /// Creates a cache bounded to `capacity_bytes` with `shards` shards
+    /// (clamped to at least one) and the given eviction policy per
+    /// shard.
+    pub fn new(capacity_bytes: usize, policy: PolicyKind, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedChunkCache {
+            // Each shard is allowed the full byte budget: the *global*
+            // capacity is enforced by `evict_to_capacity`, so a skewed
+            // shard never evicts while the cache as a whole still fits.
+            shards: (0..shards)
+                .map(|_| Mutex::new(Cache::with_capacity(capacity_bytes, AnyPolicy::new(policy))))
+                .collect(),
+            capacity: capacity_bytes,
+            used: AtomicUsize::new(0),
+            evict_cursor: AtomicUsize::new(0),
+            stats: AtomicCacheStats::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index(&self, key: &ChunkId) -> usize {
+        // Deterministic multiply-xor mix of (object id, chunk index);
+        // `HashMap`'s default hasher is randomly keyed per process, which
+        // would break run-to-run reproducibility.
+        let mut h = key
+            .object()
+            .index()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(key.index().value()).wrapping_mul(0xA24B_AED4_963E_E407));
+        h ^= h >> 32;
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 33) as usize % self.shards.len()
+    }
+
+    /// Reads a chunk, updating the owning shard's recency metadata and
+    /// the shared hit/miss counters. Returns a clone (cheap: the payload
+    /// is reference-counted [`bytes::Bytes`]).
+    pub fn get(&self, key: &ChunkId) -> Option<CachedChunk> {
+        let found = self.shards[self.shard_index(key)].lock().get(key).cloned();
+        match found {
+            Some(chunk) => {
+                self.stats.record_chunk_hit();
+                Some(chunk)
+            }
+            None => {
+                self.stats.record_chunk_miss();
+                None
+            }
+        }
+    }
+
+    /// Reads a chunk without touching recency metadata or counters.
+    pub fn peek(&self, key: &ChunkId) -> Option<CachedChunk> {
+        self.shards[self.shard_index(key)].lock().peek(key).cloned()
+    }
+
+    /// Whether the chunk is present (no metadata update).
+    pub fn contains(&self, key: &ChunkId) -> bool {
+        self.shards[self.shard_index(key)].lock().contains(key)
+    }
+
+    /// Inserts a chunk, evicting across shards until the global byte
+    /// budget fits. Returns whether the chunk was stored (an entry
+    /// larger than the whole cache is rejected).
+    pub fn insert(&self, key: ChunkId, value: CachedChunk) -> bool {
+        let weight = value.weight();
+        if weight > self.capacity {
+            self.stats.record_rejected_insert();
+            return false;
+        }
+        // `used` is adjusted while the shard lock is still held: an
+        // entry's weight is always added before any concurrent
+        // remove/evict of that entry can subtract it, so the counter
+        // can never underflow.
+        {
+            let mut shard = self.shards[self.shard_index(&key)].lock();
+            let outcome = shard.insert(key, value);
+            let mut freed = 0usize;
+            match &outcome {
+                InsertOutcome::Inserted { evicted } => {
+                    for (_, victim) in evicted {
+                        freed += victim.weight();
+                        self.stats.record_eviction();
+                    }
+                }
+                InsertOutcome::Replaced { previous, evicted } => {
+                    freed += previous.weight();
+                    for (_, victim) in evicted {
+                        freed += victim.weight();
+                        self.stats.record_eviction();
+                    }
+                }
+                InsertOutcome::Rejected { .. } => {
+                    self.stats.record_rejected_insert();
+                    return false;
+                }
+            }
+            self.stats.record_insertion();
+            self.used.fetch_add(weight, Ordering::AcqRel);
+            if freed > 0 {
+                self.used.fetch_sub(freed, Ordering::AcqRel);
+            }
+        }
+        self.evict_to_capacity();
+        true
+    }
+
+    /// Evicts per-shard policy victims, visiting shards round-robin,
+    /// until the global byte budget fits (approximate global eviction
+    /// order, exact global capacity). Holds at most one shard lock at a
+    /// time, so it can never deadlock against concurrent lookups.
+    fn evict_to_capacity(&self) {
+        let n = self.shards.len();
+        while self.used.load(Ordering::Acquire) > self.capacity {
+            let start = self.evict_cursor.fetch_add(1, Ordering::Relaxed);
+            let mut evicted_one = false;
+            for offset in 0..n {
+                let mut shard = self.shards[(start + offset) % n].lock();
+                if let Some((_, entry)) = shard.evict_one() {
+                    // Subtract under the shard lock (see `insert`).
+                    self.used.fetch_sub(entry.weight(), Ordering::AcqRel);
+                    self.stats.record_eviction();
+                    evicted_one = true;
+                    break;
+                }
+            }
+            if !evicted_one {
+                break; // every shard is already empty
+            }
+        }
+    }
+
+    /// Removes a chunk, returning it.
+    pub fn remove(&self, key: &ChunkId) -> Option<CachedChunk> {
+        let mut shard = self.shards[self.shard_index(key)].lock();
+        let removed = shard.remove(key);
+        if let Some(chunk) = &removed {
+            // Subtract under the shard lock (see `insert`).
+            self.used.fetch_sub(chunk.weight(), Ordering::AcqRel);
+        }
+        removed
+    }
+
+    /// Removes every chunk matching a predicate (bulk invalidation),
+    /// returning how many were removed.
+    pub fn remove_matching(&self, mut pred: impl FnMut(&ChunkId) -> bool) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            let before = guard.used_bytes();
+            removed += guard.remove_matching(&mut pred);
+            let freed = before - guard.used_bytes();
+            if freed > 0 {
+                // Subtract under the shard lock (see `insert`).
+                self.used.fetch_sub(freed, Ordering::AcqRel);
+            }
+        }
+        removed
+    }
+
+    /// Every cached chunk id, in shard order (callers sort as needed).
+    pub fn keys(&self) -> Vec<ChunkId> {
+        let mut keys = Vec::new();
+        for shard in &self.shards {
+            keys.extend(shard.lock().keys().copied());
+        }
+        keys
+    }
+
+    /// Number of cached chunks.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Bytes currently stored (approximate only while inserts are
+    /// mid-flight on other threads).
+    pub fn used_bytes(&self) -> usize {
+        self.used.load(Ordering::Acquire)
+    }
+
+    /// Configured global capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity
+    }
+
+    /// A point-in-time snapshot of the shared statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.snapshot()
+    }
+
+    /// Records an object-level read outcome (lock-free); see
+    /// [`CacheStats::record_object_read`].
+    pub fn record_object_read(&self, cached_chunks: usize, needed_chunks: usize) {
+        self.stats.record_object_read(cached_chunks, needed_chunks);
+    }
+}
+
+impl std::fmt::Debug for ShardedChunkCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedChunkCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
+            .field("used", &self.used_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agar_ec::ObjectId;
+    use bytes::Bytes;
+    use std::sync::Arc;
+
+    fn chunk(bytes: usize, version: u64) -> CachedChunk {
+        CachedChunk::new(Bytes::from(vec![0u8; bytes]), version)
+    }
+
+    fn id(object: u64, index: u8) -> ChunkId {
+        ChunkId::new(ObjectId::new(object), index)
+    }
+
+    #[test]
+    fn insert_get_roundtrip_across_shards() {
+        let cache = ShardedChunkCache::new(10_000, PolicyKind::Lru, 4);
+        for i in 0..20u8 {
+            assert!(cache.insert(id(0, i), chunk(100, 1)));
+        }
+        assert_eq!(cache.len(), 20);
+        assert_eq!(cache.used_bytes(), 2_000);
+        for i in 0..20u8 {
+            assert!(cache.get(&id(0, i)).is_some());
+        }
+        assert!(cache.get(&id(9, 0)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.chunk_hits(), 20);
+        assert_eq!(stats.chunk_misses(), 1);
+        assert_eq!(stats.insertions(), 20);
+    }
+
+    #[test]
+    fn global_capacity_is_enforced_even_with_skewed_shards() {
+        // 9 chunks of 100 bytes in a 900-byte cache must ALL fit, no
+        // matter how unevenly they hash across shards (the Agar node
+        // relies on this for whole-object caching).
+        let cache = ShardedChunkCache::new(900, PolicyKind::Lru, 8);
+        for i in 0..9u8 {
+            assert!(cache.insert(id(0, i), chunk(100, 1)));
+        }
+        assert_eq!(cache.len(), 9);
+        assert_eq!(cache.stats().evictions(), 0);
+        // One more chunk forces exactly one eviction somewhere.
+        assert!(cache.insert(id(1, 0), chunk(100, 1)));
+        assert_eq!(cache.len(), 9);
+        assert!(cache.used_bytes() <= 900);
+        assert_eq!(cache.stats().evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let cache = ShardedChunkCache::new(50, PolicyKind::Lru, 2);
+        assert!(!cache.insert(id(0, 0), chunk(51, 1)));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().rejected_inserts(), 1);
+    }
+
+    #[test]
+    fn replace_frees_old_weight() {
+        let cache = ShardedChunkCache::new(1_000, PolicyKind::Lru, 4);
+        cache.insert(id(0, 0), chunk(400, 1));
+        cache.insert(id(0, 0), chunk(100, 2));
+        assert_eq!(cache.used_bytes(), 100);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&id(0, 0)).unwrap().version(), 2);
+    }
+
+    #[test]
+    fn remove_and_remove_matching_update_accounting() {
+        let cache = ShardedChunkCache::new(10_000, PolicyKind::Lru, 4);
+        for object in 0..4u64 {
+            for i in 0..3u8 {
+                cache.insert(id(object, i), chunk(50, 1));
+            }
+        }
+        assert_eq!(cache.remove(&id(0, 0)).map(|c| c.weight()), Some(50));
+        assert_eq!(cache.remove(&id(0, 0)), None);
+        let removed = cache.remove_matching(|k| k.object() == ObjectId::new(1));
+        assert_eq!(removed, 3);
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.used_bytes(), 8 * 50);
+        assert_eq!(cache.keys().len(), 8);
+    }
+
+    #[test]
+    fn peek_does_not_touch_stats() {
+        let cache = ShardedChunkCache::new(1_000, PolicyKind::Lru, 2);
+        cache.insert(id(0, 0), chunk(10, 7));
+        assert_eq!(cache.peek(&id(0, 0)).unwrap().version(), 7);
+        assert!(cache.peek(&id(0, 1)).is_none());
+        assert_eq!(cache.stats().chunk_hits(), 0);
+        assert_eq!(cache.stats().chunk_misses(), 0);
+    }
+
+    #[test]
+    fn shard_selection_is_deterministic_and_spread() {
+        let a = ShardedChunkCache::new(1_000, PolicyKind::Lru, 8);
+        let b = ShardedChunkCache::new(1_000, PolicyKind::Lru, 8);
+        let mut seen = std::collections::HashSet::new();
+        for object in 0..16u64 {
+            for index in 0..12u8 {
+                let key = id(object, index);
+                assert_eq!(a.shard_index(&key), b.shard_index(&key));
+                seen.insert(a.shard_index(&key));
+            }
+        }
+        assert!(seen.len() > 4, "192 chunks should touch most of 8 shards");
+    }
+
+    #[test]
+    fn object_read_accounting_is_shared() {
+        let cache = ShardedChunkCache::new(1_000, PolicyKind::Lru, 2);
+        cache.record_object_read(9, 9);
+        cache.record_object_read(3, 9);
+        cache.record_object_read(0, 9);
+        let stats = cache.stats();
+        assert_eq!(stats.object_total_hits(), 1);
+        assert_eq!(stats.object_partial_hits(), 1);
+        assert_eq!(stats.object_misses(), 1);
+    }
+
+    #[test]
+    fn concurrent_hammer_holds_invariants() {
+        let cache = Arc::new(ShardedChunkCache::new(2_000, PolicyKind::Lru, 4));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for round in 0..200u64 {
+                        let object = (t * 7 + round) % 10;
+                        for index in 0..6u8 {
+                            let key = id(object, index);
+                            if cache.get(&key).is_none() {
+                                cache.insert(key, chunk(40, 1));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.used_bytes() <= 2_000);
+        let stats = cache.stats();
+        assert_eq!(stats.chunk_hits() + stats.chunk_misses(), 4 * 200 * 6);
+    }
+}

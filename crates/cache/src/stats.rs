@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters describing cache effectiveness.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -163,6 +164,83 @@ impl CacheStats {
         self.object_total_hits += other.object_total_hits;
         self.object_partial_hits += other.object_partial_hits;
         self.object_misses += other.object_misses;
+    }
+}
+
+/// Lock-free cache counters for concurrently shared caches.
+///
+/// Mirrors [`CacheStats`] field for field, but every counter is an
+/// [`AtomicU64`] so many reader threads can record outcomes without any
+/// lock (the sharded cache records hits, misses and object-level reads
+/// here). [`AtomicCacheStats::snapshot`] materialises a plain
+/// [`CacheStats`] for reporting.
+#[derive(Debug, Default)]
+pub struct AtomicCacheStats {
+    chunk_hits: AtomicU64,
+    chunk_misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    rejected_inserts: AtomicU64,
+    object_total_hits: AtomicU64,
+    object_partial_hits: AtomicU64,
+    object_misses: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        AtomicCacheStats::default()
+    }
+
+    /// Records one chunk-level cache hit.
+    pub fn record_chunk_hit(&self) {
+        self.chunk_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one chunk-level cache miss.
+    pub fn record_chunk_miss(&self) {
+        self.chunk_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one successful insertion.
+    pub fn record_insertion(&self) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one eviction.
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one rejected insertion.
+    pub fn record_rejected_insert(&self) {
+        self.rejected_inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an object-level read outcome; same classification as
+    /// [`CacheStats::record_object_read`].
+    pub fn record_object_read(&self, cached_chunks: usize, needed_chunks: usize) {
+        if needed_chunks > 0 && cached_chunks >= needed_chunks {
+            self.object_total_hits.fetch_add(1, Ordering::Relaxed);
+        } else if cached_chunks > 0 {
+            self.object_partial_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.object_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the counters as plain [`CacheStats`].
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            chunk_hits: self.chunk_hits.load(Ordering::Relaxed),
+            chunk_misses: self.chunk_misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rejected_inserts: self.rejected_inserts.load(Ordering::Relaxed),
+            object_total_hits: self.object_total_hits.load(Ordering::Relaxed),
+            object_partial_hits: self.object_partial_hits.load(Ordering::Relaxed),
+            object_misses: self.object_misses.load(Ordering::Relaxed),
+        }
     }
 }
 

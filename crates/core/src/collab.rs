@@ -11,6 +11,7 @@
 
 use crate::error::AgarError;
 use crate::node::{AgarNode, ReadMetrics};
+use crate::planner::RemoteChunk;
 use agar_ec::{ChunkId, ObjectId};
 use agar_store::Backend;
 use bytes::Bytes;
@@ -101,14 +102,19 @@ impl CollaborativeGroup {
         let version = manifest.version();
         let k = manifest.params().data_chunks();
 
-        let mut remote: Vec<(u8, Bytes, Duration)> = Vec::new();
+        let mut remote: Vec<RemoteChunk> = Vec::new();
         for index in 0..manifest.params().total_chunks() as u8 {
             let chunk = ChunkId::new(object, index);
             if home.peek_chunk(&chunk, version).is_some() {
                 continue; // home cache already has it
             }
             if let Some((data, latency)) = self.remote_lookup(home_index, chunk, version) {
-                remote.push((index, data, latency));
+                remote.push(RemoteChunk {
+                    index,
+                    data,
+                    latency,
+                    version,
+                });
             }
             if remote.len() >= k {
                 break;

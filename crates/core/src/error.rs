@@ -15,6 +15,14 @@ pub enum AgarError {
     },
     /// The storage backend failed.
     Store(StoreError),
+    /// A read kept racing concurrent writes to the same object: every
+    /// retry observed chunks from a newer version than its manifest
+    /// snapshot. Practically unreachable without a writer rewriting
+    /// the object in a tight loop.
+    ReadContention {
+        /// The contended object.
+        object: agar_ec::ObjectId,
+    },
 }
 
 impl fmt::Display for AgarError {
@@ -22,6 +30,9 @@ impl fmt::Display for AgarError {
         match self {
             AgarError::InvalidSetting { what } => write!(f, "invalid setting: {what}"),
             AgarError::Store(e) => write!(f, "storage error: {e}"),
+            AgarError::ReadContention { object } => {
+                write!(f, "read of {object} kept racing concurrent writes")
+            }
         }
     }
 }
@@ -60,6 +71,12 @@ mod tests {
         let err = AgarError::from(StoreError::InvalidPlacement { what: "x" });
         assert!(err.to_string().contains("storage error"));
         assert!(Error::source(&err).is_some());
+
+        let err = AgarError::ReadContention {
+            object: agar_ec::ObjectId::new(4),
+        };
+        assert!(err.to_string().contains("obj-4"));
+        assert!(Error::source(&err).is_none());
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub mod knapsack;
 pub mod monitor;
 pub mod node;
 pub mod options;
+pub mod planner;
 pub mod region_manager;
 
 pub use approx_monitor::ApproxRequestMonitor;
@@ -93,4 +94,5 @@ pub use knapsack::{exhaustive_optimum, greedy, relax, Config, KnapsackSolver};
 pub use monitor::RequestMonitor;
 pub use node::{AgarNode, AgarSettings, CachingClient, CollabReadMetrics, ReadMetrics};
 pub use options::{generate_options, CachingOption, ObjectOptions};
+pub use planner::{ChunkSet, ChunkSource, ReadPlan, ReadPlanner, RemoteChunk};
 pub use region_manager::RegionManager;

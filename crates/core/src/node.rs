@@ -1,21 +1,48 @@
 //! The Agar node: the per-region deployment tying together cache,
 //! request monitor, region manager and cache manager (paper Figure 3).
+//!
+//! # Concurrency model
+//!
+//! The node serves every client in its region, so the read path is
+//! built as a staged pipeline over independently locked concerns
+//! instead of one node-wide mutex:
+//!
+//! 1. **record** — the request monitor (its own mutex, one hash-map
+//!    increment);
+//! 2. **lookup** — hinted chunks in the sharded cache (per-shard
+//!    locks, atomic statistics);
+//! 3. **plan** — the [`ReadPlanner`]
+//!    ranks every candidate source against *snapshots* (the
+//!    `Arc<CacheConfiguration>` swapped at reconfiguration, a copy of
+//!    the region manager's estimates) — no locks held;
+//! 4. **execute** — backend fetches run with **no** node lock held, so
+//!    concurrent clients' fetches overlap exactly like the paper's
+//!    parallel chunk reads (each fetch briefly locks the region
+//!    manager afterwards to fold in its latency observation);
+//! 5. **reconstruct + fill** — Reed-Solomon decoding is lock-free;
+//!    cache fill takes per-shard locks only.
+//!
+//! Randomness is drawn from per-operation RNGs derived from the node
+//! seed and an atomic operation counter, so single-threaded runs stay
+//! bit-deterministic while concurrent readers never share an RNG lock.
 
 use crate::cache_manager::CacheManager;
 use crate::config::CacheConfiguration;
 use crate::error::AgarError;
 use crate::knapsack::KnapsackSolver;
 use crate::monitor::RequestMonitor;
+use crate::planner::{ChunkSource, ReadPlanner, RemoteChunk};
 use crate::region_manager::RegionManager;
-use agar_cache::{chunk_cache, CacheStats, CachedChunk, ChunkCache, PolicyKind};
+use agar_cache::{CacheStats, CachedChunk, PolicyKind, ShardedChunkCache, DEFAULT_CACHE_SHARDS};
 use agar_ec::{ChunkId, ObjectId};
 use agar_net::{RegionId, SimTime};
-use agar_store::{plan_backend_fetch, Backend, StoreError};
+use agar_store::{Backend, StoreError};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -96,6 +123,13 @@ pub struct AgarSettings {
     pub client_overhead: Duration,
     /// Warm-up probes per region for the region manager.
     pub warmup_probes: usize,
+    /// Probe payload size in bytes for the warm-up phase (default:
+    /// 100 kB, roughly one paper-scale chunk).
+    pub warmup_probe_bytes: usize,
+    /// Shards in the concurrent chunk cache (default:
+    /// [`DEFAULT_CACHE_SHARDS`]). More shards reduce lock contention
+    /// between client threads; the byte capacity stays global.
+    pub cache_shards: usize,
     /// Knapsack solver configuration.
     pub solver: KnapsackSolver,
 }
@@ -110,33 +144,76 @@ impl AgarSettings {
             cache_read: Duration::from_millis(40),
             client_overhead: Duration::from_millis(100),
             warmup_probes: 3,
+            warmup_probe_bytes: 100_000,
+            cache_shards: DEFAULT_CACHE_SHARDS,
             solver: KnapsackSolver::new(),
         }
     }
+
+    fn validate(&self) -> Result<(), AgarError> {
+        if self.reconfiguration_period.is_zero() {
+            return Err(AgarError::InvalidSetting {
+                what: "reconfiguration period must be positive",
+            });
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(AgarError::InvalidSetting {
+                what: "alpha must be in (0, 1]",
+            });
+        }
+        if self.warmup_probe_bytes == 0 {
+            return Err(AgarError::InvalidSetting {
+                what: "warm-up probe size must be positive",
+            });
+        }
+        if self.cache_shards == 0 {
+            return Err(AgarError::InvalidSetting {
+                what: "cache shard count must be positive",
+            });
+        }
+        Ok(())
+    }
 }
 
-struct NodeInner {
-    cache: ChunkCache,
-    monitor: RequestMonitor,
-    region_manager: RegionManager,
-    config: CacheConfiguration,
-    rng: StdRng,
-    last_reconfiguration: Option<SimTime>,
-    reconfigurations: u64,
-    fill_fetches: u64,
+/// Reconfiguration clock state. Its mutex guards only the decision of
+/// *whether* a period elapsed; it is released before the
+/// reconfiguration itself runs, so concurrent `maybe_reconfigure`
+/// callers neither block behind the a-priori chunk downloads nor
+/// double-trigger (the clock is advanced before the guard drops).
+#[derive(Debug, Default)]
+struct ReconfigClock {
+    last: Option<SimTime>,
 }
 
 /// A per-region Agar deployment.
 ///
-/// Thread-safe behind `&self` (a single internal mutex), so closed-loop
-/// simulated clients can share one node, exactly like the paper's two
-/// YCSB clients sharing the region's Agar instance.
+/// Thread-safe behind `&self`. Unlike the pre-refactor node (one
+/// node-wide mutex around the whole read path) every concern is locked
+/// independently — see the module docs for the pipeline and locking
+/// discipline. Closed-loop simulated clients and real OS threads can
+/// share one node, like the paper's YCSB clients sharing the region's
+/// Agar instance.
 pub struct AgarNode {
     region: RegionId,
     backend: Arc<Backend>,
     manager: CacheManager,
     settings: AgarSettings,
-    inner: Mutex<NodeInner>,
+    /// Node seed; combined with `ops` to derive per-operation RNGs.
+    seed: u64,
+    /// Monotonic operation counter for RNG derivation.
+    ops: AtomicU64,
+    cache: ShardedChunkCache,
+    monitor: Mutex<RequestMonitor>,
+    region_manager: Mutex<RegionManager>,
+    /// Immutable configuration snapshot, swapped at reconfiguration.
+    config: RwLock<Arc<CacheConfiguration>>,
+    /// Serialises whole reconfigurations (solve + swap + purge + fill):
+    /// overlapping `force_reconfigure`/`maybe_reconfigure` calls must
+    /// not interleave their purge/fill phases. Readers never take it.
+    reconfigure_serial: Mutex<()>,
+    reconfig: Mutex<ReconfigClock>,
+    reconfigurations: AtomicU64,
+    fill_fetches: AtomicU64,
 }
 
 impl AgarNode {
@@ -145,29 +222,20 @@ impl AgarNode {
     /// # Errors
     ///
     /// Returns [`AgarError::InvalidSetting`] for a zero reconfiguration
-    /// period or out-of-range α.
+    /// period, out-of-range α, a zero warm-up probe size or a zero
+    /// cache shard count.
     pub fn new(
         region: RegionId,
         backend: Arc<Backend>,
         settings: AgarSettings,
         seed: u64,
     ) -> Result<Self, AgarError> {
-        if settings.reconfiguration_period.is_zero() {
-            return Err(AgarError::InvalidSetting {
-                what: "reconfiguration period must be positive",
-            });
-        }
-        if !(settings.alpha > 0.0 && settings.alpha <= 1.0) {
-            return Err(AgarError::InvalidSetting {
-                what: "alpha must be in (0, 1]",
-            });
-        }
+        settings.validate()?;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut region_manager = RegionManager::new(region, backend.topology().clone());
-        let chunk_bytes = 100_000; // representative probe size
         region_manager.warm_up(
             backend.latency_model().as_ref(),
-            chunk_bytes,
+            settings.warmup_probe_bytes,
             settings.warmup_probes.max(1),
             &mut rng,
         );
@@ -177,18 +245,34 @@ impl AgarNode {
             region,
             backend,
             manager,
-            inner: Mutex::new(NodeInner {
-                cache: chunk_cache(settings.cache_capacity_bytes, PolicyKind::Lru),
-                monitor: RequestMonitor::with_alpha(settings.alpha),
-                region_manager,
-                config: CacheConfiguration::empty(),
-                rng,
-                last_reconfiguration: None,
-                reconfigurations: 0,
-                fill_fetches: 0,
-            }),
+            seed,
+            ops: AtomicU64::new(0),
+            cache: ShardedChunkCache::new(
+                settings.cache_capacity_bytes,
+                PolicyKind::Lru,
+                settings.cache_shards,
+            ),
+            monitor: Mutex::new(RequestMonitor::with_alpha(settings.alpha)),
+            region_manager: Mutex::new(region_manager),
+            config: RwLock::new(Arc::new(CacheConfiguration::empty())),
+            reconfigure_serial: Mutex::new(()),
+            reconfig: Mutex::new(ReconfigClock::default()),
+            reconfigurations: AtomicU64::new(0),
+            fill_fetches: AtomicU64::new(0),
             settings,
         })
+    }
+
+    /// Derives a fresh RNG for one operation: deterministic in
+    /// operation order (bit-identical single-threaded runs), shared by
+    /// no one (no lock on the fetch path).
+    fn derive_rng(&self) -> StdRng {
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        StdRng::seed_from_u64(
+            self.seed
+                ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0xD1B5_4A32_D192_ED03),
+        )
     }
 
     /// The node's home region.
@@ -196,45 +280,35 @@ impl AgarNode {
         self.region
     }
 
-    /// The current cache configuration (clone).
+    /// The current cache configuration (clone of the live snapshot).
     pub fn current_config(&self) -> CacheConfiguration {
-        self.inner.lock().config.clone()
+        self.config.read().as_ref().clone()
     }
 
     /// Number of reconfigurations performed.
     pub fn reconfigurations(&self) -> u64 {
-        self.inner.lock().reconfigurations
+        self.reconfigurations.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the popularity table (diagnostics).
     pub fn popularity_snapshot(&self) -> Vec<(ObjectId, f64)> {
-        self.inner.lock().monitor.popularities()
+        self.monitor.lock().popularities()
     }
 
     /// Current latency estimates indexed by region.
     pub fn latency_estimates(&self) -> Vec<Duration> {
-        self.inner.lock().region_manager.estimates().to_vec()
+        self.region_manager.lock().estimates().to_vec()
     }
 
     /// Immediately recomputes the configuration from current statistics
     /// (closing the monitoring epoch), regardless of the period.
     pub fn force_reconfigure(&self) {
-        let inner = &mut *self.inner.lock();
-        Self::reconfigure_inner(
-            inner,
-            &self.manager,
-            &self.backend,
-            &self.settings,
-            self.region,
-        );
+        self.reconfigure();
     }
 
     /// Drops every cached chunk of `object` (coherence invalidation).
     pub fn invalidate_object(&self, object: ObjectId) -> usize {
-        self.inner
-            .lock()
-            .cache
-            .remove_matching(|id| id.object() == object)
+        self.cache.remove_matching(|id| id.object() == object)
     }
 
     /// Writes an object through the backend and invalidates the local
@@ -244,26 +318,24 @@ impl AgarNode {
     ///
     /// Propagates backend write failures.
     pub fn write(&self, object: ObjectId, data: &[u8]) -> Result<(u64, Duration), AgarError> {
-        let inner = &mut *self.inner.lock();
-        let (version, latency) =
-            self.backend
-                .put_object(self.region, object, data, &mut inner.rng)?;
-        inner.cache.remove_matching(|id| id.object() == object);
+        let mut rng = self.derive_rng();
+        let (version, latency) = self
+            .backend
+            .put_object(self.region, object, data, &mut rng)?;
+        self.cache.remove_matching(|id| id.object() == object);
         Ok((version, latency))
     }
 
     /// Total off-critical-path fill fetches.
     pub fn fill_fetches(&self) -> u64 {
-        self.inner.lock().fill_fetches
+        self.fill_fetches.load(Ordering::Relaxed)
     }
 
     /// Looks a chunk up in the local cache without touching recency
     /// metadata or statistics; returns the payload only if its version
     /// matches. Used by collaborative neighbours.
     pub fn peek_chunk(&self, chunk: &ChunkId, version: u64) -> Option<Bytes> {
-        let inner = self.inner.lock();
-        inner
-            .cache
+        self.cache
             .peek(chunk)
             .filter(|c| c.version() == version)
             .map(|c| c.data().clone())
@@ -271,107 +343,115 @@ impl AgarNode {
 
     /// A read that may source chunks from collaborative neighbours:
     /// `remote` lists chunks available from other regions' caches as
-    /// `(chunk index, payload, transfer latency)`. Each needed chunk
-    /// comes from the cheapest of {local cache, neighbour cache, backend
-    /// estimate}.
+    /// [`RemoteChunk`] offers. Each needed chunk comes from the
+    /// cheapest of {local cache, neighbour cache, backend estimate};
+    /// offers encoded from a different object version than this read's
+    /// manifest are ignored.
     ///
     /// # Errors
     ///
-    /// Propagates backend failures.
+    /// Propagates backend failures; returns
+    /// [`AgarError::ReadContention`] if three successive attempts each
+    /// raced a concurrent write (a fetched chunk was newer than the
+    /// attempt's manifest snapshot — mixing versions would decode
+    /// garbage, so the read restarts on a fresh manifest instead).
     pub fn read_with_remote_chunks(
         &self,
         object: ObjectId,
-        remote: &[(u8, Bytes, Duration)],
+        remote: &[RemoteChunk],
     ) -> Result<CollabReadMetrics, AgarError> {
-        let inner = &mut *self.inner.lock();
-        inner.monitor.record_read(object);
+        // Stage 0: record popularity (one short-lived monitor lock),
+        // once per logical read regardless of version-race retries.
+        self.monitor.lock().record_read(object);
+        for attempt in 0..3 {
+            if let Some(metrics) = self.read_attempt(object, remote, attempt == 0)? {
+                return Ok(metrics);
+            }
+        }
+        Err(AgarError::ReadContention { object })
+    }
+
+    /// One read attempt against a single manifest snapshot. Returns
+    /// `Ok(None)` when a backend chunk came back with a newer version
+    /// than the snapshot (a concurrent write landed mid-read): the
+    /// caller retries with a fresh manifest. `first_attempt` gates the
+    /// chunk-level statistics so retries never double-count one
+    /// logical read. (Remote offers from an older version are dropped
+    /// by the planner, never mixed into the decode.)
+    fn read_attempt(
+        &self,
+        object: ObjectId,
+        remote: &[RemoteChunk],
+        first_attempt: bool,
+    ) -> Result<Option<CollabReadMetrics>, AgarError> {
         let manifest = self.backend.manifest(object)?;
         let k = manifest.params().data_chunks();
+        let total = manifest.params().total_chunks();
         let version = manifest.version();
+        let config = Arc::clone(&self.config.read());
+        let planner = ReadPlanner::new(&manifest, &config);
 
-        // 1. Local cache hits for the hinted chunks.
-        let hinted: Vec<u8> = inner.config.chunks_for(object).to_vec();
-        let mut have: Vec<(u8, Bytes)> = Vec::with_capacity(hinted.len());
-        for &index in &hinted {
-            let id = ChunkId::new(object, index);
-            if let Some(chunk) = inner.cache.get(&id) {
-                if chunk.version() == version {
-                    have.push((index, chunk.data().clone()));
-                }
-            }
-        }
-        let cache_hits = have.len();
-        let held: Vec<u8> = have.iter().map(|&(i, _)| i).collect();
+        // Stage 1: hinted-chunk lookups in the sharded cache
+        // (per-shard locks; stale versions dropped).
+        let hits = planner.lookup_local(&self.cache, first_attempt);
+        let cache_hits = hits.len();
 
-        // 2. Rank every other chunk by its cheapest source.
-        enum Source {
-            Remote(Bytes, Duration),
-            Backend,
-        }
-        let mut candidates: Vec<(u8, Source, Duration)> = Vec::new();
-        for index in 0..manifest.params().total_chunks() as u8 {
-            if held.contains(&index) {
-                continue;
+        // Stages 2+3: plan against snapshots, then execute with no
+        // node lock held. A fetch hitting a freshly failed region
+        // penalises it in the region manager and re-plans (up to 3
+        // attempts), exactly like the pre-refactor retry loop.
+        let mut rng = self.derive_rng();
+        let mut shards: Vec<Option<Bytes>> = vec![None; total];
+        let mut attempts = 0;
+        let (worst, remote_hits, backend_fetches) = 'replan: loop {
+            attempts += 1;
+            let estimates = self.region_manager.lock().estimates().to_vec();
+            let plan = planner.plan(hits.clone(), remote, &self.backend, &estimates)?;
+            shards.iter_mut().for_each(|s| *s = None);
+            let mut worst = Duration::ZERO;
+            let mut remote_hits = 0;
+            let mut backend_fetches = 0;
+            for (index, source) in plan.sources {
+                match source {
+                    ChunkSource::Local { data } => {
+                        shards[index as usize] = Some(data);
+                    }
+                    ChunkSource::Remote { data, latency } => {
+                        remote_hits += 1;
+                        worst = worst.max(latency);
+                        shards[index as usize] = Some(data);
+                    }
+                    ChunkSource::Backend { region, .. } => {
+                        let id = ChunkId::new(object, index);
+                        match self.backend.fetch_chunk(self.region, id, &mut rng) {
+                            Ok(fetch) => {
+                                self.region_manager.lock().observe(region, fetch.latency);
+                                if fetch.version != version {
+                                    // A write landed mid-read; mixing
+                                    // versions would decode garbage.
+                                    return Ok(None);
+                                }
+                                backend_fetches += 1;
+                                worst = worst.max(fetch.latency);
+                                shards[index as usize] = Some(fetch.data);
+                            }
+                            Err(StoreError::RegionUnavailable { region }) => {
+                                self.region_manager.lock().mark_unreachable(region);
+                                if attempts < 3 {
+                                    continue 'replan; // re-plan around the failure
+                                }
+                                return Err(StoreError::RegionUnavailable { region }.into());
+                            }
+                            Err(other) => return Err(other.into()),
+                        }
+                    }
+                }
             }
-            let backend_est = {
-                let region = manifest.location(index as usize);
-                if self.backend.is_region_available(region) {
-                    Some(inner.region_manager.estimate(region))
-                } else {
-                    None
-                }
-            };
-            let remote_entry = remote.iter().find(|&&(i, _, _)| i == index);
-            match (remote_entry, backend_est) {
-                (Some((_, data, latency)), Some(est)) if *latency < est => {
-                    candidates.push((index, Source::Remote(data.clone(), *latency), *latency));
-                }
-                (Some((_, data, latency)), None) => {
-                    candidates.push((index, Source::Remote(data.clone(), *latency), *latency));
-                }
-                (_, Some(est)) => {
-                    candidates.push((index, Source::Backend, est));
-                }
-                (None, None) => {}
-            }
-        }
-        candidates.sort_by(|a, b| a.2.cmp(&b.2).then(a.0.cmp(&b.0)));
-        let needed = k.saturating_sub(cache_hits);
-        if candidates.len() < needed {
-            return Err(StoreError::NotEnoughChunks {
-                object,
-                reachable: cache_hits + candidates.len(),
-                needed: k,
-            }
-            .into());
-        }
+            break (worst, remote_hits, backend_fetches);
+        };
 
-        // 3. Materialise the k cheapest sources.
-        let mut worst = Duration::ZERO;
-        let mut remote_hits = 0;
-        let mut backend_fetches = 0;
-        let mut obtained: Vec<(u8, Bytes)> = Vec::with_capacity(needed);
-        for (index, source, _) in candidates.into_iter().take(needed) {
-            match source {
-                Source::Remote(data, latency) => {
-                    remote_hits += 1;
-                    worst = worst.max(latency);
-                    obtained.push((index, data));
-                }
-                Source::Backend => {
-                    let id = ChunkId::new(object, index);
-                    let fetch = self.backend.fetch_chunk(self.region, id, &mut inner.rng)?;
-                    inner
-                        .region_manager
-                        .observe(manifest.location(index as usize), fetch.latency);
-                    backend_fetches += 1;
-                    worst = worst.max(fetch.latency);
-                    obtained.push((index, fetch.data));
-                }
-            }
-        }
-
-        // 4. Latency, reconstruction, cache fill, stats — as in `read`.
+        // Stage 4: latency — slowest parallel fetch (cache reads also
+        // run in parallel) plus fixed client overhead.
         let cache_component = if cache_hits > 0 {
             self.settings.cache_read
         } else {
@@ -379,261 +459,165 @@ impl AgarNode {
         };
         let latency = self.settings.client_overhead + cache_component.max(worst);
 
-        let total = manifest.params().total_chunks();
-        let mut shards: Vec<Option<Bytes>> = vec![None; total];
-        for (index, data) in have.iter().chain(obtained.iter()) {
-            shards[*index as usize] = Some(data.clone());
-        }
+        // Stage 5: reconstruct (lock-free).
         let decoded = !(0..k).all(|i| shards[i].is_some());
         let data = self
             .backend
             .codec()
             .reconstruct_object(&shards, manifest.size())?;
 
-        for &index in &hinted {
-            let id = ChunkId::new(object, index);
-            if inner.cache.contains(&id) {
-                continue;
-            }
-            if let Some((_, payload)) = obtained.iter().find(|&&(i, _)| i == index) {
-                inner
-                    .cache
-                    .insert(id, CachedChunk::new(payload.clone(), version));
-            }
-        }
-        inner.cache.stats_mut().record_object_read(cache_hits, k);
-
-        Ok(CollabReadMetrics {
-            metrics: ReadMetrics {
-                data,
-                latency,
-                cache_hits,
-                backend_fetches,
-                fill_fetches: 0,
-                decoded,
-            },
-            remote_hits,
-        })
-    }
-
-    fn reconfigure_inner(
-        inner: &mut NodeInner,
-        manager: &CacheManager,
-        backend: &Backend,
-        settings: &AgarSettings,
-        region: RegionId,
-    ) {
-        inner.monitor.end_epoch();
-        let epoch = inner.monitor.epoch();
-        inner.config = manager.recompute(
-            &inner.monitor,
-            &inner.region_manager,
-            backend,
-            settings.cache_read,
-            epoch,
-        );
-        // Apply the diff: chunks no longer in the configuration leave
-        // the cache now, and missing configured chunks are downloaded
-        // *a priori* (§IV-A: "caching items implies downloading them a
-        // priori") — off the clients' critical path.
-        let config = &inner.config;
-        inner.cache.remove_matching(|id| !config.contains(*id));
-        let objects: Vec<ObjectId> = inner.config.objects().collect();
-        for object in objects {
-            let Ok(manifest) = backend.manifest(object) else {
-                continue;
-            };
-            let version = manifest.version();
-            for &index in inner.config.chunks_for(object) {
-                let id = ChunkId::new(object, index);
-                if inner.cache.contains(&id) {
-                    continue;
-                }
-                if let Ok(fetch) = backend.fetch_chunk(region, id, &mut inner.rng) {
-                    inner.fill_fetches += 1;
-                    inner
-                        .cache
-                        .insert(id, CachedChunk::new(fetch.data, version));
-                }
-            }
-        }
-        inner.reconfigurations += 1;
-    }
-
-    fn read_inner(
-        &self,
-        inner: &mut NodeInner,
-        object: ObjectId,
-    ) -> Result<ReadMetrics, AgarError> {
-        inner.monitor.record_read(object);
-        let manifest = self.backend.manifest(object)?;
-        let k = manifest.params().data_chunks();
-        let version = manifest.version();
-
-        // 1. Cache lookups for the hinted chunks, with version checking
-        //    (stale chunks are dropped — write-path coherence).
-        let hinted: Vec<u8> = inner.config.chunks_for(object).to_vec();
-        let mut have: Vec<(u8, Bytes)> = Vec::with_capacity(hinted.len());
-        for &index in &hinted {
-            let id = ChunkId::new(object, index);
-            let stale = match inner.cache.get(&id) {
-                Some(chunk) if chunk.version() == version => {
-                    have.push((index, chunk.data().clone()));
-                    false
-                }
-                Some(_) => true,
-                None => false,
-            };
-            if stale {
-                inner.cache.remove(&id);
-            }
-        }
-        let cache_hits = have.len();
-
-        // 2. Plan and execute the backend fetches for the remainder.
-        let exclude: Vec<ChunkId> = have
-            .iter()
-            .map(|&(index, _)| ChunkId::new(object, index))
-            .collect();
-        let mut worst_backend;
-        let mut fetched: Vec<(u8, Bytes)> = Vec::new();
-        let mut attempts = 0;
-        loop {
-            attempts += 1;
-            let order = inner.region_manager.region_order();
-            let plan = plan_backend_fetch(&self.backend, self.region, object, &order, &exclude)?;
-            let mut failed_region = None;
-            fetched.clear();
-            worst_backend = Duration::ZERO;
-            for &(chunk, region) in &plan {
-                match self.backend.fetch_chunk(self.region, chunk, &mut inner.rng) {
-                    Ok(fetch) => {
-                        inner.region_manager.observe(region, fetch.latency);
-                        worst_backend = worst_backend.max(fetch.latency);
-                        fetched.push((chunk.index().value(), fetch.data));
-                    }
-                    Err(StoreError::RegionUnavailable { region }) => {
-                        inner.region_manager.mark_unreachable(region);
-                        failed_region = Some(region);
-                        break;
-                    }
-                    Err(other) => return Err(other.into()),
-                }
-            }
-            match failed_region {
-                None => break,
-                Some(_) if attempts < 3 => continue, // re-plan around the failure
-                Some(region) => return Err(StoreError::RegionUnavailable { region }.into()),
-            }
-        }
-        let backend_fetches = fetched.len();
-
-        // 3. Latency: slowest parallel fetch (cache reads also run in
-        //    parallel) plus fixed client overhead.
-        let cache_component = if cache_hits > 0 {
-            self.settings.cache_read
-        } else {
-            Duration::ZERO
-        };
-        let latency = self.settings.client_overhead + cache_component.max(worst_backend);
-
-        // 4. Reconstruct.
-        let total = manifest.params().total_chunks();
-        let mut shards: Vec<Option<Bytes>> = vec![None; total];
-        for (index, data) in have.iter().chain(fetched.iter()) {
-            shards[*index as usize] = Some(data.clone());
-        }
-        let decoded = !(0..k).all(|i| shards[i].is_some());
-        let data = self
-            .backend
-            .codec()
-            .reconstruct_object(&shards, manifest.size())?;
-
-        // 5. Fill the cache toward the hinted configuration, off the
-        //    critical path (the paper uses a separate thread pool).
+        // Stage 6: fill the cache toward the hinted configuration, off
+        // the critical path (the paper uses a separate thread pool).
+        // The hints come from this read's config snapshot; each chunk
+        // is checked against the *live* configuration before the
+        // insert and revalidated after it, so a fill racing a
+        // reconfiguration cannot leave behind chunks the new
+        // configuration purged (a swap after the insert is followed by
+        // the reconfiguration's own purge; a swap before it is caught
+        // by the revalidation below).
         let mut fill_fetches = 0;
-        for &index in &hinted {
+        let live_config = Arc::clone(&self.config.read());
+        for &index in planner.hinted() {
             let id = ChunkId::new(object, index);
-            if inner.cache.contains(&id) {
+            if !live_config.contains(id) || self.cache.contains(&id) {
                 continue;
             }
-            let payload = fetched
-                .iter()
-                .find(|&&(i, _)| i == index)
-                .map(|(_, d)| d.clone());
-            let payload = match payload {
-                Some(p) => Some(p),
+            let payload = match shards[index as usize].clone() {
+                Some(data) => Some(data),
                 None => {
                     // Hinted chunk was neither cached nor on the fetch
                     // path (estimate drift): fetch it in the background.
-                    match self.backend.fetch_chunk(self.region, id, &mut inner.rng) {
+                    match self.backend.fetch_chunk(self.region, id, &mut rng) {
                         Ok(fetch) => {
                             fill_fetches += 1;
-                            Some(fetch.data)
+                            // A version-racing fill is simply skipped
+                            // (the fill is best-effort; caching the new
+                            // payload under the old version label would
+                            // poison later version checks).
+                            (fetch.version == version).then_some(fetch.data)
                         }
                         Err(_) => None, // fill is best-effort
                     }
                 }
             };
             if let Some(p) = payload {
-                inner.cache.insert(id, CachedChunk::new(p, version));
+                self.cache.insert(id, CachedChunk::new(p, version));
+                if !self.config.read().contains(id) {
+                    // A reconfiguration swapped the config between the
+                    // pre-check and the insert; its purge may already
+                    // have run, so sweep the chunk ourselves.
+                    self.cache.remove(&id);
+                }
             }
         }
-        inner.fill_fetches += fill_fetches;
+        self.fill_fetches.fetch_add(fill_fetches, Ordering::Relaxed);
 
-        // 6. Object-level hit accounting (Figure 7).
-        inner.cache.stats_mut().record_object_read(cache_hits, k);
+        // Stage 7: object-level hit accounting (Figure 7), lock-free.
+        self.cache.record_object_read(cache_hits, k);
 
-        Ok(ReadMetrics {
-            data,
-            latency,
-            cache_hits,
-            backend_fetches,
-            fill_fetches: fill_fetches as usize,
-            decoded,
-        })
+        Ok(Some(CollabReadMetrics {
+            metrics: ReadMetrics {
+                data,
+                latency,
+                cache_hits,
+                backend_fetches,
+                fill_fetches: fill_fetches as usize,
+                decoded,
+            },
+            remote_hits,
+        }))
+    }
+
+    /// Recomputes the configuration, swaps the snapshot, then applies
+    /// the diff: chunks no longer in the configuration leave the cache,
+    /// and missing configured chunks are downloaded *a priori* (§IV-A:
+    /// "caching items implies downloading them a priori") — off the
+    /// clients' critical path. Only the solve holds the monitor and
+    /// region-manager locks; the diff and downloads hold only the
+    /// reconfiguration-serialising mutex, which readers never take.
+    fn reconfigure(&self) {
+        // Overlapping reconfigurations must not interleave swap, purge
+        // and fill (a stale purge running after a newer swap would
+        // evict the newer configuration's chunks).
+        let _serial = self.reconfigure_serial.lock();
+        let new_config = {
+            let mut monitor = self.monitor.lock();
+            monitor.end_epoch();
+            let epoch = monitor.epoch();
+            let region_manager = self.region_manager.lock();
+            self.manager.recompute(
+                &monitor,
+                &region_manager,
+                &self.backend,
+                self.settings.cache_read,
+                epoch,
+            )
+        };
+        let new_config = Arc::new(new_config);
+        *self.config.write() = Arc::clone(&new_config);
+        self.cache.remove_matching(|id| !new_config.contains(*id));
+        let mut rng = self.derive_rng();
+        let mut objects: Vec<ObjectId> = new_config.objects().collect();
+        objects.sort_unstable(); // deterministic fill order
+        for object in objects {
+            let Ok(manifest) = self.backend.manifest(object) else {
+                continue;
+            };
+            let version = manifest.version();
+            for &index in new_config.chunks_for(object) {
+                let id = ChunkId::new(object, index);
+                if self.cache.contains(&id) {
+                    continue;
+                }
+                if let Ok(fetch) = self.backend.fetch_chunk(self.region, id, &mut rng) {
+                    self.fill_fetches.fetch_add(1, Ordering::Relaxed);
+                    if fetch.version == version {
+                        self.cache.insert(id, CachedChunk::new(fetch.data, version));
+                    }
+                }
+            }
+        }
+        self.reconfigurations.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 impl CachingClient for AgarNode {
     fn read(&self, object: ObjectId) -> Result<ReadMetrics, AgarError> {
-        let inner = &mut *self.inner.lock();
-        self.read_inner(inner, object)
+        self.read_with_remote_chunks(object, &[])
+            .map(CollabReadMetrics::into_inner)
     }
 
     fn maybe_reconfigure(&self, now: SimTime) -> bool {
-        let inner = &mut *self.inner.lock();
-        match inner.last_reconfiguration {
-            None => {
-                inner.last_reconfiguration = Some(now);
-                false
-            }
-            Some(last) => {
-                if now.saturating_duration_since(last) >= self.settings.reconfiguration_period {
-                    Self::reconfigure_inner(
-                        inner,
-                        &self.manager,
-                        &self.backend,
-                        &self.settings,
-                        self.region,
-                    );
-                    inner.last_reconfiguration = Some(now);
-                    true
-                } else {
+        let due = {
+            let mut clock = self.reconfig.lock();
+            match clock.last {
+                None => {
+                    clock.last = Some(now);
                     false
                 }
+                Some(last) => {
+                    let due =
+                        now.saturating_duration_since(last) >= self.settings.reconfiguration_period;
+                    if due {
+                        clock.last = Some(now);
+                    }
+                    due
+                }
             }
+        };
+        if due {
+            self.reconfigure();
         }
+        due
     }
 
     fn cache_stats(&self) -> CacheStats {
-        *self.inner.lock().cache.stats()
+        self.cache.stats()
     }
 
     fn cache_contents(&self) -> BTreeMap<ObjectId, Vec<u8>> {
-        let inner = self.inner.lock();
         let mut out: BTreeMap<ObjectId, Vec<u8>> = BTreeMap::new();
-        for id in inner.cache.keys() {
+        for id in self.cache.keys() {
             out.entry(id.object()).or_default().push(id.index().value());
         }
         for chunks in out.values_mut() {
@@ -649,12 +633,11 @@ impl CachingClient for AgarNode {
 
 impl std::fmt::Debug for AgarNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
         f.debug_struct("AgarNode")
             .field("region", &self.region)
-            .field("cache_used", &inner.cache.used_bytes())
-            .field("config_chunks", &inner.config.total_chunks())
-            .field("reconfigurations", &inner.reconfigurations)
+            .field("cache_used", &self.cache.used_bytes())
+            .field("config_chunks", &self.config.read().total_chunks())
+            .field("reconfigurations", &self.reconfigurations())
             .finish()
     }
 }
@@ -713,8 +696,8 @@ mod tests {
             node.read(object).unwrap();
         }
         node.force_reconfigure();
-        // Next read fills the cache (still slow), the one after hits.
-        node.read(object).unwrap();
+        // The reconfiguration downloads the configured chunks a priori,
+        // so the very next read already hits.
         let warm = node.read(object).unwrap();
         assert!(
             warm.cache_hits > 0,
@@ -858,9 +841,34 @@ mod tests {
         let mut settings = AgarSettings::paper_default(900);
         settings.alpha = 1.5;
         assert!(matches!(
+            AgarNode::new(FRANKFURT, Arc::clone(&backend), settings, 0),
+            Err(AgarError::InvalidSetting { .. })
+        ));
+        let mut settings = AgarSettings::paper_default(900);
+        settings.warmup_probe_bytes = 0;
+        assert!(matches!(
+            AgarNode::new(FRANKFURT, Arc::clone(&backend), settings, 0),
+            Err(AgarError::InvalidSetting { .. })
+        ));
+        let mut settings = AgarSettings::paper_default(900);
+        settings.cache_shards = 0;
+        assert!(matches!(
             AgarNode::new(FRANKFURT, backend, settings, 0),
             Err(AgarError::InvalidSetting { .. })
         ));
+    }
+
+    #[test]
+    fn warmup_probe_size_is_configurable() {
+        let backend = test_backend(1, 900);
+        let mut settings = AgarSettings::paper_default(900);
+        // A 1-byte probe still seeds every estimate; the node comes up
+        // with a sensible region ordering.
+        settings.warmup_probe_bytes = 1;
+        let node = AgarNode::new(FRANKFURT, backend, settings, 0).unwrap();
+        let estimates = node.latency_estimates();
+        assert_eq!(estimates.len(), 6);
+        assert!(estimates.iter().all(|&e| e > Duration::ZERO));
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! The read planner: one ranking over every candidate chunk source.
+//!
+//! The Agar node's read path used to carry two near-identical bodies —
+//! one for plain reads (local cache + backend) and one for
+//! collaborative reads (local cache + neighbour caches + backend). The
+//! [`ReadPlanner`] collapses both into a single *plan-then-execute*
+//! pipeline: every way of obtaining a chunk is a [`ChunkSource`], every
+//! source gets a price (zero for local hits, the transfer latency for a
+//! neighbour's cache, the live per-region estimate for a backend
+//! fetch), and the plan is simply the `k` cheapest sources covering `k`
+//! distinct chunks.
+//!
+//! Planning touches no locks and performs no I/O; the node executes the
+//! returned [`ReadPlan`] entirely outside its internal locks, so
+//! backend fetches from concurrent clients overlap (read latency is the
+//! *maximum* over the parallel fetches, as in the paper's §V-A model).
+
+use crate::config::CacheConfiguration;
+use crate::error::AgarError;
+use agar_cache::ShardedChunkCache;
+use agar_ec::ChunkId;
+use agar_net::RegionId;
+use agar_store::{plan_backend_fetch_with_estimates, Backend, ObjectManifest, StoreError};
+use bytes::Bytes;
+use std::time::Duration;
+
+/// A chunk offered by a collaborating neighbour's cache.
+#[derive(Clone, Debug)]
+pub struct RemoteChunk {
+    /// The offered chunk's index.
+    pub index: u8,
+    /// The neighbour's cached payload.
+    pub data: Bytes,
+    /// Simulated transfer latency from the neighbour.
+    pub latency: Duration,
+    /// The object version the payload was encoded from. Offers whose
+    /// version does not match the read's manifest snapshot are dropped
+    /// at planning time — mixing versions would decode garbage.
+    pub version: u64,
+}
+
+/// A set of chunk indices backed by a fixed bitmask.
+///
+/// Chunk indices are `u8`, so four 64-bit words cover the entire domain
+/// with O(1) insert/contains — replacing the `Vec::contains` scans the
+/// planner's hot loop used to run per candidate chunk. (Every shipped
+/// preset fits in the first word: RS(9, 3) has 12 chunks.)
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ChunkSet {
+    words: [u64; 4],
+}
+
+impl ChunkSet {
+    /// The empty set.
+    pub const fn new() -> Self {
+        ChunkSet { words: [0; 4] }
+    }
+
+    /// Adds an index; returns whether it was newly inserted.
+    pub fn insert(&mut self, index: u8) -> bool {
+        let word = &mut self.words[(index >> 6) as usize];
+        let bit = 1u64 << (index & 63);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Whether the index is in the set.
+    pub fn contains(&self, index: u8) -> bool {
+        self.words[(index >> 6) as usize] & (1u64 << (index & 63)) != 0
+    }
+
+    /// Number of indices in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+impl FromIterator<u8> for ChunkSet {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        let mut set = ChunkSet::new();
+        for index in iter {
+            set.insert(index);
+        }
+        set
+    }
+}
+
+/// One way of obtaining a chunk, with everything needed to execute it.
+#[derive(Clone, Debug)]
+pub enum ChunkSource {
+    /// Already in the local cache (version-checked); costs one cache
+    /// read, which runs in parallel with every other source.
+    Local {
+        /// The cached payload.
+        data: Bytes,
+    },
+    /// Served out of a collaborating neighbour's cache.
+    Remote {
+        /// The neighbour's payload.
+        data: Bytes,
+        /// Simulated transfer latency from the neighbour.
+        latency: Duration,
+    },
+    /// Fetch from the backend region holding the chunk.
+    Backend {
+        /// The region to fetch from.
+        region: RegionId,
+        /// The planner's latency estimate for that region (the realised
+        /// fetch latency is sampled at execution time).
+        estimate: Duration,
+    },
+}
+
+/// The executable outcome of planning one object read: exactly `k`
+/// `(chunk index, source)` pairs covering `k` distinct chunks.
+#[derive(Clone, Debug, Default)]
+pub struct ReadPlan {
+    /// The chosen source per chunk, local hits first, then the
+    /// remaining sources cheapest-first.
+    pub sources: Vec<(u8, ChunkSource)>,
+    /// How many of the sources are local cache hits.
+    pub cache_hits: usize,
+}
+
+/// Plans object reads against a config snapshot: ranks local cache
+/// hits, neighbour offers and backend fetches behind [`ChunkSource`]
+/// and picks the cheapest cover.
+///
+/// The planner borrows immutable *snapshots* (manifest, configuration,
+/// latency estimates) so a node can plan while holding no locks at all.
+pub struct ReadPlanner<'a> {
+    manifest: &'a ObjectManifest,
+    config: &'a CacheConfiguration,
+}
+
+impl<'a> ReadPlanner<'a> {
+    /// Creates a planner for one object read.
+    pub fn new(manifest: &'a ObjectManifest, config: &'a CacheConfiguration) -> Self {
+        ReadPlanner { manifest, config }
+    }
+
+    /// The chunk indices the configuration hints for this object.
+    pub fn hinted(&self) -> &[u8] {
+        self.config.chunks_for(self.manifest.object())
+    }
+
+    /// Stage 1 of the pipeline: looks the hinted chunks up in the local
+    /// cache, version-checked (stale chunks are dropped — write-path
+    /// coherence), and returns the hits. Each lookup locks only the
+    /// chunk's cache shard.
+    ///
+    /// `record_stats` controls whether the lookups count toward the
+    /// cache's chunk-level hit/miss statistics and recency metadata;
+    /// a version-race *retry* of the same logical read passes `false`
+    /// so one read never double-counts.
+    pub fn lookup_local(&self, cache: &ShardedChunkCache, record_stats: bool) -> Vec<(u8, Bytes)> {
+        let object = self.manifest.object();
+        let version = self.manifest.version();
+        let hinted = self.hinted();
+        let mut have = Vec::with_capacity(hinted.len());
+        for &index in hinted {
+            let id = ChunkId::new(object, index);
+            let found = if record_stats {
+                cache.get(&id)
+            } else {
+                cache.peek(&id)
+            };
+            match found {
+                Some(chunk) if chunk.version() == version => {
+                    have.push((index, chunk.data().clone()));
+                }
+                Some(_) => {
+                    cache.remove(&id);
+                }
+                None => {}
+            }
+        }
+        have
+    }
+
+    /// Stage 2: ranks every candidate source for every chunk the local
+    /// cache does not hold and returns the cheapest executable plan.
+    ///
+    /// `hits` are the local cache hits from
+    /// [`ReadPlanner::lookup_local`]; `remote` lists chunks offered by
+    /// collaborating neighbours; `estimates` are the caller's live
+    /// per-region latency estimates. A chunk obtainable both remotely
+    /// and from the backend goes to whichever is cheaper (strictly — at
+    /// equal price the backend wins, keeping plain reads byte-identical
+    /// to the pre-collaboration behaviour).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotEnoughChunks`] (wrapped in [`AgarError`]) when
+    /// fewer than `k` distinct chunks are obtainable from all sources
+    /// combined.
+    pub fn plan(
+        &self,
+        hits: Vec<(u8, Bytes)>,
+        remote: &[RemoteChunk],
+        backend: &Backend,
+        estimates: &[Duration],
+    ) -> Result<ReadPlan, AgarError> {
+        let object = self.manifest.object();
+        let k = self.manifest.params().data_chunks();
+        let total = self.manifest.params().total_chunks();
+        let cache_hits = hits.len();
+        let held: ChunkSet = hits.iter().map(|&(index, _)| index).collect();
+        let mut sources: Vec<(u8, ChunkSource)> = hits
+            .into_iter()
+            .map(|(index, data)| (index, ChunkSource::Local { data }))
+            .collect();
+        let needed = k.saturating_sub(cache_hits);
+        if needed == 0 {
+            return Ok(ReadPlan {
+                sources,
+                cache_hits,
+            });
+        }
+
+        // Cheapest remote offer per chunk index, O(1) lookup. Offers
+        // outside the object's chunk domain or encoded from a different
+        // version than this read's manifest snapshot are ignored, not
+        // an error (the neighbour raced a write; decoding its payload
+        // alongside current-version chunks would produce garbage).
+        let version = self.manifest.version();
+        let mut remote_at: Vec<Option<(&Bytes, Duration)>> = vec![None; total];
+        for offer in remote {
+            if offer.version != version {
+                continue;
+            }
+            let Some(slot) = remote_at.get_mut(offer.index as usize) else {
+                continue;
+            };
+            if slot.is_none_or(|(_, best)| offer.latency < best) {
+                *slot = Some((&offer.data, offer.latency));
+            }
+        }
+        // Reachable backend candidates with per-chunk estimates.
+        let mut backend_at: Vec<Option<(RegionId, Duration)>> = vec![None; total];
+        for candidate in plan_backend_fetch_with_estimates(backend, object, estimates)? {
+            backend_at[candidate.chunk.index().value() as usize] =
+                Some((candidate.region, candidate.estimate));
+        }
+
+        // Rank every unheld chunk by its cheapest source.
+        let mut candidates: Vec<(Duration, u8, ChunkSource)> = Vec::with_capacity(total);
+        for index in 0..total as u8 {
+            if held.contains(index) {
+                continue;
+            }
+            let source = match (remote_at[index as usize], backend_at[index as usize]) {
+                (Some((data, latency)), Some((_, estimate))) if latency < estimate => {
+                    ChunkSource::Remote {
+                        data: data.clone(),
+                        latency,
+                    }
+                }
+                (Some((data, latency)), None) => ChunkSource::Remote {
+                    data: data.clone(),
+                    latency,
+                },
+                (_, Some((region, estimate))) => ChunkSource::Backend { region, estimate },
+                (None, None) => continue,
+            };
+            let price = match &source {
+                ChunkSource::Remote { latency, .. } => *latency,
+                ChunkSource::Backend { estimate, .. } => *estimate,
+                ChunkSource::Local { .. } => unreachable!("local hits are pre-filtered"),
+            };
+            candidates.push((price, index, source));
+        }
+        if candidates.len() < needed {
+            return Err(StoreError::NotEnoughChunks {
+                object,
+                reachable: cache_hits + candidates.len(),
+                needed: k,
+            }
+            .into());
+        }
+        candidates.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        sources.extend(
+            candidates
+                .into_iter()
+                .take(needed)
+                .map(|(_, index, source)| (index, source)),
+        );
+        Ok(ReadPlan {
+            sources,
+            cache_hits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agar_ec::{CodingParams, ObjectId};
+    use agar_net::latency::LatencyModel;
+    use agar_net::presets::{aws_six_regions, FRANKFURT, SYDNEY, TOKYO};
+    use agar_store::{populate, RoundRobin};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Backend>, Vec<Duration>) {
+        let preset = aws_six_regions();
+        let backend = Backend::new(
+            preset.topology,
+            Arc::new(preset.latency.clone()),
+            CodingParams::paper_default(),
+            Box::new(RoundRobin),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        populate(&backend, 2, 900, &mut rng).unwrap();
+        let estimates: Vec<Duration> = backend
+            .topology()
+            .ids()
+            .map(|r| preset.latency.mean(FRANKFURT, r, 100))
+            .collect();
+        (Arc::new(backend), estimates)
+    }
+
+    #[test]
+    fn chunk_set_basics() {
+        let mut set = ChunkSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert(0));
+        assert!(set.insert(63));
+        assert!(set.insert(64));
+        assert!(set.insert(255));
+        assert!(!set.insert(0), "duplicate insert");
+        assert_eq!(set.len(), 4);
+        for index in [0u8, 63, 64, 255] {
+            assert!(set.contains(index));
+        }
+        assert!(!set.contains(1));
+        assert!(!set.contains(128));
+        let from_iter: ChunkSet = [3u8, 5, 3].into_iter().collect();
+        assert_eq!(from_iter.len(), 2);
+    }
+
+    #[test]
+    fn cold_plan_picks_the_k_nearest_backend_chunks() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        let planner = ReadPlanner::new(&manifest, &config);
+        let plan = planner.plan(Vec::new(), &[], &backend, &estimates).unwrap();
+        assert_eq!(plan.sources.len(), 9);
+        assert_eq!(plan.cache_hits, 0);
+        // The furthest region (Sydney) is never planned when healthy.
+        for (_, source) in &plan.sources {
+            match source {
+                ChunkSource::Backend { region, .. } => assert_ne!(*region, SYDNEY),
+                other => panic!("cold read planned {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn local_hits_shrink_the_fetch_set() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        let planner = ReadPlanner::new(&manifest, &config);
+        let hits = vec![
+            (4u8, Bytes::from(vec![0u8; 100])),
+            (9u8, Bytes::from(vec![0u8; 100])),
+        ];
+        let plan = planner.plan(hits, &[], &backend, &estimates).unwrap();
+        assert_eq!(plan.sources.len(), 9);
+        assert_eq!(plan.cache_hits, 2);
+        let fetched: Vec<u8> = plan
+            .sources
+            .iter()
+            .filter(|(_, s)| matches!(s, ChunkSource::Backend { .. }))
+            .map(|&(i, _)| i)
+            .collect();
+        assert_eq!(fetched.len(), 7);
+        assert!(!fetched.contains(&4) && !fetched.contains(&9));
+    }
+
+    #[test]
+    fn cheaper_remote_offers_beat_backend_estimates() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        let planner = ReadPlanner::new(&manifest, &config);
+        // Chunk 4 lives in Tokyo (round-robin, index 4 % 6), the most
+        // expensive region a healthy Frankfurt plan touches. Offer it
+        // for nearly nothing.
+        let offer = |index: u8, bytes: Vec<u8>, latency: Duration, version: u64| RemoteChunk {
+            index,
+            data: Bytes::from(bytes),
+            latency,
+            version,
+        };
+        let remote = vec![offer(4, vec![7u8; 100], Duration::from_millis(1), 1)];
+        let plan = planner
+            .plan(Vec::new(), &remote, &backend, &estimates)
+            .unwrap();
+        let chunk4 = plan.sources.iter().find(|&&(i, _)| i == 4).unwrap();
+        assert!(matches!(chunk4.1, ChunkSource::Remote { .. }));
+        // An expensive remote offer loses to the local region.
+        let remote = vec![offer(0, vec![1u8; 100], Duration::from_secs(10), 1)];
+        let plan = planner
+            .plan(Vec::new(), &remote, &backend, &estimates)
+            .unwrap();
+        let chunk0 = plan.sources.iter().find(|&&(i, _)| i == 0).unwrap();
+        assert!(matches!(chunk0.1, ChunkSource::Backend { .. }));
+        // An offer from a stale version is ignored outright, even when
+        // it is by far the cheapest source.
+        let remote = vec![offer(4, vec![7u8; 100], Duration::from_millis(1), 99)];
+        let plan = planner
+            .plan(Vec::new(), &remote, &backend, &estimates)
+            .unwrap();
+        let chunk4 = plan.sources.iter().find(|&&(i, _)| i == 4).unwrap();
+        assert!(matches!(chunk4.1, ChunkSource::Backend { .. }));
+        let _ = TOKYO;
+    }
+
+    #[test]
+    fn out_of_range_remote_offers_are_ignored() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        let planner = ReadPlanner::new(&manifest, &config);
+        // Index 200 is outside RS(9,3)'s 12-chunk domain: no panic, no
+        // effect on the plan.
+        let remote = vec![RemoteChunk {
+            index: 200,
+            data: Bytes::from(vec![0u8; 100]),
+            latency: Duration::from_millis(1),
+            version: 1,
+        }];
+        let plan = planner
+            .plan(Vec::new(), &remote, &backend, &estimates)
+            .unwrap();
+        assert_eq!(plan.sources.len(), 9);
+        assert!(plan
+            .sources
+            .iter()
+            .all(|(_, s)| matches!(s, ChunkSource::Backend { .. })));
+    }
+
+    #[test]
+    fn too_few_sources_is_an_error() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        for region in backend.topology().ids().take(4) {
+            backend.fail_region(region);
+        }
+        let planner = ReadPlanner::new(&manifest, &config);
+        let err = planner
+            .plan(Vec::new(), &[], &backend, &estimates)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AgarError::Store(StoreError::NotEnoughChunks { needed: 9, .. })
+        ));
+    }
+}

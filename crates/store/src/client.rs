@@ -89,6 +89,67 @@ pub fn plan_backend_fetch(
     Ok(plan)
 }
 
+/// One backend source a read planner can choose from: a chunk, the
+/// region holding it, and the caller-estimated fetch latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkCandidate {
+    /// The chunk this candidate would fetch.
+    pub chunk: ChunkId,
+    /// The region holding the chunk.
+    pub region: RegionId,
+    /// Estimated fetch latency (the caller's per-region estimate for
+    /// the chunk's region).
+    pub estimate: Duration,
+}
+
+/// The estimate-aware companion of [`plan_backend_fetch`]: enumerates
+/// *every* reachable chunk of `object` as a [`ChunkCandidate`] carrying
+/// its per-chunk latency estimate, sorted cheapest-first (ties broken by
+/// chunk index, so data chunks are preferred over parity at equal
+/// latency). `estimates` is indexed by region id — an Agar node passes
+/// its region manager's live estimates, reproducing the measured
+/// ordering `plan_backend_fetch` derives from `region_order`.
+///
+/// Unlike [`plan_backend_fetch`] this does not pick the `k` chunks to
+/// fetch: it hands the planner a uniformly priced candidate list it can
+/// merge with other sources (local cache hits, collaborating
+/// neighbours' caches) before choosing.
+///
+/// # Errors
+///
+/// Returns [`StoreError::UnknownObject`] if the object was never
+/// written. An empty candidate list (every region down) is *not* an
+/// error here; the planner decides whether it can still reconstruct.
+pub fn plan_backend_fetch_with_estimates(
+    backend: &Backend,
+    object: ObjectId,
+    estimates: &[Duration],
+) -> Result<Vec<ChunkCandidate>, StoreError> {
+    let manifest = backend.manifest(object)?;
+    let mut candidates = Vec::with_capacity(manifest.params().total_chunks());
+    for index in 0..manifest.params().total_chunks() as u8 {
+        let region = manifest.location(index as usize);
+        if !backend.is_region_available(region) {
+            continue;
+        }
+        let estimate = estimates
+            .get(region.index())
+            .copied()
+            .unwrap_or(Duration::MAX);
+        candidates.push(ChunkCandidate {
+            chunk: ChunkId::new(object, index),
+            region,
+            estimate,
+        });
+    }
+    candidates.sort_by(|a, b| {
+        a.estimate
+            .cmp(&b.estimate)
+            .then(a.chunk.index().cmp(&b.chunk.index()))
+    });
+    Ok(candidates)
+}
+
 /// Orders all regions by mean chunk-fetch latency from `client_region`.
 pub fn regions_by_latency(backend: &Backend, client_region: RegionId) -> Vec<RegionId> {
     let model = backend.latency_model();
@@ -311,6 +372,47 @@ mod tests {
         let plan = plan_backend_fetch(&backend, FRANKFURT, object, &order, &cached).unwrap();
         assert_eq!(plan.len(), 7);
         assert!(plan.iter().all(|(c, _)| !cached.contains(c)));
+    }
+
+    #[test]
+    fn estimate_candidates_rank_cheapest_first_and_skip_failures() {
+        let backend = six_region_backend();
+        let mut rng = StdRng::seed_from_u64(1);
+        populate(&backend, 1, 900, &mut rng).unwrap();
+        let estimates: Vec<Duration> = backend
+            .topology()
+            .ids()
+            .map(|r| backend.latency_model().mean(FRANKFURT, r, 100))
+            .collect();
+        let object = ObjectId::new(0);
+        let candidates = plan_backend_fetch_with_estimates(&backend, object, &estimates).unwrap();
+        // All 12 chunks are reachable; estimates are non-decreasing.
+        assert_eq!(candidates.len(), 12);
+        for pair in candidates.windows(2) {
+            assert!(pair[0].estimate <= pair[1].estimate);
+        }
+        // Each candidate carries its own region's estimate.
+        for c in &candidates {
+            assert_eq!(c.estimate, estimates[c.region.index()]);
+        }
+        // Taking the 9 cheapest matches plan_backend_fetch's choice set.
+        let order = regions_by_latency(&backend, FRANKFURT);
+        let plan = plan_backend_fetch(&backend, FRANKFURT, object, &order, &[]).unwrap();
+        let planned: std::collections::BTreeSet<ChunkId> = plan.iter().map(|&(c, _)| c).collect();
+        let cheapest: std::collections::BTreeSet<ChunkId> =
+            candidates.iter().take(9).map(|c| c.chunk).collect();
+        assert_eq!(planned, cheapest);
+
+        // Failed regions drop out of the candidate list.
+        backend.fail_region(SYDNEY);
+        let degraded = plan_backend_fetch_with_estimates(&backend, object, &estimates).unwrap();
+        assert_eq!(degraded.len(), 10);
+        assert!(degraded.iter().all(|c| c.region != SYDNEY));
+        // Unknown objects still error.
+        assert!(matches!(
+            plan_backend_fetch_with_estimates(&backend, ObjectId::new(99), &estimates),
+            Err(StoreError::UnknownObject { .. })
+        ));
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub mod placement;
 
 pub use backend::{expected_payload, populate, Backend, ChunkFetch};
 pub use bucket::{Bucket, StoredChunk};
-pub use client::{plan_backend_fetch, regions_by_latency, ReadOutcome, StorageClient};
+pub use client::{
+    plan_backend_fetch, plan_backend_fetch_with_estimates, regions_by_latency, ChunkCandidate,
+    ReadOutcome, StorageClient,
+};
 pub use error::StoreError;
 pub use manifest::ObjectManifest;
 pub use placement::{PlacementPolicy, RotatedRoundRobin, RoundRobin};
