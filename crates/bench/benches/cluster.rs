@@ -1,0 +1,47 @@
+//! Cluster-tier throughput (host execution time): `M` client threads
+//! issuing routed reads against `K` ring-routed Agar nodes sharing one
+//! fetch coordinator. Complements `concurrent_reads` (one node, many
+//! threads) by scaling the node dimension; `experiments -- cluster`
+//! prints the full M × K grid.
+
+use agar_bench::{build_warm_cluster, run_cluster_threads, Deployment, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const OPS_PER_THREAD: usize = 200;
+const HOT_OBJECTS: u64 = 8;
+
+fn bench_cluster_reads(c: &mut Criterion) {
+    let deployment = Deployment::build(Scale::tiny());
+    let region = deployment.region("Frankfurt");
+    let mut group = c.benchmark_group("cluster_reads");
+    group.sample_size(10);
+    for members in [1usize, 2, 4] {
+        let router = build_warm_cluster(&deployment, region, members, 10.0, HOT_OBJECTS, 0xC105);
+        group.throughput(Throughput::Elements((4 * OPS_PER_THREAD) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("4_threads_{members}_nodes")),
+            &members,
+            |b, _| {
+                b.iter(|| black_box(run_cluster_threads(&router, 4, OPS_PER_THREAD, HOT_OBJECTS)))
+            },
+        );
+    }
+    group.finish();
+
+    // Headline number: 4 threads across 1 vs 4 nodes.
+    let one = build_warm_cluster(&deployment, region, 1, 10.0, HOT_OBJECTS, 0xC105);
+    let four = build_warm_cluster(&deployment, region, 4, 10.0, HOT_OBJECTS, 0xC105);
+    let a = run_cluster_threads(&one, 4, OPS_PER_THREAD, HOT_OBJECTS);
+    let b = run_cluster_threads(&four, 4, OPS_PER_THREAD, HOT_OBJECTS);
+    eprintln!(
+        "cluster_reads: 4 threads x 1 node {:.0} ops/s, 4 threads x 4 nodes {:.0} ops/s ({:.2}x), {:.1}% cache hits",
+        a.ops_per_sec,
+        b.ops_per_sec,
+        b.ops_per_sec / a.ops_per_sec,
+        b.hit_fraction() * 100.0
+    );
+}
+
+criterion_group!(benches, bench_cluster_reads);
+criterion_main!(benches);

@@ -6,6 +6,8 @@
 //! ids: fig2 table1 fig6 fig7 fig8a fig8b fig9 fig10 ablation all   (default: all)
 //!      throughput   (multi-threaded wall-clock scaling; not part of `all`
 //!                    because it measures the host, not the simulation)
+//!      cluster      (M client threads x K ring-routed nodes; host
+//!                    wall-clock, like throughput)
 //! --tiny        run at test scale (fast, same shapes)
 //! --runs N      repetitions to average (default 5, paper value)
 //! --ops N       operations per run (default 1000, paper value)
@@ -102,6 +104,10 @@ fn main() {
                 &deployment,
                 params.operations,
             )],
+            "cluster" => vec![agar_bench::cluster::cluster_table(
+                &deployment,
+                params.operations,
+            )],
             other => usage(&format!("unknown experiment {other}")),
         };
         for table in tables {
@@ -127,7 +133,7 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|all]... \
+        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|cluster|all]... \
          [--tiny] [--runs N] [--ops N] [--out DIR]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });

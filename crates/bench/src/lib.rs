@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cluster;
 pub mod experiments;
 pub mod harness;
 pub mod table;
 pub mod throughput;
 
+pub use cluster::{build_warm_cluster, cluster_scaling, run_cluster_threads};
 pub use harness::{
     run_averaged, run_once, Deployment, LatencyProfile, PolicySpec, RunConfig, RunResult, Scale,
 };

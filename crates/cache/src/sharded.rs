@@ -398,6 +398,102 @@ mod tests {
         assert_eq!(stats.object_misses(), 1);
     }
 
+    /// Keys that all land in one shard of an 8-shard cache (found by
+    /// probing the deterministic shard hash), used to stress the
+    /// global-capacity path under maximal skew.
+    fn same_shard_keys(cache: &ShardedChunkCache, count: usize) -> Vec<ChunkId> {
+        let mut keys = Vec::with_capacity(count);
+        let target = cache.shard_index(&id(0, 0));
+        'outer: for object in 0..10_000u64 {
+            for index in 0..12u8 {
+                let key = id(object, index);
+                if cache.shard_index(&key) == target {
+                    keys.push(key);
+                    if keys.len() == count {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert_eq!(keys.len(), count, "not enough colliding keys found");
+        keys
+    }
+
+    #[test]
+    fn skewed_shard_still_respects_global_capacity() {
+        // Every insert lands in ONE shard of eight; the global byte
+        // budget must hold anyway, with evictions drawn from that
+        // shard (the round-robin cursor walks the empties harmlessly).
+        let cache = ShardedChunkCache::new(500, PolicyKind::Lru, 8);
+        let keys = same_shard_keys(&cache, 50);
+        for &key in &keys {
+            assert!(cache.insert(key, chunk(100, 1)));
+            assert!(
+                cache.used_bytes() <= 500,
+                "budget exceeded at {} bytes",
+                cache.used_bytes()
+            );
+        }
+        assert_eq!(cache.len(), 5, "500 B holds exactly five 100 B chunks");
+        assert_eq!(cache.stats().insertions(), 50);
+        assert_eq!(cache.stats().evictions(), 45);
+        // The survivors are the five most recent inserts (shard-local
+        // LRU degenerates to exact LRU when one shard holds everything).
+        for key in &keys[45..] {
+            assert!(cache.contains(key), "recent insert evicted");
+        }
+    }
+
+    #[test]
+    fn eviction_never_livelocks_when_most_shards_are_empty() {
+        // An entry as large as the whole cache forces `evict_to_capacity`
+        // to sweep the (empty) sibling shards repeatedly; the cursor
+        // walk must terminate every time instead of spinning.
+        let cache = ShardedChunkCache::new(300, PolicyKind::Lru, 8);
+        let keys = same_shard_keys(&cache, 4);
+        for &key in &keys {
+            assert!(cache.insert(key, chunk(300, 1)));
+            assert_eq!(cache.len(), 1, "each full-size insert evicts the last");
+            assert!(cache.used_bytes() <= 300);
+        }
+        // Drain the cache entirely; `evict_one` on every (now empty)
+        // shard must keep returning None, never hang.
+        cache.remove_matching(|_| true);
+        assert!(cache.is_empty());
+        for shard in &cache.shards {
+            assert!(shard.lock().evict_one().is_none());
+        }
+        assert_eq!(cache.used_bytes(), 0);
+        // And the cache still works afterwards.
+        assert!(cache.insert(id(7, 7), chunk(10, 1)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_skewed_inserts_hold_the_budget() {
+        // Four threads hammer keys that all hash to one shard: the
+        // worst case for the shared byte counter. Capacity must hold
+        // at the end and nothing may deadlock.
+        let cache = Arc::new(ShardedChunkCache::new(1_000, PolicyKind::Lru, 8));
+        let keys = Arc::new(same_shard_keys(&cache, 64));
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let cache = Arc::clone(&cache);
+                let keys = Arc::clone(&keys);
+                scope.spawn(move || {
+                    for round in 0..100usize {
+                        let key = keys[(t * 17 + round) % keys.len()];
+                        if cache.get(&key).is_none() {
+                            cache.insert(key, chunk(100, 1));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.used_bytes() <= 1_000);
+        assert_eq!(cache.used_bytes(), cache.len() * 100);
+    }
+
     #[test]
     fn concurrent_hammer_holds_invariants() {
         let cache = Arc::new(ShardedChunkCache::new(2_000, PolicyKind::Lru, 4));

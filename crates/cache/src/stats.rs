@@ -24,6 +24,8 @@ pub struct CacheStats {
     object_total_hits: u64,
     object_partial_hits: u64,
     object_misses: u64,
+    coalesced_fetches: u64,
+    batched_requests: u64,
 }
 
 impl CacheStats {
@@ -108,6 +110,28 @@ impl CacheStats {
         self.object_misses
     }
 
+    /// Records one backend fetch served by piggybacking on another
+    /// reader's identical in-flight fetch (single-flight coalescing).
+    pub fn record_coalesced_fetch(&mut self) {
+        self.coalesced_fetches += 1;
+    }
+
+    /// Records one batched (region-grouped) backend round trip.
+    pub fn record_batched_request(&mut self) {
+        self.batched_requests += 1;
+    }
+
+    /// Backend fetches served by an in-flight duplicate instead of a
+    /// round trip of their own (single-flight coalescing).
+    pub fn coalesced_fetches(&self) -> u64 {
+        self.coalesced_fetches
+    }
+
+    /// Batched backend round trips issued (one per region group).
+    pub fn batched_requests(&self) -> u64 {
+        self.batched_requests
+    }
+
     /// Total object reads recorded.
     pub fn object_reads(&self) -> u64 {
         self.object_total_hits + self.object_partial_hits + self.object_misses
@@ -151,6 +175,12 @@ impl CacheStats {
                 .object_partial_hits
                 .saturating_sub(earlier.object_partial_hits),
             object_misses: self.object_misses.saturating_sub(earlier.object_misses),
+            coalesced_fetches: self
+                .coalesced_fetches
+                .saturating_sub(earlier.coalesced_fetches),
+            batched_requests: self
+                .batched_requests
+                .saturating_sub(earlier.batched_requests),
         }
     }
 
@@ -164,6 +194,8 @@ impl CacheStats {
         self.object_total_hits += other.object_total_hits;
         self.object_partial_hits += other.object_partial_hits;
         self.object_misses += other.object_misses;
+        self.coalesced_fetches += other.coalesced_fetches;
+        self.batched_requests += other.batched_requests;
     }
 }
 
@@ -184,6 +216,8 @@ pub struct AtomicCacheStats {
     object_total_hits: AtomicU64,
     object_partial_hits: AtomicU64,
     object_misses: AtomicU64,
+    coalesced_fetches: AtomicU64,
+    batched_requests: AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -229,6 +263,16 @@ impl AtomicCacheStats {
         }
     }
 
+    /// Records one single-flight-coalesced backend fetch.
+    pub fn record_coalesced_fetch(&self) {
+        self.coalesced_fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` batched (region-grouped) backend round trips.
+    pub fn record_batched_requests(&self, n: u64) {
+        self.batched_requests.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters as plain [`CacheStats`].
     pub fn snapshot(&self) -> CacheStats {
         CacheStats {
@@ -240,6 +284,8 @@ impl AtomicCacheStats {
             object_total_hits: self.object_total_hits.load(Ordering::Relaxed),
             object_partial_hits: self.object_partial_hits.load(Ordering::Relaxed),
             object_misses: self.object_misses.load(Ordering::Relaxed),
+            coalesced_fetches: self.coalesced_fetches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -316,6 +362,28 @@ mod tests {
         assert_eq!(a.rejected_inserts(), 1);
         assert_eq!(a.object_total_hits(), 1);
         assert_eq!(a.object_partial_hits(), 1);
+    }
+
+    #[test]
+    fn fetch_coordination_counters_roundtrip() {
+        let atomic = AtomicCacheStats::new();
+        atomic.record_coalesced_fetch();
+        atomic.record_coalesced_fetch();
+        atomic.record_batched_requests(3);
+        let snap = atomic.snapshot();
+        assert_eq!(snap.coalesced_fetches(), 2);
+        assert_eq!(snap.batched_requests(), 3);
+
+        let mut merged = CacheStats::new();
+        merged.record_coalesced_fetch();
+        merged.record_batched_request();
+        merged.merge(&snap);
+        assert_eq!(merged.coalesced_fetches(), 3);
+        assert_eq!(merged.batched_requests(), 4);
+
+        let delta = merged.delta_since(&snap);
+        assert_eq!(delta.coalesced_fetches(), 1);
+        assert_eq!(delta.batched_requests(), 1);
     }
 
     #[test]

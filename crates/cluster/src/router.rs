@@ -1,0 +1,711 @@
+//! The cluster router: N Agar nodes behind one read/write front door.
+//!
+//! A [`ClusterRouter`] owns the ring, the membership list and the
+//! shared [`FetchCoordinator`]. Reads route to the object's ring owner
+//! (so each object's popularity concentrates in one node's monitor and
+//! its chunks in one node's cache); chunks the owner does not hold are
+//! offered from the next members on the ring walk — the deterministic
+//! *preference list* — as [`RemoteChunk`]s before falling back to the
+//! backend. The planner prices every offer against the live backend
+//! estimates, so a far sibling's cache never beats a near region.
+//!
+//! This subsumes the paper's §VI collaboration sketch: the old
+//! `CollaborativeGroup` scanned every member linearly on each lookup;
+//! the ring walk probes a bounded, deterministic subset
+//! ([`ClusterSettings::sibling_probes`]) and degenerates to a full —
+//! but deterministically ordered — scan when the probe budget covers
+//! the whole membership.
+
+use crate::coordinator::FetchCoordinator;
+use crate::ring::ClusterRing;
+use agar::planner::RemoteChunk;
+use agar::{AgarError, AgarNode, ReadMetrics};
+use agar_cache::CacheStats;
+use agar_ec::{ChunkId, ObjectId};
+use agar_net::SimTime;
+use agar_store::Backend;
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunables of a [`ClusterRouter`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSettings {
+    /// Virtual nodes per member on the consistent-hash ring.
+    pub vnodes: usize,
+    /// How many members beyond the home node the read path consults
+    /// for cached chunks (the ring-walk probe budget). `0` disables
+    /// sibling lookups; `usize::MAX` probes every member.
+    pub sibling_probes: usize,
+    /// Fraction of the WAN latency a sibling *cache* read costs
+    /// (caches skip the storage-service overhead; the §VI sketch's
+    /// discount).
+    pub remote_cache_discount: f64,
+}
+
+impl Default for ClusterSettings {
+    fn default() -> Self {
+        ClusterSettings {
+            vnodes: crate::ring::DEFAULT_VNODES,
+            sibling_probes: 2,
+            remote_cache_discount: 0.5,
+        }
+    }
+}
+
+impl ClusterSettings {
+    fn validate(&self) -> Result<(), AgarError> {
+        if !(self.remote_cache_discount > 0.0 && self.remote_cache_discount <= 1.0) {
+            return Err(AgarError::InvalidSetting {
+                what: "remote cache discount must be in (0, 1]",
+            });
+        }
+        if self.vnodes == 0 {
+            return Err(AgarError::InvalidSetting {
+                what: "virtual node count must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Metrics of one routed read.
+#[derive(Clone, Debug)]
+pub struct ClusterReadMetrics {
+    metrics: ReadMetrics,
+    /// Chunks served from a sibling member's cache.
+    pub remote_hits: usize,
+    /// The member that served the read (the ring owner for routed
+    /// reads; the caller's choice for [`ClusterRouter::read_from`]).
+    pub home: u64,
+}
+
+impl ClusterReadMetrics {
+    /// The underlying read metrics.
+    pub fn into_inner(self) -> ReadMetrics {
+        self.metrics
+    }
+
+    /// Borrow the underlying read metrics.
+    pub fn metrics(&self) -> &ReadMetrics {
+        &self.metrics
+    }
+}
+
+/// Outcome of a membership change: which member changed and exactly
+/// which objects re-homed (the moved ring segment — nothing else).
+#[derive(Clone, Debug)]
+pub struct MembershipChange {
+    /// The added/removed member's id.
+    pub node: u64,
+    /// Objects whose ring owner changed, sorted. On add they all moved
+    /// *to* the new member; on remove they all moved *off* it.
+    pub moved_objects: Vec<ObjectId>,
+}
+
+struct Member {
+    id: u64,
+    node: Arc<AgarNode>,
+}
+
+struct RouterState {
+    ring: ClusterRing,
+    members: Vec<Member>,
+}
+
+impl RouterState {
+    fn member(&self, id: u64) -> Option<&Arc<AgarNode>> {
+        self.members
+            .iter()
+            .find(|member| member.id == id)
+            .map(|member| &member.node)
+    }
+}
+
+/// Consistent-hash front door over N [`AgarNode`]s (see module docs).
+///
+/// Thread-safe behind `&self`: reads take the membership snapshot
+/// under a short read lock and run lock-free afterwards; membership
+/// changes serialise on the write lock.
+pub struct ClusterRouter {
+    backend: Arc<Backend>,
+    coordinator: Arc<FetchCoordinator>,
+    state: RwLock<RouterState>,
+    settings: ClusterSettings,
+    seed: u64,
+    ops: AtomicU64,
+    next_id: AtomicU64,
+    remote_hits: AtomicU64,
+    routed_reads: AtomicU64,
+}
+
+impl ClusterRouter {
+    /// Creates an empty router over `backend`. Members join via
+    /// [`ClusterRouter::add_node`]; each gets the shared
+    /// [`FetchCoordinator`] installed as its chunk fetcher.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgarError::InvalidSetting`] for an out-of-range
+    /// remote-cache discount or a zero virtual-node count.
+    pub fn new(
+        backend: Arc<Backend>,
+        settings: ClusterSettings,
+        seed: u64,
+    ) -> Result<Self, AgarError> {
+        let coordinator = Arc::new(FetchCoordinator::new(Arc::clone(&backend)));
+        ClusterRouter::with_coordinator(backend, coordinator, settings, seed)
+    }
+
+    /// Creates a router with a pre-built coordinator (used by tests
+    /// and benches to configure the wall-delay knob).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ClusterRouter::new`].
+    pub fn with_coordinator(
+        backend: Arc<Backend>,
+        coordinator: Arc<FetchCoordinator>,
+        settings: ClusterSettings,
+        seed: u64,
+    ) -> Result<Self, AgarError> {
+        settings.validate()?;
+        Ok(ClusterRouter {
+            backend,
+            coordinator,
+            state: RwLock::new(RouterState {
+                ring: ClusterRing::new(seed, settings.vnodes),
+                members: Vec::new(),
+            }),
+            settings,
+            seed,
+            ops: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            remote_hits: AtomicU64::new(0),
+            routed_reads: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared fetch coordinator (single-flight / batching counters
+    /// live here).
+    pub fn coordinator(&self) -> &Arc<FetchCoordinator> {
+        &self.coordinator
+    }
+
+    /// Member ids in join order.
+    pub fn member_ids(&self) -> Vec<u64> {
+        self.state.read().ring.nodes().to_vec()
+    }
+
+    /// The member node registered under `id`.
+    pub fn member(&self, id: u64) -> Option<Arc<AgarNode>> {
+        self.state.read().member(id).cloned()
+    }
+
+    /// Chunk lookups served from a sibling member's cache.
+    pub fn remote_hits(&self) -> u64 {
+        self.remote_hits.load(Ordering::Relaxed)
+    }
+
+    /// Reads routed through [`ClusterRouter::read`].
+    pub fn routed_reads(&self) -> u64 {
+        self.routed_reads.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the current ring (diagnostics and tests).
+    pub fn ring(&self) -> ClusterRing {
+        self.state.read().ring.clone()
+    }
+
+    fn derive_rng(&self) -> StdRng {
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        StdRng::seed_from_u64(
+            self.seed
+                ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0x243F_6A88_85A3_08D3),
+        )
+    }
+
+    /// Objects whose owner differs between two rings (sorted; the
+    /// backend's catalogue is the key universe).
+    fn moved_objects(&self, before: &ClusterRing, after: &ClusterRing) -> Vec<ObjectId> {
+        self.backend
+            .object_ids()
+            .into_iter()
+            .filter(|&object| before.owner_of_object(object) != after.owner_of_object(object))
+            .collect()
+    }
+
+    /// Adds a member, re-homing only the ring segment it takes over:
+    /// each moved object is dropped from its previous owner's cache
+    /// (the new owner re-caches it through its own knapsack epochs) —
+    /// untouched segments keep their cache contents. The shared fetch
+    /// coordinator is installed as the node's chunk fetcher.
+    pub fn add_node(&self, node: Arc<AgarNode>) -> MembershipChange {
+        node.set_chunk_fetcher(Arc::clone(&self.coordinator) as _);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.state.write();
+        let before = state.ring.clone();
+        state.ring.add_node(id);
+        state.members.push(Member { id, node });
+        let moved = self.moved_objects(&before, &state.ring);
+        for &object in &moved {
+            if let Some(old_owner) = before.owner_of_object(object) {
+                if let Some(previous) = state.member(old_owner) {
+                    previous.invalidate_object(object);
+                }
+            }
+        }
+        MembershipChange {
+            node: id,
+            moved_objects: moved,
+        }
+    }
+
+    /// Removes a member. Only the segment it owned re-homes (onto the
+    /// surviving members); every other object keeps its owner and its
+    /// cache. Returns `None` for an unknown id.
+    pub fn remove_node(&self, id: u64) -> Option<MembershipChange> {
+        let mut state = self.state.write();
+        let before = state.ring.clone();
+        if !state.ring.remove_node(id) {
+            return None;
+        }
+        state.members.retain(|member| member.id != id);
+        let moved = self.moved_objects(&before, &state.ring);
+        Some(MembershipChange {
+            node: id,
+            moved_objects: moved,
+        })
+    }
+
+    /// Reads an object through its ring owner (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`AgarError::InvalidSetting`] on an empty cluster; otherwise
+    /// the owner node's read errors.
+    pub fn read(&self, object: ObjectId) -> Result<ClusterReadMetrics, AgarError> {
+        self.routed_reads.fetch_add(1, Ordering::Relaxed);
+        let (home_id, home, probes) = {
+            let state = self.state.read();
+            let prefs = state.ring.preference_of_object(
+                object,
+                1 + self.settings.sibling_probes.min(state.members.len()),
+            );
+            let Some((&home_id, sibling_ids)) = prefs.split_first() else {
+                return Err(AgarError::InvalidSetting {
+                    what: "cluster router has no member nodes",
+                });
+            };
+            let home = state
+                .member(home_id)
+                .expect("ring and members agree")
+                .clone();
+            let probes: Vec<Arc<AgarNode>> = sibling_ids
+                .iter()
+                .filter_map(|&id| state.member(id).cloned())
+                .collect();
+            (home_id, home, probes)
+        };
+        self.read_at(home_id, &home, &probes, object)
+    }
+
+    /// Reads an object from an explicit member (the §VI collaboration
+    /// pattern: the client sits next to `home_id`, whatever the ring
+    /// says), consulting up to `sibling_probes` other members in ring
+    /// preference order for cached chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`AgarError::InvalidSetting`] for an unknown member id;
+    /// otherwise the home node's read errors.
+    pub fn read_from(
+        &self,
+        home_id: u64,
+        object: ObjectId,
+    ) -> Result<ClusterReadMetrics, AgarError> {
+        let (home, probes) = {
+            let state = self.state.read();
+            let Some(home) = state.member(home_id).cloned() else {
+                return Err(AgarError::InvalidSetting {
+                    what: "unknown cluster member id",
+                });
+            };
+            let prefs = state.ring.preference_of_object(object, state.members.len());
+            let probes: Vec<Arc<AgarNode>> = prefs
+                .iter()
+                .filter(|&&id| id != home_id)
+                .take(self.settings.sibling_probes)
+                .filter_map(|&id| state.member(id).cloned())
+                .collect();
+            (home, probes)
+        };
+        self.read_at(home_id, &home, &probes, object)
+    }
+
+    /// The shared read body: collect sibling offers for chunks the
+    /// home cache lacks, then let the home node plan and execute
+    /// (single-flight + batching apply inside via the coordinator).
+    fn read_at(
+        &self,
+        home_id: u64,
+        home: &Arc<AgarNode>,
+        probes: &[Arc<AgarNode>],
+        object: ObjectId,
+    ) -> Result<ClusterReadMetrics, AgarError> {
+        let manifest = self.backend.manifest(object)?;
+        let version = manifest.version();
+        let total = manifest.params().total_chunks();
+        let model = self.backend.latency_model();
+        let mut rng = self.derive_rng();
+        let mut remote: Vec<RemoteChunk> = Vec::new();
+        for index in 0..total as u8 {
+            let chunk = ChunkId::new(object, index);
+            if home.peek_chunk(&chunk, version).is_some() {
+                continue; // the home cache serves it for free
+            }
+            // Offer every probed holder; the planner keeps the
+            // cheapest per chunk and discards offers dearer than the
+            // backend estimate.
+            for sibling in probes {
+                let Some(data) = sibling.peek_chunk(&chunk, version) else {
+                    continue;
+                };
+                let wan = model.sample(home.region(), sibling.region(), data.len(), &mut rng);
+                remote.push(RemoteChunk {
+                    index,
+                    data,
+                    latency: wan.mul_f64(self.settings.remote_cache_discount),
+                    version,
+                });
+            }
+        }
+        let metrics = home.read_with_remote_chunks(object, &remote)?;
+        if metrics.remote_hits > 0 {
+            self.remote_hits
+                .fetch_add(metrics.remote_hits as u64, Ordering::Relaxed);
+        }
+        let remote_hits = metrics.remote_hits;
+        Ok(ClusterReadMetrics {
+            metrics: metrics.into_inner(),
+            remote_hits,
+            home: home_id,
+        })
+    }
+
+    /// Writes an object through its ring owner and invalidates every
+    /// other member's cached chunks of it (write coherence across the
+    /// cluster).
+    ///
+    /// # Errors
+    ///
+    /// [`AgarError::InvalidSetting`] on an empty cluster; otherwise
+    /// backend write failures.
+    pub fn write(&self, object: ObjectId, data: &[u8]) -> Result<(u64, Duration), AgarError> {
+        let state = self.state.read();
+        let Some(owner_id) = state.ring.owner_of_object(object) else {
+            return Err(AgarError::InvalidSetting {
+                what: "cluster router has no member nodes",
+            });
+        };
+        let owner = state.member(owner_id).expect("ring and members agree");
+        let outcome = owner.write(object, data)?;
+        for member in &state.members {
+            if member.id != owner_id {
+                member.node.invalidate_object(object);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Ticks every member's reconfiguration clock; returns how many
+    /// members reconfigured.
+    pub fn maybe_reconfigure_all(&self, now: SimTime) -> usize {
+        use agar::CachingClient;
+        let members: Vec<Arc<AgarNode>> = {
+            let state = self.state.read();
+            state.members.iter().map(|m| Arc::clone(&m.node)).collect()
+        };
+        members
+            .iter()
+            .filter(|node| node.maybe_reconfigure(now))
+            .count()
+    }
+
+    /// Immediately reconfigures every member.
+    pub fn force_reconfigure_all(&self) {
+        let members: Vec<Arc<AgarNode>> = {
+            let state = self.state.read();
+            state.members.iter().map(|m| Arc::clone(&m.node)).collect()
+        };
+        for node in members {
+            node.force_reconfigure();
+        }
+    }
+
+    /// Aggregated cache statistics: every member's counters plus the
+    /// coordinator's `coalesced_fetches` / `batched_requests`.
+    pub fn cache_stats(&self) -> CacheStats {
+        use agar::CachingClient;
+        let mut merged = CacheStats::new();
+        {
+            let state = self.state.read();
+            for member in &state.members {
+                merged.merge(&member.node.cache_stats());
+            }
+        }
+        merged.merge(&self.coordinator.stats());
+        merged
+    }
+}
+
+impl std::fmt::Debug for ClusterRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.read();
+        f.debug_struct("ClusterRouter")
+            .field("members", &state.members.len())
+            .field("routed_reads", &self.routed_reads())
+            .field("remote_hits", &self.remote_hits())
+            .field("coordinator", &self.coordinator)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agar::{AgarSettings, CachingClient};
+    use agar_ec::CodingParams;
+    use agar_net::presets::{aws_six_regions, DUBLIN, FRANKFURT};
+    use agar_store::{expected_payload, populate, RoundRobin};
+
+    const SIZE: usize = 900;
+
+    fn backend(objects: u64) -> Arc<Backend> {
+        let preset = aws_six_regions();
+        let backend = Backend::new(
+            preset.topology,
+            Arc::new(preset.latency),
+            CodingParams::paper_default(),
+            Box::new(RoundRobin),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        populate(&backend, objects, SIZE, &mut rng).unwrap();
+        Arc::new(backend)
+    }
+
+    fn node(backend: &Arc<Backend>, region: agar_net::RegionId, seed: u64) -> Arc<AgarNode> {
+        Arc::new(
+            AgarNode::new(
+                region,
+                Arc::clone(backend),
+                AgarSettings::paper_default(3 * SIZE),
+                seed,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn frankfurt_cluster(objects: u64, members: usize) -> (Arc<Backend>, ClusterRouter) {
+        let backend = backend(objects);
+        let router =
+            ClusterRouter::new(Arc::clone(&backend), ClusterSettings::default(), 5).unwrap();
+        for i in 0..members {
+            router.add_node(node(&backend, FRANKFURT, i as u64));
+        }
+        (backend, router)
+    }
+
+    #[test]
+    fn settings_are_validated() {
+        let backend = backend(1);
+        let settings = ClusterSettings {
+            remote_cache_discount: 0.0,
+            ..ClusterSettings::default()
+        };
+        assert!(matches!(
+            ClusterRouter::new(Arc::clone(&backend), settings, 0),
+            Err(AgarError::InvalidSetting { .. })
+        ));
+        let settings = ClusterSettings {
+            vnodes: 0,
+            ..ClusterSettings::default()
+        };
+        assert!(matches!(
+            ClusterRouter::new(backend, settings, 0),
+            Err(AgarError::InvalidSetting { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_cluster_rejects_reads_and_writes() {
+        let backend = backend(1);
+        let router = ClusterRouter::new(backend, ClusterSettings::default(), 0).unwrap();
+        assert!(matches!(
+            router.read(ObjectId::new(0)),
+            Err(AgarError::InvalidSetting { .. })
+        ));
+        assert!(matches!(
+            router.write(ObjectId::new(0), &[1; 8]),
+            Err(AgarError::InvalidSetting { .. })
+        ));
+        assert!(matches!(
+            router.read_from(7, ObjectId::new(0)),
+            Err(AgarError::InvalidSetting { .. })
+        ));
+    }
+
+    #[test]
+    fn reads_route_to_a_stable_owner_and_return_correct_bytes() {
+        let (_, router) = frankfurt_cluster(8, 4);
+        for i in 0..8u64 {
+            let object = ObjectId::new(i);
+            let first = router.read(object).unwrap();
+            assert_eq!(
+                first.metrics().data.as_ref(),
+                expected_payload(i, SIZE).as_slice()
+            );
+            for _ in 0..3 {
+                assert_eq!(router.read(object).unwrap().home, first.home);
+            }
+        }
+        // Four members, eight objects: ownership actually spreads.
+        let homes: std::collections::BTreeSet<u64> = (0..8u64)
+            .map(|i| router.read(ObjectId::new(i)).unwrap().home)
+            .collect();
+        assert!(homes.len() > 1, "all objects landed on one member");
+        assert_eq!(router.routed_reads(), 8 * 5);
+    }
+
+    #[test]
+    fn sibling_caches_serve_ring_walk_offers() {
+        // Two members; warm the object on a NON-owner member, then
+        // route a read from the other: the ring walk must find the
+        // warm sibling's chunks (priced under the cross-region
+        // discount) and record remote hits.
+        let backend = backend(4);
+        let settings = ClusterSettings {
+            sibling_probes: 5,
+            ..ClusterSettings::default()
+        };
+        let router = ClusterRouter::new(Arc::clone(&backend), settings, 5).unwrap();
+        let frankfurt = node(&backend, FRANKFURT, 0);
+        let dublin = node(&backend, DUBLIN, 1);
+        let frankfurt_id = router.add_node(Arc::clone(&frankfurt)).node;
+        let dublin_id = router.add_node(Arc::clone(&dublin)).node;
+        let object = ObjectId::new(0);
+        // Warm Dublin directly (node-level reads, off the router).
+        for _ in 0..30 {
+            dublin.read(object).unwrap();
+        }
+        dublin.force_reconfigure();
+        dublin.read(object).unwrap();
+        assert!(!dublin.cache_contents().is_empty());
+
+        let solo = frankfurt.read(object).unwrap();
+        let collab = router.read_from(frankfurt_id, object).unwrap();
+        assert_eq!(collab.home, frankfurt_id);
+        assert_eq!(collab.metrics().data.as_ref(), solo.data.as_ref());
+        assert!(
+            collab.metrics().latency <= solo.latency,
+            "sibling offers must not slow the read: {:?} vs {:?}",
+            collab.metrics().latency,
+            solo.latency
+        );
+        assert!(router.remote_hits() > 0, "no sibling hits recorded");
+        let _ = dublin_id;
+    }
+
+    #[test]
+    fn writes_route_to_the_owner_and_invalidate_siblings() {
+        let (_, router) = frankfurt_cluster(2, 3);
+        let object = ObjectId::new(0);
+        // Warm the owner so there is something to invalidate.
+        for _ in 0..30 {
+            router.read(object).unwrap();
+        }
+        router.force_reconfigure_all();
+        router.read(object).unwrap();
+
+        let payload = vec![0xABu8; SIZE];
+        let (version, _) = router.write(object, &payload).unwrap();
+        assert_eq!(version, 2);
+        // Every member now returns the new payload (no stale cache).
+        for id in router.member_ids() {
+            let metrics = router.read_from(id, object).unwrap();
+            assert_eq!(metrics.metrics().data.as_ref(), payload.as_slice());
+        }
+    }
+
+    #[test]
+    fn membership_changes_move_only_the_rehomed_segment() {
+        let backend = backend(24);
+        let router =
+            ClusterRouter::new(Arc::clone(&backend), ClusterSettings::default(), 5).unwrap();
+        for i in 0..3 {
+            router.add_node(node(&backend, FRANKFURT, i));
+        }
+        let before = router.ring();
+        let owner_before: Vec<(ObjectId, u64)> = (0..24u64)
+            .map(|i| {
+                let object = ObjectId::new(i);
+                (object, before.owner_of_object(object).unwrap())
+            })
+            .collect();
+
+        // Add a member: every moved object is now owned by it; every
+        // other object keeps its owner.
+        let change = router.add_node(node(&backend, FRANKFURT, 9));
+        let after = router.ring();
+        assert!(!change.moved_objects.is_empty(), "nothing re-homed");
+        for (object, old_owner) in &owner_before {
+            let new_owner = after.owner_of_object(*object).unwrap();
+            if change.moved_objects.contains(object) {
+                assert_eq!(new_owner, change.node);
+            } else {
+                assert_eq!(new_owner, *old_owner, "untouched segment moved");
+            }
+        }
+
+        // Remove it again: exactly its segment re-homes, back onto the
+        // survivors, and reads stay correct throughout.
+        let removal = router.remove_node(change.node).unwrap();
+        for object in &removal.moved_objects {
+            assert_eq!(after.owner_of_object(*object), Some(change.node));
+        }
+        assert!(router.remove_node(change.node).is_none(), "double remove");
+        for i in 0..24u64 {
+            let metrics = router.read(ObjectId::new(i)).unwrap();
+            assert_eq!(
+                metrics.metrics().data.as_ref(),
+                expected_payload(i, SIZE).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn maybe_reconfigure_ticks_every_member() {
+        let (_, router) = frankfurt_cluster(2, 2);
+        router.read(ObjectId::new(0)).unwrap();
+        assert_eq!(router.maybe_reconfigure_all(SimTime::from_secs(0)), 0);
+        assert_eq!(router.maybe_reconfigure_all(SimTime::from_secs(31)), 2);
+    }
+
+    #[test]
+    fn stats_merge_members_and_coordinator() {
+        let (_, router) = frankfurt_cluster(3, 2);
+        for i in 0..3u64 {
+            router.read(ObjectId::new(i)).unwrap();
+        }
+        let stats = router.cache_stats();
+        assert_eq!(stats.object_reads(), 3);
+        // Cold reads batch their backend fetches by region.
+        assert!(stats.batched_requests() > 0);
+        assert!(format!("{router:?}").contains("ClusterRouter"));
+    }
+}

@@ -23,8 +23,14 @@
 //!   partial cache hits, off-critical-path cache fill;
 //! - [`baselines`] (§V-A) — the LRU-c / LFU-c / Backend clients the
 //!   paper compares against;
-//! - [`coherence`] & [`collab`] (§VI) — the write-support and
-//!   cache-collaboration extensions the paper sketches as future work.
+//! - [`coherence`] (§VI) — the write-support extension the paper
+//!   sketches as future work;
+//! - [`fetcher`] — the pluggable backend-fetch strategy: per-chunk
+//!   direct fetches by default, swapped for the `agar-cluster`
+//!   coordinator (single-flight coalescing + region-batched round
+//!   trips) in multi-node deployments. Cache collaboration between
+//!   nodes (the paper's §VI sketch) lives in `agar-cluster`'s
+//!   consistent-hash-routed `ClusterRouter`.
 //!
 //! # Examples
 //!
@@ -73,9 +79,9 @@ pub mod approx_monitor;
 pub mod baselines;
 pub mod cache_manager;
 pub mod coherence;
-pub mod collab;
 pub mod config;
 pub mod error;
+pub mod fetcher;
 pub mod knapsack;
 pub mod monitor;
 pub mod node;
@@ -87,9 +93,9 @@ pub use approx_monitor::ApproxRequestMonitor;
 pub use baselines::{BackendOnlyClient, BaselinePolicy, FixedChunksClient};
 pub use cache_manager::CacheManager;
 pub use coherence::WriteCoordinator;
-pub use collab::CollaborativeGroup;
 pub use config::CacheConfiguration;
 pub use error::AgarError;
+pub use fetcher::{ChunkFetcher, DirectFetcher, FetchRequest};
 pub use knapsack::{exhaustive_optimum, greedy, relax, Config, KnapsackSolver};
 pub use monitor::RequestMonitor;
 pub use node::{AgarNode, AgarSettings, CachingClient, CollabReadMetrics, ReadMetrics};

@@ -29,6 +29,7 @@
 use crate::cache_manager::CacheManager;
 use crate::config::CacheConfiguration;
 use crate::error::AgarError;
+use crate::fetcher::{ChunkFetcher, DirectFetcher, FetchRequest};
 use crate::knapsack::KnapsackSolver;
 use crate::monitor::RequestMonitor;
 use crate::planner::{ChunkSource, ReadPlanner, RemoteChunk};
@@ -63,7 +64,9 @@ pub struct ReadMetrics {
     pub decoded: bool,
 }
 
-/// Metrics of a collaborative read (see [`crate::collab`]).
+/// Metrics of a read that could tap other nodes' caches (issued by the
+/// `agar-cluster` router, which turns neighbour cache contents into
+/// [`RemoteChunk`] offers).
 #[derive(Clone, Debug)]
 pub struct CollabReadMetrics {
     metrics: ReadMetrics,
@@ -214,6 +217,11 @@ pub struct AgarNode {
     reconfig: Mutex<ReconfigClock>,
     reconfigurations: AtomicU64,
     fill_fetches: AtomicU64,
+    /// Strategy executing the plan's backend fetches. Defaults to
+    /// per-chunk [`DirectFetcher`] calls; a cluster deployment swaps in
+    /// its coordinator (single-flight + batching) via
+    /// [`AgarNode::set_chunk_fetcher`].
+    fetcher: RwLock<Arc<dyn ChunkFetcher>>,
 }
 
 impl AgarNode {
@@ -243,6 +251,7 @@ impl AgarNode {
             CacheManager::new(settings.cache_capacity_bytes).with_solver(settings.solver.clone());
         Ok(AgarNode {
             region,
+            fetcher: RwLock::new(Arc::new(DirectFetcher::new(Arc::clone(&backend)))),
             backend,
             manager,
             seed,
@@ -304,6 +313,17 @@ impl AgarNode {
     /// (closing the monitoring epoch), regardless of the period.
     pub fn force_reconfigure(&self) {
         self.reconfigure();
+    }
+
+    /// Swaps the strategy executing backend fetches. A cluster
+    /// deployment installs its fetch coordinator here so concurrent
+    /// readers of one chunk share a single in-flight fetch and
+    /// same-region chunks travel in one batched round trip; the
+    /// default is per-chunk [`DirectFetcher`] calls. Takes effect for
+    /// subsequent reads (in-flight reads keep the fetcher they
+    /// started with).
+    pub fn set_chunk_fetcher(&self, fetcher: Arc<dyn ChunkFetcher>) {
+        *self.fetcher.write() = fetcher;
     }
 
     /// Drops every cached chunk of `object` (coherence invalidation).
@@ -397,9 +417,13 @@ impl AgarNode {
         let cache_hits = hits.len();
 
         // Stages 2+3: plan against snapshots, then execute with no
-        // node lock held. A fetch hitting a freshly failed region
-        // penalises it in the region manager and re-plans (up to 3
-        // attempts), exactly like the pre-refactor retry loop.
+        // node lock held. The plan's backend fetches go through the
+        // pluggable fetcher in plan order (per-chunk direct calls by
+        // default; the cluster coordinator coalesces and batches). A
+        // fetch hitting a freshly failed region penalises it in the
+        // region manager and re-plans (up to 3 attempts), exactly like
+        // the pre-refactor retry loop.
+        let fetcher = Arc::clone(&self.fetcher.read());
         let mut rng = self.derive_rng();
         let mut shards: Vec<Option<Bytes>> = vec![None; total];
         let mut attempts = 0;
@@ -411,6 +435,7 @@ impl AgarNode {
             let mut worst = Duration::ZERO;
             let mut remote_hits = 0;
             let mut backend_fetches = 0;
+            let mut requests: Vec<FetchRequest> = Vec::new();
             for (index, source) in plan.sources {
                 match source {
                     ChunkSource::Local { data } => {
@@ -422,29 +447,37 @@ impl AgarNode {
                         shards[index as usize] = Some(data);
                     }
                     ChunkSource::Backend { region, .. } => {
-                        let id = ChunkId::new(object, index);
-                        match self.backend.fetch_chunk(self.region, id, &mut rng) {
-                            Ok(fetch) => {
-                                self.region_manager.lock().observe(region, fetch.latency);
-                                if fetch.version != version {
-                                    // A write landed mid-read; mixing
-                                    // versions would decode garbage.
-                                    return Ok(None);
-                                }
-                                backend_fetches += 1;
-                                worst = worst.max(fetch.latency);
-                                shards[index as usize] = Some(fetch.data);
-                            }
-                            Err(StoreError::RegionUnavailable { region }) => {
-                                self.region_manager.lock().mark_unreachable(region);
-                                if attempts < 3 {
-                                    continue 'replan; // re-plan around the failure
-                                }
-                                return Err(StoreError::RegionUnavailable { region }.into());
-                            }
-                            Err(other) => return Err(other.into()),
-                        }
+                        requests.push(FetchRequest {
+                            chunk: ChunkId::new(object, index),
+                            region,
+                            version,
+                        });
                     }
+                }
+            }
+            for (request, result) in fetcher.fetch(self.region, &requests, &mut rng) {
+                match result {
+                    Ok(fetch) => {
+                        self.region_manager
+                            .lock()
+                            .observe(request.region, fetch.latency);
+                        if fetch.version != version {
+                            // A write landed mid-read; mixing
+                            // versions would decode garbage.
+                            return Ok(None);
+                        }
+                        backend_fetches += 1;
+                        worst = worst.max(fetch.latency);
+                        shards[request.chunk.index().value() as usize] = Some(fetch.data);
+                    }
+                    Err(StoreError::RegionUnavailable { region }) => {
+                        self.region_manager.lock().mark_unreachable(region);
+                        if attempts < 3 {
+                            continue 'replan; // re-plan around the failure
+                        }
+                        return Err(StoreError::RegionUnavailable { region }.into());
+                    }
+                    Err(other) => return Err(other.into()),
                 }
             }
             break (worst, remote_hits, backend_fetches);

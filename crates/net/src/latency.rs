@@ -34,6 +34,35 @@ pub trait LatencyModel: Send + Sync {
         let _ = rng;
         self.mean(from, to, bytes)
     }
+
+    /// Mean latency for fetching several chunks from `to` in **one**
+    /// round trip: the fixed per-request overhead is paid once and the
+    /// size-proportional transfer cost covers the summed payload. For
+    /// the matrix model this is exactly `mean(from, to, total_bytes)`,
+    /// which is therefore the default; an empty batch costs nothing.
+    fn mean_batch(&self, from: RegionId, to: RegionId, chunk_bytes: &[usize]) -> Duration {
+        if chunk_bytes.is_empty() {
+            return Duration::ZERO;
+        }
+        self.mean(from, to, chunk_bytes.iter().sum())
+    }
+
+    /// A randomised latency sample for one *batched* fetch of several
+    /// chunks from the same region (one priced round trip — see
+    /// [`LatencyModel::mean_batch`]). Draws exactly one jitter sample
+    /// per batch, not one per chunk.
+    fn sample_batch(
+        &self,
+        from: RegionId,
+        to: RegionId,
+        chunk_bytes: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Duration {
+        if chunk_bytes.is_empty() {
+            return Duration::ZERO;
+        }
+        self.sample(from, to, chunk_bytes.iter().sum(), rng)
+    }
 }
 
 /// The same fixed latency between every pair of regions — handy for unit
@@ -370,6 +399,53 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn batch_pays_the_fixed_overhead_once() {
+        let m = sample_matrix(); // 40% of each entry scales with size
+        let a = RegionId::new(0);
+        let b = RegionId::new(1);
+        let chunk = m.nominal_bytes();
+        let one = m.mean(a, b, chunk);
+        let batch = m.mean_batch(a, b, &[chunk; 4]);
+        let four_separate = 4 * one;
+        // One round trip: cheaper than four sequential fetches, dearer
+        // than a single one (the extra bytes still cost transfer time).
+        assert!(batch < four_separate, "{batch:?} vs {four_separate:?}");
+        assert!(batch > one, "{batch:?} vs {one:?}");
+        // Exactly: fixed once + 4x the variable part.
+        let fixed = m.mean(a, b, 0);
+        let expected = fixed + (one - fixed) * 4;
+        assert!(
+            (batch.as_secs_f64() - expected.as_secs_f64()).abs() < 1e-9,
+            "{batch:?} vs {expected:?}"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_free_and_singleton_matches_sample() {
+        let m = sample_matrix();
+        let a = RegionId::new(0);
+        let b = RegionId::new(1);
+        assert_eq!(m.mean_batch(a, b, &[]), Duration::ZERO);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.sample_batch(a, b, &[], &mut rng), Duration::ZERO);
+        assert_eq!(m.mean_batch(a, b, &[123]), m.mean(a, b, 123));
+    }
+
+    #[test]
+    fn sample_batch_draws_one_jitter_sample() {
+        let m = sample_matrix().with_jitter(Jitter::LogNormal { sigma: 0.2 });
+        let a = RegionId::new(0);
+        let b = RegionId::new(1);
+        // Same seed: the batch sample equals a single sample of the
+        // total size (one draw), not a combination of per-chunk draws.
+        let mut rng = StdRng::seed_from_u64(11);
+        let batch = m.sample_batch(a, b, &[100, 200, 300], &mut rng);
+        let mut rng = StdRng::seed_from_u64(11);
+        let single = m.sample(a, b, 600, &mut rng);
+        assert_eq!(batch, single);
     }
 
     #[test]

@@ -27,6 +27,29 @@ pub struct ChunkFetch {
     pub latency: Duration,
 }
 
+/// Result of a region-batched multi-chunk fetch
+/// ([`Backend::fetch_chunks`]).
+#[derive(Clone, Debug)]
+pub struct BatchFetchOutcome {
+    /// Per-chunk outcomes, in request order. Every chunk of a batch
+    /// that hit the same region carries that region's single
+    /// round-trip latency.
+    pub results: Vec<(ChunkId, Result<ChunkFetch, StoreError>)>,
+    /// The priced round trips issued: one `(region, latency)` entry
+    /// per region that served at least one chunk.
+    pub round_trips: Vec<(RegionId, Duration)>,
+    /// The slowest round trip (groups fetch in parallel, so this is
+    /// the batch's end-to-end latency).
+    pub worst_latency: Duration,
+}
+
+impl BatchFetchOutcome {
+    /// Number of priced round trips (region groups) the batch issued.
+    pub fn batches(&self) -> usize {
+        self.round_trips.len()
+    }
+}
+
 /// The multi-region erasure-coded object store.
 ///
 /// Thread-safe behind `&self`; clients own their RNGs so all randomness
@@ -206,6 +229,91 @@ impl Backend {
             version: stored.version,
             latency,
         })
+    }
+
+    /// Fetches several chunks in region-batched round trips on behalf
+    /// of a client in `client_region`.
+    ///
+    /// Chunks are grouped by hosting region (in first-appearance
+    /// order, so latency sampling stays deterministic) and each group
+    /// is priced as **one** round trip via
+    /// [`agar_net::latency::LatencyModel::sample_batch`]: the fixed
+    /// per-request overhead is paid once per region instead of once
+    /// per chunk. Groups are conceptually issued in parallel, so a
+    /// whole-plan batch completes in `worst_latency` — the slowest
+    /// group's round trip.
+    ///
+    /// Failures are reported per chunk (unknown objects, missing
+    /// chunks, failed regions); one bad chunk never poisons the rest
+    /// of the batch. A failed region's group samples no latency.
+    pub fn fetch_chunks(
+        &self,
+        client_region: RegionId,
+        chunks: &[ChunkId],
+        rng: &mut dyn RngCore,
+    ) -> BatchFetchOutcome {
+        // Resolve every chunk to (region, payload) first, then price
+        // one round trip per region over the successfully resolved
+        // payload sizes.
+        let mut resolved: Vec<Result<(RegionId, Bytes, u64), StoreError>> = chunks
+            .iter()
+            .map(|&chunk| {
+                let manifest = self.manifest(chunk.object())?;
+                let region = manifest.location(chunk.index().value() as usize);
+                let bucket = self.bucket(region)?;
+                if !bucket.is_available() {
+                    return Err(StoreError::RegionUnavailable { region });
+                }
+                let stored = bucket
+                    .get(&chunk)
+                    .ok_or(StoreError::UnknownChunk { chunk, region })?;
+                Ok((region, stored.data, stored.version))
+            })
+            .collect();
+
+        // One priced round trip per region, grouped in first-appearance
+        // order (deterministic sampling order).
+        let mut region_order: Vec<RegionId> = Vec::new();
+        for entry in resolved.iter().flatten() {
+            if !region_order.contains(&entry.0) {
+                region_order.push(entry.0);
+            }
+        }
+        let mut worst = Duration::ZERO;
+        let mut round_trips = Vec::with_capacity(region_order.len());
+        let mut latency_of = vec![Duration::ZERO; self.topology.len()];
+        for &region in &region_order {
+            let sizes: Vec<usize> = resolved
+                .iter()
+                .flatten()
+                .filter(|(r, _, _)| *r == region)
+                .map(|(_, data, _)| data.len())
+                .collect();
+            let latency = self
+                .latency
+                .sample_batch(client_region, region, &sizes, rng);
+            latency_of[region.index()] = latency;
+            worst = worst.max(latency);
+            round_trips.push((region, latency));
+        }
+
+        let results = chunks
+            .iter()
+            .zip(resolved.drain(..))
+            .map(|(&chunk, entry)| {
+                let outcome = entry.map(|(region, data, version)| ChunkFetch {
+                    data,
+                    version,
+                    latency: latency_of[region.index()],
+                });
+                (chunk, outcome)
+            })
+            .collect();
+        BatchFetchOutcome {
+            results,
+            round_trips,
+            worst_latency: worst,
+        }
     }
 
     /// Marks a region failed: every fetch from it errors until healed.
@@ -443,6 +551,72 @@ mod tests {
             .reconstruct_object(&shards, manifest.size())
             .unwrap();
         assert_eq!(object.as_ref(), expected_payload(3, 64).as_slice());
+    }
+
+    #[test]
+    fn batched_fetch_prices_one_round_trip_per_region() {
+        let backend = test_backend(3); // RS(4, 2): chunk i in region i % 3
+        let mut rng = StdRng::seed_from_u64(0);
+        let id = ObjectId::new(0);
+        backend
+            .put_object(RegionId::new(0), id, &[5; 8], &mut rng)
+            .unwrap();
+        // All six chunks: two per region, three round trips.
+        let chunks: Vec<ChunkId> = (0..6u8).map(|i| ChunkId::new(id, i)).collect();
+        let outcome = backend.fetch_chunks(RegionId::new(0), &chunks, &mut rng);
+        assert_eq!(outcome.batches(), 3);
+        assert_eq!(outcome.results.len(), 6);
+        for (chunk, result) in &outcome.results {
+            let fetch = result.as_ref().unwrap();
+            assert_eq!(fetch.data.len(), 2);
+            assert_eq!(fetch.version, 1);
+            // ConstantLatency: every round trip is 10 ms regardless of
+            // batch size, and each chunk carries its region's trip.
+            assert_eq!(fetch.latency, Duration::from_millis(10));
+            let _ = chunk;
+        }
+        assert_eq!(outcome.worst_latency, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn batched_fetch_reports_per_chunk_failures() {
+        let backend = test_backend(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let id = ObjectId::new(0);
+        backend
+            .put_object(RegionId::new(0), id, &[5; 8], &mut rng)
+            .unwrap();
+        backend.fail_region(RegionId::new(1));
+        let chunks = vec![
+            ChunkId::new(id, 0),               // region 0: fine
+            ChunkId::new(id, 1),               // region 1: failed
+            ChunkId::new(ObjectId::new(9), 0), // never written
+            ChunkId::new(id, 3),               // region 0: fine
+        ];
+        let outcome = backend.fetch_chunks(RegionId::new(0), &chunks, &mut rng);
+        // Only the healthy region 0 is priced.
+        assert_eq!(outcome.batches(), 1);
+        assert_eq!(outcome.round_trips[0].0, RegionId::new(0));
+        assert!(outcome.results[0].1.is_ok());
+        assert!(matches!(
+            outcome.results[1].1,
+            Err(StoreError::RegionUnavailable { .. })
+        ));
+        assert!(matches!(
+            outcome.results[2].1,
+            Err(StoreError::UnknownObject { .. })
+        ));
+        assert!(outcome.results[3].1.is_ok());
+    }
+
+    #[test]
+    fn empty_batched_fetch_is_free() {
+        let backend = test_backend(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcome = backend.fetch_chunks(RegionId::new(0), &[], &mut rng);
+        assert_eq!(outcome.batches(), 0);
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.worst_latency, Duration::ZERO);
     }
 
     #[test]

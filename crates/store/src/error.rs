@@ -26,6 +26,14 @@ pub enum StoreError {
         /// The unavailable region.
         region: RegionId,
     },
+    /// A coordinated fetch was abandoned mid-flight (e.g. the reader
+    /// leading the shared fetch panicked before publishing). The chunk
+    /// itself may be perfectly fetchable — retrying leads a fresh
+    /// fetch.
+    FetchInterrupted {
+        /// The chunk whose in-flight fetch died.
+        chunk: ChunkId,
+    },
     /// Fewer than `k` chunks are reachable for the object.
     NotEnoughChunks {
         /// The object being read.
@@ -53,6 +61,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::RegionUnavailable { region } => {
                 write!(f, "{region} is unavailable")
+            }
+            StoreError::FetchInterrupted { chunk } => {
+                write!(f, "in-flight fetch of {chunk} was abandoned")
             }
             StoreError::NotEnoughChunks {
                 object,

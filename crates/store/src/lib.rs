@@ -9,7 +9,8 @@
 //! - [`PlacementPolicy`] / [`RoundRobin`] — the paper's chunk layout;
 //! - [`ObjectManifest`] — per-object metadata (size, version, locations);
 //! - [`Backend`] — the multi-region store: encode-and-place writes,
-//!   latency-sampled chunk fetches, region failure injection;
+//!   latency-sampled chunk fetches (single or region-batched, one
+//!   priced round trip per region), region failure injection;
 //! - [`StorageClient`] — the paper's cache-less "Backend" baseline
 //!   reader (fetch the `k` cheapest chunks in parallel, decode).
 //!
@@ -49,7 +50,7 @@ pub mod error;
 pub mod manifest;
 pub mod placement;
 
-pub use backend::{expected_payload, populate, Backend, ChunkFetch};
+pub use backend::{expected_payload, populate, Backend, BatchFetchOutcome, ChunkFetch};
 pub use bucket::{Bucket, StoredChunk};
 pub use client::{
     plan_backend_fetch, plan_backend_fetch_with_estimates, regions_by_latency, ChunkCandidate,

@@ -13,11 +13,14 @@
 //! - [`agar_workload`] — YCSB-style workload generators
 //! - [`agar_store`] — S3-like erasure-coded backend
 //! - [`agar`] — the paper's contribution: knapsack-driven cache configuration
+//! - [`agar_cluster`] — the cluster tier: consistent-hash routing,
+//!   single-flight coalescing, region-batched fetches
 //! - [`agar_bench`] — the experiment harness reproducing the paper's figures
 
 pub use agar;
 pub use agar_bench;
 pub use agar_cache;
+pub use agar_cluster;
 pub use agar_ec;
 pub use agar_net;
 pub use agar_store;

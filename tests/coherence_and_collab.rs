@@ -1,7 +1,11 @@
 //! Integration tests for the §VI extensions: write coherence across
-//! regions and collaborative caching between neighbours.
+//! regions and cache collaboration between neighbours — the latter now
+//! served by the ring-routed `ClusterRouter` (one inter-node lookup
+//! story for the collab pattern and the cluster tier alike; the old
+//! `CollaborativeGroup` linear scan is gone).
 
-use agar::{AgarNode, AgarSettings, CachingClient, CollaborativeGroup, WriteCoordinator};
+use agar::{AgarNode, AgarSettings, CachingClient, WriteCoordinator};
+use agar_cluster::{ClusterRouter, ClusterSettings};
 use agar_ec::{CodingParams, ObjectId};
 use agar_net::presets::{aws_six_regions, DUBLIN, FRANKFURT, SYDNEY};
 use agar_store::{populate, Backend, RoundRobin};
@@ -40,6 +44,25 @@ fn deployment() -> (Arc<Backend>, Vec<Arc<AgarNode>>) {
         })
         .collect();
     (backend, nodes)
+}
+
+/// Fronts the six per-region nodes with a ring router configured for
+/// the collaboration pattern: reads stay homed at the client's region
+/// (`read_from`), and the probe budget covers every other member, so
+/// any warm neighbour is found — in deterministic ring order rather
+/// than by scanning members linearly. Returns the router and the
+/// member id of each region-indexed node.
+fn collab_router(backend: &Arc<Backend>, nodes: &[Arc<AgarNode>]) -> (ClusterRouter, Vec<u64>) {
+    let settings = ClusterSettings {
+        sibling_probes: nodes.len() - 1,
+        ..ClusterSettings::default()
+    };
+    let router = ClusterRouter::new(Arc::clone(backend), settings, 9).unwrap();
+    let ids = nodes
+        .iter()
+        .map(|node| router.add_node(Arc::clone(node)).node)
+        .collect();
+    (router, ids)
 }
 
 fn warm(node: &AgarNode, object: ObjectId) {
@@ -91,17 +114,18 @@ fn collaborative_reads_tap_neighbour_caches() {
     let object = ObjectId::new(0);
     // Dublin holds the object; Frankfurt's cache is cold.
     warm(&nodes[DUBLIN.index()], object);
-    let group = CollaborativeGroup::new(Arc::clone(&backend), nodes.clone(), 9);
+    let (router, ids) = collab_router(&backend, &nodes);
     let solo = nodes[FRANKFURT.index()].read(object).unwrap();
-    let collab = group.read(FRANKFURT.index(), object).unwrap();
-    assert_eq!(collab.data.as_ref(), solo.data.as_ref());
+    let collab = router.read_from(ids[FRANKFURT.index()], object).unwrap();
+    assert_eq!(collab.metrics().data.as_ref(), solo.data.as_ref());
     assert!(
-        collab.latency <= solo.latency,
+        collab.metrics().latency <= solo.latency,
         "collaboration must not be slower: {:?} vs {:?}",
-        collab.latency,
+        collab.metrics().latency,
         solo.latency
     );
-    assert!(group.remote_hits() > 0, "no neighbour hits recorded");
+    assert!(router.remote_hits() > 0, "no neighbour hits recorded");
+    assert_eq!(collab.home, ids[FRANKFURT.index()]);
 }
 
 #[test]
@@ -111,9 +135,9 @@ fn collaboration_across_the_planet_is_useless() {
     // Sydney holds the object; Frankfurt reads. Sydney's cache is as far
     // as the worst backend region, so collaboration should change little.
     warm(&nodes[SYDNEY.index()], object);
-    let group = CollaborativeGroup::new(Arc::clone(&backend), nodes.clone(), 9);
-    let collab = group.read(FRANKFURT.index(), object).unwrap();
-    assert_eq!(collab.data.len(), SIZE);
+    let (router, ids) = collab_router(&backend, &nodes);
+    let collab = router.read_from(ids[FRANKFURT.index()], object).unwrap();
+    assert_eq!(collab.metrics().data.len(), SIZE);
     // Latency must stay in the backend ballpark (no magic).
-    assert!(collab.latency.as_millis() > 300);
+    assert!(collab.metrics().latency.as_millis() > 300);
 }
