@@ -1,0 +1,89 @@
+//! Mixed read/write cluster throughput (host execution time): `M`
+//! client threads driving a `K`-node cluster at several write ratios
+//! through the per-object-lease write path, with the stale-read
+//! checker live. Complements `cluster` (read-only routed reads);
+//! `experiments -- mixed` prints the full write-ratio table.
+
+use agar_bench::{build_warm_cluster, run_mixed_cluster, Deployment, Scale};
+use agar_workload::ReadWriteMix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const OPS_PER_THREAD: usize = 150;
+const HOT_OBJECTS: u64 = 8;
+const THREADS: usize = 4;
+const MEMBERS: usize = 2;
+
+fn bench_mixed_workload(c: &mut Criterion) {
+    let deployment = Deployment::build(Scale::tiny());
+    let region = deployment.region("Frankfurt");
+    let base_size = deployment.scale.object_size;
+    let mut group = c.benchmark_group("mixed_workload");
+    group.sample_size(10);
+    for ratio in [0.1_f64, 0.5] {
+        let router = build_warm_cluster(
+            &deployment,
+            region,
+            MEMBERS,
+            10.0,
+            HOT_OBJECTS,
+            0xB0B ^ (ratio * 100.0) as u64,
+        );
+        let mix = ReadWriteMix::with_ratio(ratio);
+        group.throughput(Throughput::Elements((THREADS * OPS_PER_THREAD) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}pct_writes", ratio * 100.0)),
+            &ratio,
+            |b, _| {
+                b.iter(|| {
+                    let run = run_mixed_cluster(
+                        &router,
+                        THREADS,
+                        OPS_PER_THREAD,
+                        HOT_OBJECTS,
+                        base_size,
+                        mix,
+                        7,
+                    );
+                    assert_eq!(run.stale_reads, 0, "stale read under bench load");
+                    black_box(run)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Headline: what a 20% write mix costs vs pure reads.
+    let reads = build_warm_cluster(&deployment, region, MEMBERS, 10.0, HOT_OBJECTS, 0xB0B);
+    let writes = build_warm_cluster(&deployment, region, MEMBERS, 10.0, HOT_OBJECTS, 0xB0C);
+    let a = run_mixed_cluster(
+        &reads,
+        THREADS,
+        OPS_PER_THREAD,
+        HOT_OBJECTS,
+        base_size,
+        ReadWriteMix::with_ratio(0.0),
+        7,
+    );
+    let b = run_mixed_cluster(
+        &writes,
+        THREADS,
+        OPS_PER_THREAD,
+        HOT_OBJECTS,
+        base_size,
+        ReadWriteMix::with_ratio(0.2),
+        7,
+    );
+    eprintln!(
+        "mixed_workload: read-only {:.0} ops/s, 20% writes {:.0} ops/s, \
+         {} lease wait(s), {:.2} invalidations/write, 0 stale in both",
+        a.ops_per_sec,
+        b.ops_per_sec,
+        b.lease_contentions,
+        b.invalidations_per_write()
+    );
+    assert_eq!(a.stale_reads + b.stale_reads, 0);
+}
+
+criterion_group!(benches, bench_mixed_workload);
+criterion_main!(benches);

@@ -8,6 +8,8 @@
 //!                    because it measures the host, not the simulation)
 //!      cluster      (M client threads x K ring-routed nodes; host
 //!                    wall-clock, like throughput)
+//!      mixed        (K-node cluster under a read/write mix at several
+//!                    write ratios: lease write path, stale-read check)
 //! --tiny        run at test scale (fast, same shapes)
 //! --runs N      repetitions to average (default 5, paper value)
 //! --ops N       operations per run (default 1000, paper value)
@@ -108,6 +110,10 @@ fn main() {
                 &deployment,
                 params.operations,
             )],
+            "mixed" => vec![agar_bench::mixed::mixed_table(
+                &deployment,
+                params.operations,
+            )],
             other => usage(&format!("unknown experiment {other}")),
         };
         for table in tables {
@@ -133,7 +139,7 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|cluster|all]... \
+        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|cluster|mixed|all]... \
          [--tiny] [--runs N] [--ops N] [--out DIR]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });

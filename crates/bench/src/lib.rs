@@ -24,6 +24,7 @@
 pub mod cluster;
 pub mod experiments;
 pub mod harness;
+pub mod mixed;
 pub mod table;
 pub mod throughput;
 
@@ -31,5 +32,6 @@ pub use cluster::{build_warm_cluster, cluster_scaling, run_cluster_threads};
 pub use harness::{
     run_averaged, run_once, Deployment, LatencyProfile, PolicySpec, RunConfig, RunResult, Scale,
 };
+pub use mixed::{mixed_table, run_mixed_cluster, MixedRun};
 pub use table::Table;
 pub use throughput::{build_warm_node, run_threads, throughput_scaling, ThroughputRun};

@@ -26,6 +26,9 @@ pub struct CacheStats {
     object_misses: u64,
     coalesced_fetches: u64,
     batched_requests: u64,
+    lease_grants: u64,
+    lease_contentions: u64,
+    targeted_invalidations: u64,
 }
 
 impl CacheStats {
@@ -132,6 +135,40 @@ impl CacheStats {
         self.batched_requests
     }
 
+    /// Records one granted per-object write lease.
+    pub fn record_lease_grant(&mut self) {
+        self.lease_grants += 1;
+    }
+
+    /// Records one write that had to wait for another writer's lease
+    /// on the same object (lease contention).
+    pub fn record_lease_contention(&mut self) {
+        self.lease_contentions += 1;
+    }
+
+    /// Records `n` targeted cache invalidations (members invalidated
+    /// because they actually held chunks of a written object).
+    pub fn record_targeted_invalidations(&mut self, n: u64) {
+        self.targeted_invalidations += n;
+    }
+
+    /// Per-object write leases granted.
+    pub fn lease_grants(&self) -> u64 {
+        self.lease_grants
+    }
+
+    /// Writes that waited behind another writer's lease on the same
+    /// object.
+    pub fn lease_contentions(&self) -> u64 {
+        self.lease_contentions
+    }
+
+    /// Targeted invalidations sent on lease release (only to members
+    /// whose caches held chunks of the written object).
+    pub fn targeted_invalidations(&self) -> u64 {
+        self.targeted_invalidations
+    }
+
     /// Total object reads recorded.
     pub fn object_reads(&self) -> u64 {
         self.object_total_hits + self.object_partial_hits + self.object_misses
@@ -181,6 +218,13 @@ impl CacheStats {
             batched_requests: self
                 .batched_requests
                 .saturating_sub(earlier.batched_requests),
+            lease_grants: self.lease_grants.saturating_sub(earlier.lease_grants),
+            lease_contentions: self
+                .lease_contentions
+                .saturating_sub(earlier.lease_contentions),
+            targeted_invalidations: self
+                .targeted_invalidations
+                .saturating_sub(earlier.targeted_invalidations),
         }
     }
 
@@ -196,6 +240,9 @@ impl CacheStats {
         self.object_misses += other.object_misses;
         self.coalesced_fetches += other.coalesced_fetches;
         self.batched_requests += other.batched_requests;
+        self.lease_grants += other.lease_grants;
+        self.lease_contentions += other.lease_contentions;
+        self.targeted_invalidations += other.targeted_invalidations;
     }
 }
 
@@ -218,6 +265,9 @@ pub struct AtomicCacheStats {
     object_misses: AtomicU64,
     coalesced_fetches: AtomicU64,
     batched_requests: AtomicU64,
+    lease_grants: AtomicU64,
+    lease_contentions: AtomicU64,
+    targeted_invalidations: AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -273,6 +323,21 @@ impl AtomicCacheStats {
         self.batched_requests.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one granted per-object write lease.
+    pub fn record_lease_grant(&self) {
+        self.lease_grants.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one write that waited behind another writer's lease.
+    pub fn record_lease_contention(&self) {
+        self.lease_contentions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` targeted cache invalidations.
+    pub fn record_targeted_invalidations(&self, n: u64) {
+        self.targeted_invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters as plain [`CacheStats`].
     pub fn snapshot(&self) -> CacheStats {
         CacheStats {
@@ -286,6 +351,9 @@ impl AtomicCacheStats {
             object_misses: self.object_misses.load(Ordering::Relaxed),
             coalesced_fetches: self.coalesced_fetches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            lease_grants: self.lease_grants.load(Ordering::Relaxed),
+            lease_contentions: self.lease_contentions.load(Ordering::Relaxed),
+            targeted_invalidations: self.targeted_invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -384,6 +452,33 @@ mod tests {
         let delta = merged.delta_since(&snap);
         assert_eq!(delta.coalesced_fetches(), 1);
         assert_eq!(delta.batched_requests(), 1);
+    }
+
+    #[test]
+    fn lease_counters_roundtrip() {
+        let atomic = AtomicCacheStats::new();
+        atomic.record_lease_grant();
+        atomic.record_lease_grant();
+        atomic.record_lease_contention();
+        atomic.record_targeted_invalidations(4);
+        let snap = atomic.snapshot();
+        assert_eq!(snap.lease_grants(), 2);
+        assert_eq!(snap.lease_contentions(), 1);
+        assert_eq!(snap.targeted_invalidations(), 4);
+
+        let mut merged = CacheStats::new();
+        merged.record_lease_grant();
+        merged.record_lease_contention();
+        merged.record_targeted_invalidations(1);
+        merged.merge(&snap);
+        assert_eq!(merged.lease_grants(), 3);
+        assert_eq!(merged.lease_contentions(), 2);
+        assert_eq!(merged.targeted_invalidations(), 5);
+
+        let delta = merged.delta_since(&snap);
+        assert_eq!(delta.lease_grants(), 1);
+        assert_eq!(delta.lease_contentions(), 1);
+        assert_eq!(delta.targeted_invalidations(), 1);
     }
 
     #[test]

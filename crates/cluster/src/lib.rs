@@ -14,6 +14,12 @@
 //!   collaboration, now targeted instead of a linear scan of every
 //!   member), falls back to the backend, and keeps writes coherent
 //!   across members.
+//! - [`WriteLeaseManager`] — the cluster write path: per-object
+//!   leases (same-object writes serialise, distinct objects proceed
+//!   in parallel, no router lock held across write I/O) and a holder
+//!   registry fed by each member's cache events, so a write's
+//!   invalidation on lease release touches only the members that
+//!   actually hold chunks of the object.
 //! - [`FetchCoordinator`] — shared by every member as its
 //!   [`ChunkFetcher`](agar::fetcher::ChunkFetcher): concurrent readers
 //!   of one chunk share a single in-flight backend fetch
@@ -66,9 +72,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod coordinator;
+pub mod lease;
 pub mod ring;
 pub mod router;
 
 pub use coordinator::FetchCoordinator;
+pub use lease::{WriteLease, WriteLeaseManager};
 pub use ring::{ClusterRing, DEFAULT_VNODES};
-pub use router::{ClusterReadMetrics, ClusterRouter, ClusterSettings, MembershipChange};
+pub use router::{
+    ClusterReadMetrics, ClusterRouter, ClusterSettings, ClusterWriteMetrics, MembershipChange,
+};

@@ -17,9 +17,10 @@
 //! the whole membership.
 
 use crate::coordinator::FetchCoordinator;
+use crate::lease::{MemberCacheSink, WriteLeaseManager};
 use crate::ring::ClusterRing;
 use agar::planner::RemoteChunk;
-use agar::{AgarError, AgarNode, ReadMetrics};
+use agar::{AgarError, AgarNode, DirectFetcher, ReadMetrics};
 use agar_cache::CacheStats;
 use agar_ec::{ChunkId, ObjectId};
 use agar_net::SimTime;
@@ -95,6 +96,24 @@ impl ClusterReadMetrics {
     }
 }
 
+/// Metrics of one routed write (the per-object-lease write path).
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterWriteMetrics {
+    /// The object version the write created.
+    pub version: u64,
+    /// Simulated write latency (invalidation is off the latency path).
+    pub latency: Duration,
+    /// The ring owner that performed the write.
+    pub home: u64,
+    /// Members invalidated on lease release — only those whose caches
+    /// actually held chunks of the object (the writer invalidates
+    /// locally as part of its write and is not counted).
+    pub invalidations: u64,
+    /// Whether this write had to wait behind another writer's lease on
+    /// the same object.
+    pub lease_contended: bool,
+}
+
 /// Outcome of a membership change: which member changed and exactly
 /// which objects re-homed (the moved ring segment — nothing else).
 #[derive(Clone, Debug)]
@@ -133,6 +152,7 @@ impl RouterState {
 pub struct ClusterRouter {
     backend: Arc<Backend>,
     coordinator: Arc<FetchCoordinator>,
+    leases: Arc<WriteLeaseManager>,
     state: RwLock<RouterState>,
     settings: ClusterSettings,
     seed: u64,
@@ -176,6 +196,7 @@ impl ClusterRouter {
         Ok(ClusterRouter {
             backend,
             coordinator,
+            leases: Arc::new(WriteLeaseManager::new()),
             state: RwLock::new(RouterState {
                 ring: ClusterRing::new(seed, settings.vnodes),
                 members: Vec::new(),
@@ -193,6 +214,12 @@ impl ClusterRouter {
     /// live here).
     pub fn coordinator(&self) -> &Arc<FetchCoordinator> {
         &self.coordinator
+    }
+
+    /// The write-path coordinator: per-object leases and the holder
+    /// registry backing targeted invalidation.
+    pub fn lease_manager(&self) -> &Arc<WriteLeaseManager> {
+        &self.leases
     }
 
     /// Member ids in join order.
@@ -243,10 +270,17 @@ impl ClusterRouter {
     /// each moved object is dropped from its previous owner's cache
     /// (the new owner re-caches it through its own knapsack epochs) —
     /// untouched segments keep their cache contents. The shared fetch
-    /// coordinator is installed as the node's chunk fetcher.
+    /// coordinator is installed as the node's chunk fetcher, and the
+    /// node's cache-event hook is wired into the write path's holder
+    /// registry (anything already cached is seeded as held).
     pub fn add_node(&self, node: Arc<AgarNode>) -> MembershipChange {
         node.set_chunk_fetcher(Arc::clone(&self.coordinator) as _);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        node.set_cache_event_sink(Some(Arc::new(MemberCacheSink {
+            manager: Arc::clone(&self.leases),
+            member: id,
+        })));
+        self.leases.register_member(id, Arc::clone(&node));
         let mut state = self.state.write();
         let before = state.ring.clone();
         state.ring.add_node(id);
@@ -267,15 +301,34 @@ impl ClusterRouter {
 
     /// Removes a member. Only the segment it owned re-homes (onto the
     /// surviving members); every other object keeps its owner and its
-    /// cache. Returns `None` for an unknown id.
+    /// cache. The departing node is detached from the cluster
+    /// machinery: the shared fetch coordinator is replaced by a
+    /// default [`DirectFetcher`] (so it no longer fetches through —
+    /// or parks readers on — the cluster's in-flight table), the
+    /// cache-event hook is uninstalled, and its cached chunks of the
+    /// re-homed objects are dropped (a later re-join must not resurrect
+    /// the old segment's contents). Returns `None` for an unknown id.
     pub fn remove_node(&self, id: u64) -> Option<MembershipChange> {
-        let mut state = self.state.write();
-        let before = state.ring.clone();
-        if !state.ring.remove_node(id) {
-            return None;
+        let (departing, moved) = {
+            let mut state = self.state.write();
+            let before = state.ring.clone();
+            if !state.ring.remove_node(id) {
+                return None;
+            }
+            let departing = state.member(id).cloned();
+            state.members.retain(|member| member.id != id);
+            (departing, self.moved_objects(&before, &state.ring))
+        };
+        // Detach outside the state lock: none of this needs the ring,
+        // and membership readers should not wait on cache sweeps.
+        if let Some(node) = departing {
+            node.set_cache_event_sink(None);
+            node.set_chunk_fetcher(Arc::new(DirectFetcher::new(Arc::clone(&self.backend))));
+            for &object in &moved {
+                node.invalidate_object(object);
+            }
         }
-        state.members.retain(|member| member.id != id);
-        let moved = self.moved_objects(&before, &state.ring);
+        self.leases.unregister_member(id);
         Some(MembershipChange {
             node: id,
             moved_objects: moved,
@@ -397,29 +450,47 @@ impl ClusterRouter {
         })
     }
 
-    /// Writes an object through its ring owner and invalidates every
-    /// other member's cached chunks of it (write coherence across the
-    /// cluster).
+    /// Writes an object through its ring owner under the object's
+    /// write lease, then invalidates — targetedly — only the members
+    /// whose caches hold chunks of it (write coherence across the
+    /// cluster; see [`WriteLeaseManager`]).
+    ///
+    /// The router's state lock is held only to resolve the owner:
+    /// neither the backend round trip nor the invalidations run under
+    /// it, so writes to distinct objects proceed in parallel and
+    /// membership changes never stall behind write I/O. Same-object
+    /// writes serialise on the lease.
     ///
     /// # Errors
     ///
     /// [`AgarError::InvalidSetting`] on an empty cluster; otherwise
-    /// backend write failures.
-    pub fn write(&self, object: ObjectId, data: &[u8]) -> Result<(u64, Duration), AgarError> {
-        let state = self.state.read();
-        let Some(owner_id) = state.ring.owner_of_object(object) else {
-            return Err(AgarError::InvalidSetting {
-                what: "cluster router has no member nodes",
-            });
+    /// backend write failures (the lease is released either way — a
+    /// failed write never invalidates and never leaks the lease).
+    pub fn write(&self, object: ObjectId, data: &[u8]) -> Result<ClusterWriteMetrics, AgarError> {
+        let (owner_id, owner) = {
+            let state = self.state.read();
+            let Some(owner_id) = state.ring.owner_of_object(object) else {
+                return Err(AgarError::InvalidSetting {
+                    what: "cluster router has no member nodes",
+                });
+            };
+            let owner = state
+                .member(owner_id)
+                .expect("ring and members agree")
+                .clone();
+            (owner_id, owner)
         };
-        let owner = state.member(owner_id).expect("ring and members agree");
-        let outcome = owner.write(object, data)?;
-        for member in &state.members {
-            if member.id != owner_id {
-                member.node.invalidate_object(object);
-            }
-        }
-        Ok(outcome)
+        let lease = self.leases.acquire(object, owner_id);
+        let lease_contended = lease.contended();
+        let (version, latency) = owner.write(object, data)?;
+        let invalidations = lease.release_after_write();
+        Ok(ClusterWriteMetrics {
+            version,
+            latency,
+            home: owner_id,
+            invalidations,
+            lease_contended,
+        })
     }
 
     /// Ticks every member's reconfiguration clock; returns how many
@@ -448,7 +519,9 @@ impl ClusterRouter {
     }
 
     /// Aggregated cache statistics: every member's counters plus the
-    /// coordinator's `coalesced_fetches` / `batched_requests`.
+    /// coordinator's `coalesced_fetches` / `batched_requests` and the
+    /// lease manager's `lease_grants` / `lease_contentions` /
+    /// `targeted_invalidations`.
     pub fn cache_stats(&self) -> CacheStats {
         use agar::CachingClient;
         let mut merged = CacheStats::new();
@@ -459,6 +532,7 @@ impl ClusterRouter {
             }
         }
         merged.merge(&self.coordinator.stats());
+        merged.merge(&self.leases.stats());
         merged
     }
 }
@@ -633,13 +707,68 @@ mod tests {
         router.read(object).unwrap();
 
         let payload = vec![0xABu8; SIZE];
-        let (version, _) = router.write(object, &payload).unwrap();
-        assert_eq!(version, 2);
+        let metrics = router.write(object, &payload).unwrap();
+        assert_eq!(metrics.version, 2);
+        assert!(!metrics.lease_contended, "single writer cannot contend");
+        // Routed warm-up only filled the ring owner's cache, and the
+        // owner invalidates locally: targeted invalidation touches no
+        // sibling (the old broadcast would have hit members-1 = 2).
+        assert_eq!(metrics.invalidations, 0);
         // Every member now returns the new payload (no stale cache).
         for id in router.member_ids() {
-            let metrics = router.read_from(id, object).unwrap();
-            assert_eq!(metrics.metrics().data.as_ref(), payload.as_slice());
+            let read = router.read_from(id, object).unwrap();
+            assert_eq!(read.metrics().data.as_ref(), payload.as_slice());
         }
+    }
+
+    #[test]
+    fn writes_invalidate_exactly_the_holders() {
+        let backend = backend(2);
+        let settings = ClusterSettings {
+            sibling_probes: 5,
+            ..ClusterSettings::default()
+        };
+        let router = ClusterRouter::new(Arc::clone(&backend), settings, 5).unwrap();
+        for i in 0..4 {
+            router.add_node(node(&backend, FRANKFURT, i));
+        }
+        let object = ObjectId::new(0);
+        let owner_id = router.ring().owner_of_object(object).unwrap();
+        let sibling_id = router
+            .member_ids()
+            .into_iter()
+            .find(|&id| id != owner_id)
+            .unwrap();
+        // Warm the object on its owner AND one explicit non-owner.
+        for _ in 0..30 {
+            router.read(object).unwrap();
+            router.read_from(sibling_id, object).unwrap();
+        }
+        router.force_reconfigure_all();
+        router.read(object).unwrap();
+        router.read_from(sibling_id, object).unwrap();
+        assert_eq!(
+            router.lease_manager().holders_of(object),
+            {
+                let mut expected = vec![owner_id, sibling_id];
+                expected.sort_unstable();
+                expected
+            },
+            "holder registry must track exactly the warm members"
+        );
+
+        let metrics = router.write(object, &[0x5A; SIZE]).unwrap();
+        assert_eq!(metrics.home, owner_id);
+        // Exactly the one non-owner holder was invalidated; the two
+        // members that never cached the object were left alone.
+        assert_eq!(metrics.invalidations, 1);
+        assert!(router.lease_manager().holders_of(object).is_empty());
+        // A second write finds no holders at all.
+        let metrics = router.write(object, &[0x5B; SIZE]).unwrap();
+        assert_eq!(metrics.invalidations, 0);
+        let stats = router.cache_stats();
+        assert_eq!(stats.lease_grants(), 2);
+        assert_eq!(stats.targeted_invalidations(), 1);
     }
 
     #[test]

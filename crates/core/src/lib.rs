@@ -30,7 +30,11 @@
 //!   coordinator (single-flight coalescing + region-batched round
 //!   trips) in multi-node deployments. Cache collaboration between
 //!   nodes (the paper's §VI sketch) lives in `agar-cluster`'s
-//!   consistent-hash-routed `ClusterRouter`.
+//!   consistent-hash-routed `ClusterRouter`;
+//! - [`events`] — the cluster write hook: a node reports object-level
+//!   cache fills/drops/writes to an installed [`CacheEventSink`], so
+//!   the cluster's write path can invalidate only the members that
+//!   actually hold chunks of the written object.
 //!
 //! # Examples
 //!
@@ -81,6 +85,7 @@ pub mod cache_manager;
 pub mod coherence;
 pub mod config;
 pub mod error;
+pub mod events;
 pub mod fetcher;
 pub mod knapsack;
 pub mod monitor;
@@ -95,6 +100,7 @@ pub use cache_manager::CacheManager;
 pub use coherence::WriteCoordinator;
 pub use config::CacheConfiguration;
 pub use error::AgarError;
+pub use events::CacheEventSink;
 pub use fetcher::{ChunkFetcher, DirectFetcher, FetchRequest};
 pub use knapsack::{exhaustive_optimum, greedy, relax, Config, KnapsackSolver};
 pub use monitor::RequestMonitor;

@@ -29,6 +29,7 @@
 use crate::cache_manager::CacheManager;
 use crate::config::CacheConfiguration;
 use crate::error::AgarError;
+use crate::events::CacheEventSink;
 use crate::fetcher::{ChunkFetcher, DirectFetcher, FetchRequest};
 use crate::knapsack::KnapsackSolver;
 use crate::monitor::RequestMonitor;
@@ -42,7 +43,7 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -222,6 +223,10 @@ pub struct AgarNode {
     /// its coordinator (single-flight + batching) via
     /// [`AgarNode::set_chunk_fetcher`].
     fetcher: RwLock<Arc<dyn ChunkFetcher>>,
+    /// Cluster write hook: object-level cache occupancy events
+    /// ([`CacheEventSink`]), reported so a cluster's holder registry
+    /// can invalidate writes *targetedly*. `None` outside a cluster.
+    events: RwLock<Option<Arc<dyn CacheEventSink>>>,
 }
 
 impl AgarNode {
@@ -252,6 +257,7 @@ impl AgarNode {
         Ok(AgarNode {
             region,
             fetcher: RwLock::new(Arc::new(DirectFetcher::new(Arc::clone(&backend)))),
+            events: RwLock::new(None),
             backend,
             manager,
             seed,
@@ -326,13 +332,35 @@ impl AgarNode {
         *self.fetcher.write() = fetcher;
     }
 
+    /// Installs (or, with `None`, uninstalls) the cluster write hook:
+    /// an observer of this node's object-level cache occupancy and
+    /// writes (see [`CacheEventSink`]). A cluster router installs one
+    /// per member so its holder registry can invalidate writes
+    /// targetedly instead of broadcasting.
+    pub fn set_cache_event_sink(&self, sink: Option<Arc<dyn CacheEventSink>>) {
+        *self.events.write() = sink;
+    }
+
+    fn event_sink(&self) -> Option<Arc<dyn CacheEventSink>> {
+        self.events.read().clone()
+    }
+
     /// Drops every cached chunk of `object` (coherence invalidation).
     pub fn invalidate_object(&self, object: ObjectId) -> usize {
-        self.cache.remove_matching(|id| id.object() == object)
+        let removed = self.cache.remove_matching(|id| id.object() == object);
+        if removed > 0 {
+            if let Some(sink) = self.event_sink() {
+                sink.object_dropped(object);
+            }
+        }
+        removed
     }
 
     /// Writes an object through the backend and invalidates the local
-    /// cache (see `coherence` for cross-region invalidation).
+    /// cache (see `coherence` for cross-region invalidation). Under a
+    /// cluster, the installed [`CacheEventSink`] is told about the
+    /// write so the holder registry stays current even for writes
+    /// that bypass the router.
     ///
     /// # Errors
     ///
@@ -342,7 +370,13 @@ impl AgarNode {
         let (version, latency) = self
             .backend
             .put_object(self.region, object, data, &mut rng)?;
-        self.cache.remove_matching(|id| id.object() == object);
+        let removed = self.cache.remove_matching(|id| id.object() == object);
+        if let Some(sink) = self.event_sink() {
+            if removed > 0 {
+                sink.object_dropped(object);
+            }
+            sink.object_written(object, version);
+        }
         Ok((version, latency))
     }
 
@@ -509,6 +543,7 @@ impl AgarNode {
         // the reconfiguration's own purge; a swap before it is caught
         // by the revalidation below).
         let mut fill_fetches = 0;
+        let mut filled_any = false;
         let live_config = Arc::clone(&self.config.read());
         for &index in planner.hinted() {
             let id = ChunkId::new(object, index);
@@ -519,9 +554,18 @@ impl AgarNode {
                 Some(data) => Some(data),
                 None => {
                     // Hinted chunk was neither cached nor on the fetch
-                    // path (estimate drift): fetch it in the background.
-                    match self.backend.fetch_chunk(self.region, id, &mut rng) {
-                        Ok(fetch) => {
+                    // path (estimate drift): fetch it in the background
+                    // — through the installed fetcher, so the fill
+                    // piggybacks on any identical in-flight
+                    // critical-path fetch (single-flight) instead of
+                    // racing it into a duplicate backend round trip.
+                    let request = FetchRequest {
+                        chunk: id,
+                        region: manifest.location(index as usize),
+                        version,
+                    };
+                    match fetcher.fetch(self.region, &[request], &mut rng).pop() {
+                        Some((_, Ok(fetch))) => {
                             fill_fetches += 1;
                             // A version-racing fill is simply skipped
                             // (the fill is best-effort; caching the new
@@ -529,12 +573,12 @@ impl AgarNode {
                             // poison later version checks).
                             (fetch.version == version).then_some(fetch.data)
                         }
-                        Err(_) => None, // fill is best-effort
+                        _ => None, // fill is best-effort
                     }
                 }
             };
             if let Some(p) = payload {
-                self.cache.insert(id, CachedChunk::new(p, version));
+                filled_any |= self.cache.insert(id, CachedChunk::new(p, version));
                 if !self.config.read().contains(id) {
                     // A reconfiguration swapped the config between the
                     // pre-check and the insert; its purge may already
@@ -544,6 +588,11 @@ impl AgarNode {
             }
         }
         self.fill_fetches.fetch_add(fill_fetches, Ordering::Relaxed);
+        if filled_any {
+            if let Some(sink) = self.event_sink() {
+                sink.object_filled(object);
+            }
+        }
 
         // Stage 7: object-level hit accounting (Figure 7), lock-free.
         self.cache.record_object_read(cache_hits, k);
@@ -587,11 +636,18 @@ impl AgarNode {
             )
         };
         let new_config = Arc::new(new_config);
+        let sink = self.event_sink();
         *self.config.write() = Arc::clone(&new_config);
         self.cache.remove_matching(|id| !new_config.contains(*id));
+        // The a-priori downloads flow through the installed fetcher
+        // (per chunk, like the direct path), so under a cluster they
+        // coalesce with concurrent critical-path reads of the same
+        // chunks instead of duplicating their backend round trips.
+        let fetcher = Arc::clone(&self.fetcher.read());
         let mut rng = self.derive_rng();
         let mut objects: Vec<ObjectId> = new_config.objects().collect();
         objects.sort_unstable(); // deterministic fill order
+        let mut filled: BTreeSet<ObjectId> = BTreeSet::new();
         for object in objects {
             let Ok(manifest) = self.backend.manifest(object) else {
                 continue;
@@ -602,12 +658,35 @@ impl AgarNode {
                 if self.cache.contains(&id) {
                     continue;
                 }
-                if let Ok(fetch) = self.backend.fetch_chunk(self.region, id, &mut rng) {
+                let request = FetchRequest {
+                    chunk: id,
+                    region: manifest.location(index as usize),
+                    version,
+                };
+                if let Some((_, Ok(fetch))) = fetcher.fetch(self.region, &[request], &mut rng).pop()
+                {
                     self.fill_fetches.fetch_add(1, Ordering::Relaxed);
-                    if fetch.version == version {
-                        self.cache.insert(id, CachedChunk::new(fetch.data, version));
+                    if fetch.version == version
+                        && self.cache.insert(id, CachedChunk::new(fetch.data, version))
+                    {
+                        filled.insert(object);
                     }
                 }
+            }
+        }
+        if let Some(sink) = sink {
+            // Report the objects the a-priori fill inserted (recorded
+            // at the insert, so nothing rescans the cache). The
+            // purge's removals are deliberately NOT reported: a drop
+            // emitted here could land after a concurrent reader's
+            // stage-6 fill re-inserted the object (and reported
+            // `object_filled`), deregistering a member that really
+            // holds chunks — the one ordering the registry's superset
+            // invariant forbids. A purged object lingering as a
+            // registered holder merely costs one no-op invalidation
+            // on its next write.
+            for object in filled {
+                sink.object_filled(object);
             }
         }
         self.reconfigurations.fetch_add(1, Ordering::Relaxed);

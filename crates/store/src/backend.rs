@@ -155,22 +155,23 @@ impl Backend {
             }
         }
 
-        // Determine the new version under the manifest lock.
+        // Install the new manifest under the lock: a rewrite replaces
+        // the whole entry (bumped version, the NEW payload size and
+        // placement), not just the version — a rewrite with a
+        // different size re-encodes every chunk at a new chunk size,
+        // and a manifest still advertising the old size would make
+        // readers truncate decodes against the wrong length (leaking
+        // the codec's zero padding into returned data).
         let version = {
             let mut manifests = self.manifests.write();
-            match manifests.get_mut(&object) {
-                Some(manifest) => {
-                    manifest.bump_version();
-                    manifest.version()
-                }
-                None => {
-                    let manifest =
-                        ObjectManifest::new(object, data.len(), 1, self.params, locations.clone());
-                    let v = manifest.version();
-                    manifests.insert(object, manifest);
-                    v
-                }
-            }
+            let version = manifests
+                .get(&object)
+                .map_or(1, |manifest| manifest.version() + 1);
+            manifests.insert(
+                object,
+                ObjectManifest::new(object, data.len(), version, self.params, locations.clone()),
+            );
+            version
         };
 
         let mut worst = Duration::ZERO;
@@ -467,6 +468,44 @@ mod tests {
             .fetch_chunk(RegionId::new(0), ChunkId::new(id, 0), &mut rng)
             .unwrap();
         assert_eq!(fetch.version, 2);
+    }
+
+    #[test]
+    fn rewrites_with_a_different_size_update_the_manifest() {
+        // Regression: the manifest must advertise the NEW payload size
+        // after a rewrite — the chunks are re-encoded at a new chunk
+        // size, and decoding against the stale size either truncates
+        // the payload or leaks the codec's zero padding.
+        let backend = test_backend(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let id = ObjectId::new(0);
+        backend
+            .put_object(RegionId::new(0), id, &[1; 16], &mut rng)
+            .unwrap();
+        assert_eq!(backend.manifest(id).unwrap().size(), 16);
+        for &size in &[6usize, 23, 16] {
+            let payload = vec![9u8; size];
+            let (version, _) = backend
+                .put_object(RegionId::new(0), id, &payload, &mut rng)
+                .unwrap();
+            let manifest = backend.manifest(id).unwrap();
+            assert_eq!(manifest.version(), version);
+            assert_eq!(manifest.size(), size, "manifest kept a stale size");
+            // A full decode returns exactly the written payload.
+            let mut shards: Vec<Option<Bytes>> = vec![None; 6];
+            for (chunk, _) in manifest.chunk_locations() {
+                let fetch = backend
+                    .fetch_chunk(RegionId::new(0), chunk, &mut rng)
+                    .unwrap();
+                assert_eq!(fetch.version, version);
+                shards[chunk.index().value() as usize] = Some(fetch.data);
+            }
+            let decoded = backend
+                .codec()
+                .reconstruct_object(&shards, manifest.size())
+                .unwrap();
+            assert_eq!(decoded.as_ref(), payload.as_slice());
+        }
     }
 
     #[test]

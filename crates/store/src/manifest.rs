@@ -95,10 +95,6 @@ impl ObjectManifest {
             .map(|(i, _)| i as u8)
             .collect()
     }
-
-    pub(crate) fn bump_version(&mut self) {
-        self.version += 1;
-    }
 }
 
 #[cfg(test)]
@@ -138,14 +134,6 @@ mod tests {
         assert_eq!(m.chunks_in_region(RegionId::new(0)), vec![0, 3]);
         assert_eq!(m.chunks_in_region(RegionId::new(2)), vec![2, 5]);
         assert!(m.chunks_in_region(RegionId::new(9)).is_empty());
-    }
-
-    #[test]
-    fn version_bumps() {
-        let mut m = sample();
-        m.bump_version();
-        m.bump_version();
-        assert_eq!(m.version(), 2);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   behind the [`KeyDistribution`] trait;
 //! - [`WorkloadSpec`]/[`OpStream`] — seeded, deterministic operation
 //!   streams with a configurable read/write mix;
+//! - [`ReadWriteMix`]/[`MixedStream`] — the cluster write-path
+//!   extension: a write ratio plus a write-size distribution
+//!   ([`WriteSizeDist`]), yielding [`MixedOp`]s whose writes carry a
+//!   sampled payload size;
 //! - [`cdf`] — analytic and empirical popularity CDFs (Figure 9).
 //!
 //! # Examples
@@ -40,5 +44,7 @@ pub mod zipf;
 pub use cdf::{empirical_popularity_cdf, zipf_popularity_cdf, CdfPoint};
 pub use dist::{Hotspot, KeyDistribution, Latest, Sequential, UniformKeys};
 pub use error::WorkloadError;
-pub use spec::{Distribution, Op, OpStream, WorkloadSpec};
+pub use spec::{
+    Distribution, MixedOp, MixedStream, Op, OpStream, ReadWriteMix, WorkloadSpec, WriteSizeDist,
+};
 pub use zipf::Zipfian;

@@ -84,6 +84,108 @@ impl Distribution {
     }
 }
 
+/// Distribution of write payload sizes in a mixed workload.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum WriteSizeDist {
+    /// Every write rewrites the object at the catalogue's object size.
+    Fixed,
+    /// Payload sizes drawn uniformly from `[min, max]` bytes
+    /// (inclusive), independent of the catalogue size.
+    UniformBytes {
+        /// Smallest write payload in bytes (must be positive).
+        min: usize,
+        /// Largest write payload in bytes (must be ≥ `min`).
+        max: usize,
+    },
+}
+
+impl WriteSizeDist {
+    /// Validates the distribution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] for a zero minimum
+    /// or an inverted range.
+    pub fn validate(self) -> Result<(), WorkloadError> {
+        if let WriteSizeDist::UniformBytes { min, max } = self {
+            if min == 0 {
+                return Err(WorkloadError::InvalidParameter {
+                    what: "write size minimum must be positive",
+                });
+            }
+            if min > max {
+                return Err(WorkloadError::InvalidParameter {
+                    what: "write size minimum must not exceed the maximum",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Samples one write payload size for a catalogue of `base`-byte
+    /// objects.
+    pub fn sample(self, base: usize, rng: &mut dyn RngCore) -> usize {
+        match self {
+            WriteSizeDist::Fixed => base,
+            WriteSizeDist::UniformBytes { min, max } => {
+                min + (rng.next_u64() % (max - min + 1) as u64) as usize
+            }
+        }
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(self) -> String {
+        match self {
+            WriteSizeDist::Fixed => "fixed".into(),
+            WriteSizeDist::UniformBytes { min, max } => format!("uniform {min}..={max} B"),
+        }
+    }
+}
+
+/// The read/write mix of a cluster workload: which fraction of
+/// operations are writes and how large their payloads are.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ReadWriteMix {
+    /// Fraction of operations that are writes, in `[0, 1]`.
+    pub write_ratio: f64,
+    /// Write payload size distribution.
+    pub write_size: WriteSizeDist,
+}
+
+impl ReadWriteMix {
+    /// A mix with the given write ratio and fixed-size writes.
+    pub fn with_ratio(write_ratio: f64) -> Self {
+        ReadWriteMix {
+            write_ratio,
+            write_size: WriteSizeDist::Fixed,
+        }
+    }
+
+    /// Validates the mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] for a write ratio
+    /// outside `[0, 1]` or invalid write-size parameters.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if !(0.0..=1.0).contains(&self.write_ratio) {
+            return Err(WorkloadError::InvalidParameter {
+                what: "write_ratio must be in [0, 1]",
+            });
+        }
+        self.write_size.validate()
+    }
+
+    /// Human-readable label (e.g. `"20% writes, fixed"`).
+    pub fn label(&self) -> String {
+        format!(
+            "{:.0}% writes, {}",
+            self.write_ratio * 100.0,
+            self.write_size.label()
+        )
+    }
+}
+
 /// One generated operation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum Op {
@@ -181,6 +283,27 @@ impl WorkloadSpec {
             remaining: self.operations,
         })
     }
+
+    /// Builds a deterministic mixed read/write stream: keys come from
+    /// this spec's distribution, the read/write split and write
+    /// payload sizes from `mix` (the spec's own `read_fraction` is
+    /// ignored in favour of the mix).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from the spec, distribution or
+    /// mix.
+    pub fn mixed_stream(&self, mix: ReadWriteMix, seed: u64) -> Result<MixedStream, WorkloadError> {
+        self.validate()?;
+        mix.validate()?;
+        Ok(MixedStream {
+            dist: self.distribution.build(self.object_count)?,
+            rng: StdRng::seed_from_u64(seed),
+            mix,
+            base_size: self.object_size,
+            remaining: self.operations,
+        })
+    }
 }
 
 /// A seeded iterator of operations.
@@ -228,6 +351,90 @@ impl std::fmt::Debug for OpStream {
         f.debug_struct("OpStream")
             .field("distribution", &self.dist.label())
             .field("read_fraction", &self.read_fraction)
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+/// One mixed-workload operation: writes carry their sampled payload
+/// size (see [`WriteSizeDist`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MixedOp {
+    /// Read the whole object with this key.
+    Read {
+        /// Object key in `0..object_count`.
+        key: u64,
+    },
+    /// Overwrite the object with this key.
+    Write {
+        /// Object key in `0..object_count`.
+        key: u64,
+        /// Payload size in bytes.
+        size: usize,
+    },
+}
+
+impl MixedOp {
+    /// The key the operation touches.
+    pub fn key(self) -> u64 {
+        match self {
+            MixedOp::Read { key } | MixedOp::Write { key, .. } => key,
+        }
+    }
+
+    /// Whether this is a read.
+    pub fn is_read(self) -> bool {
+        matches!(self, MixedOp::Read { .. })
+    }
+}
+
+/// A seeded iterator of mixed read/write operations (see
+/// [`WorkloadSpec::mixed_stream`]).
+pub struct MixedStream {
+    dist: Box<dyn KeyDistribution>,
+    rng: StdRng,
+    mix: ReadWriteMix,
+    base_size: usize,
+    remaining: usize,
+}
+
+impl MixedStream {
+    /// Draws the next operation without consuming the stream budget.
+    pub fn draw(&mut self) -> MixedOp {
+        let key = self.dist.sample(&mut self.rng);
+        let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.mix.write_ratio {
+            let size = self.mix.write_size.sample(self.base_size, &mut self.rng);
+            MixedOp::Write { key, size }
+        } else {
+            MixedOp::Read { key }
+        }
+    }
+}
+
+impl Iterator for MixedStream {
+    type Item = MixedOp;
+
+    fn next(&mut self) -> Option<MixedOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.draw())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for MixedStream {}
+
+impl std::fmt::Debug for MixedStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixedStream")
+            .field("distribution", &self.dist.label())
+            .field("mix", &self.mix.label())
             .field("remaining", &self.remaining)
             .finish()
     }
@@ -313,6 +520,74 @@ mod tests {
             assert_eq!(ops.len(), 1_000, "{}", dist.label());
             assert!(!dist.label().is_empty());
         }
+    }
+
+    #[test]
+    fn mixed_stream_respects_ratio_and_size_bounds() {
+        let mut spec = WorkloadSpec::paper_default();
+        spec.operations = 10_000;
+        let mix = ReadWriteMix {
+            write_ratio: 0.3,
+            write_size: WriteSizeDist::UniformBytes { min: 100, max: 500 },
+        };
+        let ops: Vec<MixedOp> = spec.mixed_stream(mix, 9).unwrap().collect();
+        assert_eq!(ops.len(), 10_000);
+        let writes: Vec<usize> = ops
+            .iter()
+            .filter_map(|op| match op {
+                MixedOp::Write { size, .. } => Some(*size),
+                MixedOp::Read { .. } => None,
+            })
+            .collect();
+        let ratio = writes.len() as f64 / ops.len() as f64;
+        assert!((ratio - 0.3).abs() < 0.03, "write ratio {ratio}");
+        assert!(writes.iter().all(|&s| (100..=500).contains(&s)));
+        assert!(ops.iter().all(|op| op.key() < 300));
+        // Fixed-size writes rewrite at the catalogue object size.
+        let mix = ReadWriteMix::with_ratio(1.0);
+        let ops: Vec<MixedOp> = spec.mixed_stream(mix, 9).unwrap().collect();
+        assert!(ops
+            .iter()
+            .all(|op| matches!(op, MixedOp::Write { size, .. } if *size == spec.object_size)));
+    }
+
+    #[test]
+    fn mixed_stream_is_deterministic_per_seed() {
+        let spec = WorkloadSpec::paper_default();
+        let mix = ReadWriteMix {
+            write_ratio: 0.5,
+            write_size: WriteSizeDist::UniformBytes {
+                min: 10,
+                max: 1_000,
+            },
+        };
+        let a: Vec<MixedOp> = spec.mixed_stream(mix, 4).unwrap().collect();
+        let b: Vec<MixedOp> = spec.mixed_stream(mix, 4).unwrap().collect();
+        let c: Vec<MixedOp> = spec.mixed_stream(mix, 5).unwrap().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(format!("{:?}", spec.mixed_stream(mix, 4).unwrap()).contains("50% writes"));
+    }
+
+    #[test]
+    fn mix_validation_rejects_bad_parameters() {
+        assert!(ReadWriteMix::with_ratio(1.5).validate().is_err());
+        assert!(ReadWriteMix::with_ratio(-0.1).validate().is_err());
+        assert!(ReadWriteMix {
+            write_ratio: 0.5,
+            write_size: WriteSizeDist::UniformBytes { min: 0, max: 5 },
+        }
+        .validate()
+        .is_err());
+        assert!(ReadWriteMix {
+            write_ratio: 0.5,
+            write_size: WriteSizeDist::UniformBytes { min: 9, max: 5 },
+        }
+        .validate()
+        .is_err());
+        assert!(ReadWriteMix::with_ratio(0.0).validate().is_ok());
+        assert!(!WriteSizeDist::Fixed.label().is_empty());
+        assert!(ReadWriteMix::with_ratio(0.25).label().contains("25%"));
     }
 
     #[test]
