@@ -1,0 +1,74 @@
+//! Coding-path throughput across (k, m), chunk sizes and erasure
+//! patterns — the criterion twin of `experiments -- ec`.
+//!
+//! Covers the three decode regimes separately because they exercise
+//! different machinery: systematic (no GF arithmetic at all), 1-erasure
+//! (one decode-plan row) and m-erasure (the worst pattern the code
+//! tolerates). Encode measures the single-buffer split + parity kernel.
+
+use agar_ec::{CodingParams, ReedSolomon};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const CODES: [(usize, usize); 3] = [(4, 2), (6, 3), (10, 4)];
+const CHUNK_SIZES: [usize; 2] = [64 * 1024, 1024 * 1024];
+
+fn object(size: usize) -> Vec<u8> {
+    (0..size).map(|i| (i % 251) as u8).collect()
+}
+
+fn label(k: usize, m: usize, chunk: usize) -> String {
+    format!("rs{k}-{m}/{}k", chunk / 1024)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ec_throughput/encode");
+    for (k, m) in CODES {
+        for chunk in CHUNK_SIZES {
+            let rs = ReedSolomon::new(CodingParams::new(k, m).unwrap()).unwrap();
+            let data = object(k * chunk);
+            group.throughput(Throughput::Bytes(data.len() as u64));
+            group.bench_function(BenchmarkId::from_parameter(label(k, m, chunk)), |b| {
+                b.iter(|| rs.encode_object(black_box(&data)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    for (name, erase) in [
+        ("systematic", 0usize),
+        ("1-erasure", 1),
+        ("m-erasure", usize::MAX),
+    ] {
+        let mut group = c.benchmark_group(format!("ec_throughput/decode/{name}"));
+        for (k, m) in CODES {
+            for chunk in CHUNK_SIZES {
+                let rs = ReedSolomon::new(CodingParams::new(k, m).unwrap()).unwrap();
+                let data = object(k * chunk);
+                let mut shards: Vec<Option<Bytes>> = rs
+                    .encode_object(&data)
+                    .unwrap()
+                    .into_iter()
+                    .map(Some)
+                    .collect();
+                for slot in shards.iter_mut().take(erase.min(m)) {
+                    *slot = None;
+                }
+                group.throughput(Throughput::Bytes(data.len() as u64));
+                group.bench_function(BenchmarkId::from_parameter(label(k, m, chunk)), |b| {
+                    b.iter(|| {
+                        rs.reconstruct_object(black_box(&shards), data.len())
+                            .unwrap()
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -10,6 +10,8 @@
 //!                    wall-clock, like throughput)
 //!      mixed        (K-node cluster under a read/write mix at several
 //!                    write ratios: lease write path, stale-read check)
+//!      ec           (coding-path throughput: encode/decode MB/s across
+//!                    (k, m), chunk sizes and erasure patterns)
 //! --tiny        run at test scale (fast, same shapes)
 //! --runs N      repetitions to average (default 5, paper value)
 //! --ops N       operations per run (default 1000, paper value)
@@ -114,6 +116,7 @@ fn main() {
                 &deployment,
                 params.operations,
             )],
+            "ec" => vec![agar_bench::ec::ec_table()],
             other => usage(&format!("unknown experiment {other}")),
         };
         for table in tables {
@@ -139,7 +142,7 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|cluster|mixed|all]... \
+        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|cluster|mixed|ec|all]... \
          [--tiny] [--runs N] [--ops N] [--out DIR]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });

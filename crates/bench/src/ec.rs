@@ -1,0 +1,124 @@
+//! Coding-path throughput: encode/decode MB/s across code parameters,
+//! chunk sizes and erasure patterns (`experiments -- ec`).
+//!
+//! The cells are single-thread wall-clock rates of the `agar-ec` hot
+//! path in isolation — no backend, no cache, no simulated latency —
+//! so they isolate exactly what the nibble-table kernels, the
+//! decode-plan cache and the zero-copy systematic read buy. The three
+//! decode columns:
+//!
+//! - **systematic** — all `k` data shards present; no GF arithmetic at
+//!   all, just one object-sized assembly;
+//! - **1-erasure** — one data shard missing, decoded through parity;
+//! - **m-erasure** — `m` data shards missing, the worst pattern the
+//!   code tolerates.
+
+use crate::table::Table;
+use agar_ec::{CodingParams, ReedSolomon};
+use bytes::Bytes;
+use std::time::{Duration, Instant};
+
+/// One measured cell: median MB/s over `iters` timed runs.
+fn mb_per_s(object_size: usize, mut run: impl FnMut()) -> f64 {
+    // Warm up once (faults in tables, fills the decode-plan cache —
+    // deliberately: steady-state throughput is what the read path sees).
+    run();
+    // Adapt the iteration count to the cell's cost so the whole table
+    // stays fast on slow containers but stable on fast hosts.
+    let probe = Instant::now();
+    run();
+    let once = probe.elapsed().max(Duration::from_micros(1));
+    let iters = (Duration::from_millis(120).as_secs_f64() / once.as_secs_f64()) as usize;
+    let iters = iters.clamp(3, 200);
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        run();
+        samples.push(start.elapsed());
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2].max(Duration::from_nanos(1));
+    object_size as f64 / median.as_secs_f64() / 1.0e6
+}
+
+fn erase(shards: &[Bytes], missing: &[usize]) -> Vec<Option<Bytes>> {
+    shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (!missing.contains(&i)).then(|| s.clone()))
+        .collect()
+}
+
+/// The `experiments -- ec` table: encode and decode throughput for
+/// (k, m) ∈ {(4,2), (6,3), (10,4)} × chunk sizes {64 KiB, 1 MiB},
+/// decoding the systematic, 1-erasure and m-erasure patterns.
+pub fn ec_table() -> Table {
+    let mut table = Table::new(
+        "EC coding path — single-thread throughput (MB/s, object bytes)",
+        [
+            "code",
+            "chunk",
+            "encode",
+            "dec systematic",
+            "dec 1-erasure",
+            "dec m-erasure",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for (k, m) in [(4usize, 2usize), (6, 3), (10, 4)] {
+        for chunk_size in [64 * 1024usize, 1024 * 1024] {
+            let params = CodingParams::new(k, m).unwrap();
+            let rs = ReedSolomon::new(params).unwrap();
+            let object_size = k * chunk_size;
+            let object: Vec<u8> = (0..object_size).map(|i| (i % 251) as u8).collect();
+            let shards = rs.encode_object(&object).unwrap();
+
+            let encode = mb_per_s(object_size, || {
+                std::hint::black_box(rs.encode_object(&object).unwrap());
+            });
+            let systematic = erase(&shards, &[]);
+            let one_erased = erase(&shards, &[0]);
+            let m_erased = erase(&shards, &(0..m).collect::<Vec<_>>());
+            let dec_sys = mb_per_s(object_size, || {
+                std::hint::black_box(rs.reconstruct_object(&systematic, object_size).unwrap());
+            });
+            let dec_one = mb_per_s(object_size, || {
+                std::hint::black_box(rs.reconstruct_object(&one_erased, object_size).unwrap());
+            });
+            let dec_m = mb_per_s(object_size, || {
+                std::hint::black_box(rs.reconstruct_object(&m_erased, object_size).unwrap());
+            });
+            table.push_row(vec![
+                format!("RS({k},{m})"),
+                if chunk_size >= 1024 * 1024 {
+                    format!("{} MiB", chunk_size / (1024 * 1024))
+                } else {
+                    format!("{} KiB", chunk_size / 1024)
+                },
+                format!("{encode:.0}"),
+                format!("{dec_sys:.0}"),
+                format!("{dec_one:.0}"),
+                format!("{dec_m:.0}"),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ec_table_has_all_cells() {
+        let table = ec_table();
+        assert_eq!(table.len(), 6); // 3 codes x 2 chunk sizes
+        for row in table.rows() {
+            assert_eq!(row.len(), 6);
+            for cell in &row[2..] {
+                assert!(cell.parse::<f64>().unwrap() > 0.0, "cell {cell}");
+            }
+        }
+    }
+}

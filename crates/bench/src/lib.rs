@@ -22,6 +22,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+pub mod ec;
 pub mod experiments;
 pub mod harness;
 pub mod mixed;
@@ -29,6 +30,7 @@ pub mod table;
 pub mod throughput;
 
 pub use cluster::{build_warm_cluster, cluster_scaling, run_cluster_threads};
+pub use ec::ec_table;
 pub use harness::{
     run_averaged, run_once, Deployment, LatencyProfile, PolicySpec, RunConfig, RunResult, Scale,
 };

@@ -263,6 +263,18 @@ impl ShardedChunkCache {
     pub fn record_object_read(&self, cached_chunks: usize, needed_chunks: usize) {
         self.stats.record_object_read(cached_chunks, needed_chunks);
     }
+
+    /// Records one degraded decode that reused a cached decode plan
+    /// (lock-free); see [`CacheStats::decode_plan_hits`].
+    pub fn record_decode_plan_hit(&self) {
+        self.stats.record_decode_plan_hit();
+    }
+
+    /// Records one systematic fast-path object read (lock-free); see
+    /// [`CacheStats::systematic_fast_reads`].
+    pub fn record_systematic_fast_read(&self) {
+        self.stats.record_systematic_fast_read();
+    }
 }
 
 impl std::fmt::Debug for ShardedChunkCache {

@@ -29,6 +29,8 @@ pub struct CacheStats {
     lease_grants: u64,
     lease_contentions: u64,
     targeted_invalidations: u64,
+    decode_plan_hits: u64,
+    systematic_fast_reads: u64,
 }
 
 impl CacheStats {
@@ -169,6 +171,30 @@ impl CacheStats {
         self.targeted_invalidations
     }
 
+    /// Records one degraded decode that reused a cached decode plan
+    /// (same erasure pattern as an earlier read: no matrix inversion).
+    pub fn record_decode_plan_hit(&mut self) {
+        self.decode_plan_hits += 1;
+    }
+
+    /// Records one object read served by the systematic fast path
+    /// (all k data shards present: zero GF multiplies, at most one
+    /// object-sized allocation).
+    pub fn record_systematic_fast_read(&mut self) {
+        self.systematic_fast_reads += 1;
+    }
+
+    /// Degraded decodes that skipped the Gaussian inversion because the
+    /// erasure pattern's decode plan was already cached.
+    pub fn decode_plan_hits(&self) -> u64 {
+        self.decode_plan_hits
+    }
+
+    /// Object reads that took the zero-GF systematic fast path.
+    pub fn systematic_fast_reads(&self) -> u64 {
+        self.systematic_fast_reads
+    }
+
     /// Total object reads recorded.
     pub fn object_reads(&self) -> u64 {
         self.object_total_hits + self.object_partial_hits + self.object_misses
@@ -225,6 +251,12 @@ impl CacheStats {
             targeted_invalidations: self
                 .targeted_invalidations
                 .saturating_sub(earlier.targeted_invalidations),
+            decode_plan_hits: self
+                .decode_plan_hits
+                .saturating_sub(earlier.decode_plan_hits),
+            systematic_fast_reads: self
+                .systematic_fast_reads
+                .saturating_sub(earlier.systematic_fast_reads),
         }
     }
 
@@ -243,6 +275,8 @@ impl CacheStats {
         self.lease_grants += other.lease_grants;
         self.lease_contentions += other.lease_contentions;
         self.targeted_invalidations += other.targeted_invalidations;
+        self.decode_plan_hits += other.decode_plan_hits;
+        self.systematic_fast_reads += other.systematic_fast_reads;
     }
 }
 
@@ -268,6 +302,8 @@ pub struct AtomicCacheStats {
     lease_grants: AtomicU64,
     lease_contentions: AtomicU64,
     targeted_invalidations: AtomicU64,
+    decode_plan_hits: AtomicU64,
+    systematic_fast_reads: AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -338,6 +374,16 @@ impl AtomicCacheStats {
         self.targeted_invalidations.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one degraded decode that reused a cached decode plan.
+    pub fn record_decode_plan_hit(&self) {
+        self.decode_plan_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one object read served by the systematic fast path.
+    pub fn record_systematic_fast_read(&self) {
+        self.systematic_fast_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters as plain [`CacheStats`].
     pub fn snapshot(&self) -> CacheStats {
         CacheStats {
@@ -354,6 +400,8 @@ impl AtomicCacheStats {
             lease_grants: self.lease_grants.load(Ordering::Relaxed),
             lease_contentions: self.lease_contentions.load(Ordering::Relaxed),
             targeted_invalidations: self.targeted_invalidations.load(Ordering::Relaxed),
+            decode_plan_hits: self.decode_plan_hits.load(Ordering::Relaxed),
+            systematic_fast_reads: self.systematic_fast_reads.load(Ordering::Relaxed),
         }
     }
 }
@@ -479,6 +527,28 @@ mod tests {
         assert_eq!(delta.lease_grants(), 1);
         assert_eq!(delta.lease_contentions(), 1);
         assert_eq!(delta.targeted_invalidations(), 1);
+    }
+
+    #[test]
+    fn decode_path_counters_roundtrip() {
+        let atomic = AtomicCacheStats::new();
+        atomic.record_decode_plan_hit();
+        atomic.record_systematic_fast_read();
+        atomic.record_systematic_fast_read();
+        let snap = atomic.snapshot();
+        assert_eq!(snap.decode_plan_hits(), 1);
+        assert_eq!(snap.systematic_fast_reads(), 2);
+
+        let mut merged = CacheStats::new();
+        merged.record_decode_plan_hit();
+        merged.record_systematic_fast_read();
+        merged.merge(&snap);
+        assert_eq!(merged.decode_plan_hits(), 2);
+        assert_eq!(merged.systematic_fast_reads(), 3);
+
+        let delta = merged.delta_since(&snap);
+        assert_eq!(delta.decode_plan_hits(), 1);
+        assert_eq!(delta.systematic_fast_reads(), 1);
     }
 
     #[test]

@@ -229,11 +229,16 @@ impl FixedChunksClient {
         for (index, data) in have.iter().chain(fetched.iter()) {
             shards[*index as usize] = Some(data.clone());
         }
-        let decoded = !(0..k).all(|i| shards[i].is_some());
-        let data = self
+        let (data, decode_report) = self
             .backend
             .codec()
-            .reconstruct_object(&shards, manifest.size())?;
+            .reconstruct_object_report(&shards, manifest.size())?;
+        let decoded = !decode_report.systematic_fast_path;
+        if decode_report.systematic_fast_path {
+            inner.cache.stats_mut().record_systematic_fast_read();
+        } else if decode_report.plan_cache_hit {
+            inner.cache.stats_mut().record_decode_plan_hit();
+        }
 
         // 5. Populate the cache (async in the paper: no latency impact).
         let mut fill_fetches = 0;
@@ -409,11 +414,16 @@ impl CachingClient for BackendOnlyClient {
             worst = worst.max(fetch.latency);
             shards[chunk.index().value() as usize] = Some(fetch.data);
         }
-        let decoded = !(0..k).all(|i| shards[i].is_some());
-        let data = self
+        let (data, decode_report) = self
             .backend
             .codec()
-            .reconstruct_object(&shards, manifest.size())?;
+            .reconstruct_object_report(&shards, manifest.size())?;
+        let decoded = !decode_report.systematic_fast_path;
+        if decode_report.systematic_fast_path {
+            inner.1.record_systematic_fast_read();
+        } else if decode_report.plan_cache_hit {
+            inner.1.record_decode_plan_hit();
+        }
         inner.1.record_object_read(0, k);
         Ok(ReadMetrics {
             data,

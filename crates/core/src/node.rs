@@ -526,12 +526,22 @@ impl AgarNode {
         };
         let latency = self.settings.client_overhead + cache_component.max(worst);
 
-        // Stage 5: reconstruct (lock-free).
-        let decoded = !(0..k).all(|i| shards[i].is_some());
-        let data = self
+        // Stage 5: reconstruct. With all k data shards in hand the
+        // codec takes its systematic fast path — no GF arithmetic, at
+        // most one object-sized allocation, no locks. A degraded
+        // decode reuses the cached decode plan when this erasure
+        // pattern has been seen before (no re-inversion), at the cost
+        // of a brief codec-level mutex for the plan lookup.
+        let (data, decode_report) = self
             .backend
             .codec()
-            .reconstruct_object(&shards, manifest.size())?;
+            .reconstruct_object_report(&shards, manifest.size())?;
+        let decoded = !decode_report.systematic_fast_path;
+        if decode_report.systematic_fast_path {
+            self.cache.record_systematic_fast_read();
+        } else if decode_report.plan_cache_hit {
+            self.cache.record_decode_plan_hit();
+        }
 
         // Stage 6: fill the cache toward the hinted configuration, off
         // the critical path (the paper uses a separate thread pool).

@@ -136,6 +136,60 @@ impl fmt::Display for ChunkId {
     }
 }
 
+/// A set of chunk indices backed by a fixed bitmask.
+///
+/// Chunk indices are `u8`, so four 64-bit words cover the entire domain
+/// with O(1) insert/contains. The read planner uses it to deduplicate
+/// candidate sources, and the Reed-Solomon codec keys its decode-plan
+/// cache on the present-shard pattern — `Hash`/`Eq` compare the raw
+/// words, so equal sets are equal keys. (Every shipped preset fits in
+/// the first word: RS(9, 3) has 12 chunks.)
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, Hash)]
+pub struct ChunkSet {
+    words: [u64; 4],
+}
+
+impl ChunkSet {
+    /// The empty set.
+    pub const fn new() -> Self {
+        ChunkSet { words: [0; 4] }
+    }
+
+    /// Adds an index; returns whether it was newly inserted.
+    pub fn insert(&mut self, index: u8) -> bool {
+        let word = &mut self.words[(index >> 6) as usize];
+        let bit = 1u64 << (index & 63);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Whether the index is in the set.
+    pub fn contains(&self, index: u8) -> bool {
+        self.words[(index >> 6) as usize] & (1u64 << (index & 63)) != 0
+    }
+
+    /// Number of indices in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+impl FromIterator<u8> for ChunkSet {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        let mut set = ChunkSet::new();
+        for index in iter {
+            set.insert(index);
+        }
+        set
+    }
+}
+
 /// Erasure-coding parameters: `k` data chunks, `m` parity chunks.
 ///
 /// The paper's deployment uses RS(9, 3): `k = 9`, `m = 3`.

@@ -64,6 +64,245 @@ const EXP: [u8; 512] = TABLES.0;
 /// `a == 0`; all callers must check for zero first).
 const LOG: [u8; 256] = TABLES.1;
 
+const fn mul_const(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+}
+
+/// Split-nibble multiplication tables for every coefficient.
+///
+/// `c * s` factors over the byte's nibbles — `c * s = c * (s & 0x0F) +
+/// c * (s & 0xF0)` because multiplication distributes over XOR — so two
+/// 16-entry tables per coefficient replace the log/exp walk with two
+/// independent loads and one XOR, with no zero-check branch. All 256
+/// coefficients fit in 8 KiB (half an L1 way), so the full table is
+/// built at compile time rather than lazily per codec instance; every
+/// `ReedSolomon` shares it for free.
+const fn build_nibble_tables() -> ([[u8; 16]; 256], [[u8; 16]; 256]) {
+    let mut lo = [[0u8; 16]; 256];
+    let mut hi = [[0u8; 16]; 256];
+    let mut c = 0;
+    while c < 256 {
+        let mut n = 0;
+        while n < 16 {
+            lo[c][n] = mul_const(c as u8, n as u8);
+            hi[c][n] = mul_const(c as u8, (n << 4) as u8);
+            n += 1;
+        }
+        c += 1;
+    }
+    (lo, hi)
+}
+
+const NIBBLE_TABLES: ([[u8; 16]; 256], [[u8; 16]; 256]) = build_nibble_tables();
+const NIB_LO: [[u8; 16]; 256] = NIBBLE_TABLES.0;
+const NIB_HI: [[u8; 16]; 256] = NIBBLE_TABLES.1;
+
+/// The two 16-entry split-nibble tables for a coefficient:
+/// `c * s == lo[s & 0x0F] ^ hi[s >> 4]`.
+#[inline]
+pub fn nibble_tables(coefficient: u8) -> (&'static [u8; 16], &'static [u8; 16]) {
+    (&NIB_LO[coefficient as usize], &NIB_HI[coefficient as usize])
+}
+
+/// GF(2^8) multiplication by a constant is GF(2)-linear, so each
+/// coefficient is an 8x8 bit matrix — exactly the operand shape of the
+/// `GF2P8AFFINEQB` instruction, which applies it to 32 bytes at once.
+/// Byte `7 - i` of the packed matrix holds output bit `i`'s row; bit
+/// `j` of that row is bit `i` of `c * x^j` (convention verified against
+/// the table multiply by `gfni_matrices_encode_multiplication`).
+#[cfg(target_arch = "x86_64")]
+const fn build_gfni_matrices() -> [u64; 256] {
+    let mut out = [0u64; 256];
+    let mut c = 0;
+    while c < 256 {
+        let mut matrix = 0u64;
+        let mut i = 0;
+        while i < 8 {
+            let mut row = 0u8;
+            let mut j = 0;
+            while j < 8 {
+                if mul_const(c as u8, 1 << j) >> i & 1 != 0 {
+                    row |= 1 << j;
+                }
+                j += 1;
+            }
+            matrix |= (row as u64) << (8 * (7 - i));
+            i += 1;
+        }
+        out[c] = matrix;
+        c += 1;
+    }
+    out
+}
+
+#[cfg(target_arch = "x86_64")]
+const GFNI_MATRICES: [u64; 256] = build_gfni_matrices();
+
+/// The widest coefficient-multiply kernel this CPU supports, detected
+/// once. `AGAR_GF256_KERNEL` (`gfni`/`avx2`/`ssse3`/`scalar`) caps the
+/// level for A/B benchmarking; detection still gates what actually
+/// runs, so the override can only *lower* the tier.
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SimdLevel {
+    Scalar,
+    Ssse3,
+    Avx2,
+    Gfni,
+}
+
+#[cfg(target_arch = "x86_64")]
+fn simd_level() -> SimdLevel {
+    static LEVEL: std::sync::OnceLock<SimdLevel> = std::sync::OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let detected = if std::arch::is_x86_feature_detected!("gfni")
+            && std::arch::is_x86_feature_detected!("avx2")
+        {
+            SimdLevel::Gfni
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else if std::arch::is_x86_feature_detected!("ssse3") {
+            SimdLevel::Ssse3
+        } else {
+            SimdLevel::Scalar
+        };
+        let cap = match std::env::var("AGAR_GF256_KERNEL") {
+            Ok(value) => match value.to_ascii_lowercase().as_str() {
+                "scalar" => SimdLevel::Scalar,
+                "ssse3" => SimdLevel::Ssse3,
+                "avx2" => SimdLevel::Avx2,
+                "gfni" => SimdLevel::Gfni,
+                other => {
+                    // A typo must not silently benchmark the wrong
+                    // tier; warn once and apply no cap.
+                    eprintln!(
+                        "AGAR_GF256_KERNEL={other:?} not recognised \
+                         (expected gfni|avx2|ssse3|scalar); ignoring"
+                    );
+                    SimdLevel::Gfni
+                }
+            },
+            Err(_) => SimdLevel::Gfni,
+        };
+        detected.min(cap)
+    })
+}
+
+/// The vector bodies of the slice kernels. Each function consumes as
+/// many whole blocks as its width allows and returns the byte count
+/// handled; the caller finishes the tail with the scalar kernel.
+///
+/// # Safety
+///
+/// Each function requires the CPU features named in its
+/// `target_feature` attribute; [`simd_level`] gates every call site.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// `dst ^= matrix * src` (GFNI): one affine op per 32-byte block.
+    #[target_feature(enable = "gfni,avx2")]
+    pub unsafe fn mul_add_gfni(dst: &mut [u8], src: &[u8], matrix: u64) -> usize {
+        let m = _mm256_set1_epi64x(matrix as i64);
+        for (d, s) in dst.chunks_exact_mut(32).zip(src.chunks_exact(32)) {
+            let sv = _mm256_loadu_si256(s.as_ptr().cast());
+            let prod = _mm256_gf2p8affine_epi64_epi8::<0>(sv, m);
+            let dv = _mm256_loadu_si256(d.as_ptr().cast());
+            _mm256_storeu_si256(d.as_mut_ptr().cast(), _mm256_xor_si256(dv, prod));
+        }
+        dst.len() & !31
+    }
+
+    /// `dst = matrix * src` (GFNI).
+    #[target_feature(enable = "gfni,avx2")]
+    pub unsafe fn mul_gfni(dst: &mut [u8], src: &[u8], matrix: u64) -> usize {
+        let m = _mm256_set1_epi64x(matrix as i64);
+        for (d, s) in dst.chunks_exact_mut(32).zip(src.chunks_exact(32)) {
+            let sv = _mm256_loadu_si256(s.as_ptr().cast());
+            let prod = _mm256_gf2p8affine_epi64_epi8::<0>(sv, m);
+            _mm256_storeu_si256(d.as_mut_ptr().cast(), prod);
+        }
+        dst.len() & !31
+    }
+
+    /// Split-nibble product of one 32-byte block via two `PSHUFB`s.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn nibble_product_avx2(s: __m256i, lo: __m256i, hi: __m256i) -> __m256i {
+        let mask = _mm256_set1_epi8(0x0F);
+        let s_lo = _mm256_and_si256(s, mask);
+        let s_hi = _mm256_and_si256(_mm256_srli_epi16::<4>(s), mask);
+        _mm256_xor_si256(_mm256_shuffle_epi8(lo, s_lo), _mm256_shuffle_epi8(hi, s_hi))
+    }
+
+    /// `dst ^= c * src` (AVX2): split-nibble `PSHUFB` over 32 bytes.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_add_avx2(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) -> usize {
+        let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+        let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
+        for (d, s) in dst.chunks_exact_mut(32).zip(src.chunks_exact(32)) {
+            let sv = _mm256_loadu_si256(s.as_ptr().cast());
+            let prod = nibble_product_avx2(sv, lo_t, hi_t);
+            let dv = _mm256_loadu_si256(d.as_ptr().cast());
+            _mm256_storeu_si256(d.as_mut_ptr().cast(), _mm256_xor_si256(dv, prod));
+        }
+        dst.len() & !31
+    }
+
+    /// `dst = c * src` (AVX2).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_avx2(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) -> usize {
+        let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+        let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
+        for (d, s) in dst.chunks_exact_mut(32).zip(src.chunks_exact(32)) {
+            let sv = _mm256_loadu_si256(s.as_ptr().cast());
+            let prod = nibble_product_avx2(sv, lo_t, hi_t);
+            _mm256_storeu_si256(d.as_mut_ptr().cast(), prod);
+        }
+        dst.len() & !31
+    }
+
+    /// Split-nibble product of one 16-byte block (SSSE3).
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    unsafe fn nibble_product_ssse3(s: __m128i, lo: __m128i, hi: __m128i) -> __m128i {
+        let mask = _mm_set1_epi8(0x0F);
+        let s_lo = _mm_and_si128(s, mask);
+        let s_hi = _mm_and_si128(_mm_srli_epi16::<4>(s), mask);
+        _mm_xor_si128(_mm_shuffle_epi8(lo, s_lo), _mm_shuffle_epi8(hi, s_hi))
+    }
+
+    /// `dst ^= c * src` (SSSE3): split-nibble `PSHUFB` over 16 bytes.
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn mul_add_ssse3(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) -> usize {
+        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+        for (d, s) in dst.chunks_exact_mut(16).zip(src.chunks_exact(16)) {
+            let sv = _mm_loadu_si128(s.as_ptr().cast());
+            let prod = nibble_product_ssse3(sv, lo_t, hi_t);
+            let dv = _mm_loadu_si128(d.as_ptr().cast());
+            _mm_storeu_si128(d.as_mut_ptr().cast(), _mm_xor_si128(dv, prod));
+        }
+        dst.len() & !15
+    }
+
+    /// `dst = c * src` (SSSE3).
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn mul_ssse3(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) -> usize {
+        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+        for (d, s) in dst.chunks_exact_mut(16).zip(src.chunks_exact(16)) {
+            let sv = _mm_loadu_si128(s.as_ptr().cast());
+            let prod = nibble_product_ssse3(sv, lo_t, hi_t);
+            _mm_storeu_si128(d.as_mut_ptr().cast(), prod);
+        }
+        dst.len() & !15
+    }
+}
+
 /// An element of GF(2^8).
 ///
 /// This is a zero-cost wrapper around `u8` giving field semantics to the
@@ -292,11 +531,80 @@ pub fn mul(a: u8, b: u8) -> u8 {
     (Gf256(a) * Gf256(b)).0
 }
 
+/// `dst ^= src`, eight bytes per step.
+///
+/// XOR over GF(2^8) slices is carry-less, so the kernel reinterprets
+/// both sides as `u64` words; the scalar tail handles the last
+/// `len % 8` bytes. This is the coefficient-1 path of the Reed-Solomon
+/// kernels — the common case for systematic parity rows.
+#[inline]
+fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    let mut dst_words = dst.chunks_exact_mut(8);
+    let mut src_words = src.chunks_exact(8);
+    for (d, s) in dst_words.by_ref().zip(src_words.by_ref()) {
+        let word = u64::from_ne_bytes(d.try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&word.to_ne_bytes());
+    }
+    for (d, s) in dst_words
+        .into_remainder()
+        .iter_mut()
+        .zip(src_words.remainder())
+    {
+        *d ^= *s;
+    }
+}
+
+/// Scalar split-nibble `dst ^= c * src`: 64-byte blocks (fixed trip
+/// counts the optimizer unrolls) plus a per-byte tail. Also serves as
+/// the tail kernel behind the SIMD paths.
+#[inline]
+fn mul_add_scalar(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) {
+    let mut dst_blocks = dst.chunks_exact_mut(64);
+    let mut src_blocks = src.chunks_exact(64);
+    for (d, s) in dst_blocks.by_ref().zip(src_blocks.by_ref()) {
+        for i in 0..64 {
+            d[i] ^= lo[(s[i] & 0x0F) as usize] ^ hi[(s[i] >> 4) as usize];
+        }
+    }
+    for (d, s) in dst_blocks
+        .into_remainder()
+        .iter_mut()
+        .zip(src_blocks.remainder())
+    {
+        *d ^= lo[(*s & 0x0F) as usize] ^ hi[(*s >> 4) as usize];
+    }
+}
+
+/// Scalar split-nibble `dst = c * src`; see [`mul_add_scalar`].
+#[inline]
+fn mul_scalar(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) {
+    let mut dst_blocks = dst.chunks_exact_mut(64);
+    let mut src_blocks = src.chunks_exact(64);
+    for (d, s) in dst_blocks.by_ref().zip(src_blocks.by_ref()) {
+        for i in 0..64 {
+            d[i] = lo[(s[i] & 0x0F) as usize] ^ hi[(s[i] >> 4) as usize];
+        }
+    }
+    for (d, s) in dst_blocks
+        .into_remainder()
+        .iter_mut()
+        .zip(src_blocks.remainder())
+    {
+        *d = lo[(*s & 0x0F) as usize] ^ hi[(*s >> 4) as usize];
+    }
+}
+
 /// `dst[i] ^= coefficient * src[i]` for every `i`.
 ///
 /// This is the inner loop of Reed-Solomon encoding and decoding: a row
 /// coefficient applied to a whole shard and accumulated into an output
-/// shard.
+/// shard. The body dispatches to the widest branch-free kernel the CPU
+/// offers — `GF2P8AFFINEQB` (one instruction per 32 bytes), AVX2 or
+/// SSSE3 split-nibble `PSHUFB`, or the scalar split-nibble loop (see
+/// [`nibble_tables`]) — with the scalar kernel finishing any tail.
+/// Coefficient 0 is a no-op and coefficient 1 takes the
+/// u64-wide XOR path. Every tier computes bit-identical output.
 ///
 /// # Panics
 ///
@@ -311,20 +619,30 @@ pub fn mul_add_slice(dst: &mut [u8], src: &[u8], coefficient: u8) {
         return;
     }
     if coefficient == 1 {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= *s;
-        }
+        xor_slice(dst, src);
         return;
     }
-    let log_c = LOG[coefficient as usize] as usize;
-    for (d, s) in dst.iter_mut().zip(src) {
-        if *s != 0 {
-            *d ^= EXP[log_c + LOG[*s as usize] as usize];
-        }
-    }
+    let lo = &NIB_LO[coefficient as usize];
+    let hi = &NIB_HI[coefficient as usize];
+    // SAFETY: simd_level() has verified the required CPU features.
+    #[cfg(target_arch = "x86_64")]
+    let done = match simd_level() {
+        SimdLevel::Gfni => unsafe {
+            x86::mul_add_gfni(dst, src, GFNI_MATRICES[coefficient as usize])
+        },
+        SimdLevel::Avx2 => unsafe { x86::mul_add_avx2(dst, src, lo, hi) },
+        SimdLevel::Ssse3 => unsafe { x86::mul_add_ssse3(dst, src, lo, hi) },
+        SimdLevel::Scalar => 0,
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let done = 0;
+    mul_add_scalar(&mut dst[done..], &src[done..], lo, hi);
 }
 
 /// `dst[i] = coefficient * src[i]` for every `i`.
+///
+/// Same kernel dispatch as [`mul_add_slice`]; `memset`/`memcpy` for
+/// coefficients 0 and 1.
 ///
 /// # Panics
 ///
@@ -343,13 +661,85 @@ pub fn mul_slice(dst: &mut [u8], src: &[u8], coefficient: u8) {
         dst.copy_from_slice(src);
         return;
     }
-    let log_c = LOG[coefficient as usize] as usize;
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d = if *s == 0 {
-            0
-        } else {
-            EXP[log_c + LOG[*s as usize] as usize]
-        };
+    let lo = &NIB_LO[coefficient as usize];
+    let hi = &NIB_HI[coefficient as usize];
+    // SAFETY: simd_level() has verified the required CPU features.
+    #[cfg(target_arch = "x86_64")]
+    let done = match simd_level() {
+        SimdLevel::Gfni => unsafe { x86::mul_gfni(dst, src, GFNI_MATRICES[coefficient as usize]) },
+        SimdLevel::Avx2 => unsafe { x86::mul_avx2(dst, src, lo, hi) },
+        SimdLevel::Ssse3 => unsafe { x86::mul_ssse3(dst, src, lo, hi) },
+        SimdLevel::Scalar => 0,
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let done = 0;
+    mul_scalar(&mut dst[done..], &src[done..], lo, hi);
+}
+
+/// Naive scalar reference kernels.
+///
+/// These are the pre-optimization log/exp-table loops, retained
+/// verbatim as the ground truth the property tests hold the nibble
+/// kernels to. Never called on a hot path.
+pub mod naive {
+    use super::{EXP, LOG};
+
+    /// Reference `dst[i] ^= coefficient * src[i]`: per-byte log/exp
+    /// walk with a zero-check branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn mul_add_slice(dst: &mut [u8], src: &[u8], coefficient: u8) {
+        assert_eq!(
+            dst.len(),
+            src.len(),
+            "mul_add_slice requires equal-length slices"
+        );
+        if coefficient == 0 {
+            return;
+        }
+        if coefficient == 1 {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= *s;
+            }
+            return;
+        }
+        let log_c = LOG[coefficient as usize] as usize;
+        for (d, s) in dst.iter_mut().zip(src) {
+            if *s != 0 {
+                *d ^= EXP[log_c + LOG[*s as usize] as usize];
+            }
+        }
+    }
+
+    /// Reference `dst[i] = coefficient * src[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn mul_slice(dst: &mut [u8], src: &[u8], coefficient: u8) {
+        assert_eq!(
+            dst.len(),
+            src.len(),
+            "mul_slice requires equal-length slices"
+        );
+        if coefficient == 0 {
+            dst.fill(0);
+            return;
+        }
+        if coefficient == 1 {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let log_c = LOG[coefficient as usize] as usize;
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = if *s == 0 {
+                0
+            } else {
+                EXP[log_c + LOG[*s as usize] as usize]
+            };
+        }
     }
 }
 
@@ -513,6 +903,66 @@ mod tests {
     #[should_panic(expected = "equal-length")]
     fn mul_add_slice_length_mismatch_panics() {
         mul_add_slice(&mut [0u8; 3], &[0u8; 4], 1);
+    }
+
+    #[test]
+    fn nibble_tables_factor_every_product() {
+        for c in 0..=255u8 {
+            let (lo, hi) = nibble_tables(c);
+            for s in 0..=255u8 {
+                assert_eq!(
+                    lo[(s & 0x0F) as usize] ^ hi[(s >> 4) as usize],
+                    mul(c, s),
+                    "coefficient {c}, byte {s}"
+                );
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn gfni_matrices_encode_multiplication() {
+        // Validates the packed 8x8 bit-matrix convention with plain
+        // scalar arithmetic (runs on every host, GFNI or not): output
+        // bit `i` must be the parity of row `7 - i` ANDed with the
+        // input byte.
+        for c in 0..=255u8 {
+            let matrix = GFNI_MATRICES[c as usize];
+            for s in [0u8, 1, 2, 0x53, 0x80, 0xCA, 0xFF] {
+                let mut out = 0u8;
+                for i in 0..8 {
+                    let row = (matrix >> (8 * (7 - i))) as u8;
+                    out |= (((row & s).count_ones() as u8) & 1) << i;
+                }
+                assert_eq!(out, mul(c, s), "coefficient {c}, byte {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_match_naive_across_lengths_and_coefficients() {
+        // Exercise the SIMD blocks (16/32 bytes), the scalar 64-byte
+        // blocks, the 8-byte XOR words and every tail length, for the
+        // three kernel paths (0, 1, general).
+        for len in [
+            0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 130, 200, 1025,
+        ] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let init: Vec<u8> = (0..len).map(|i| (i * 101 + 5) as u8).collect();
+            for c in [0u8, 1, 2, 29, 143, 255] {
+                let mut fast = init.clone();
+                let mut slow = init.clone();
+                mul_add_slice(&mut fast, &src, c);
+                naive::mul_add_slice(&mut slow, &src, c);
+                assert_eq!(fast, slow, "mul_add_slice len {len} coefficient {c}");
+
+                let mut fast = init.clone();
+                let mut slow = init.clone();
+                mul_slice(&mut fast, &src, c);
+                naive::mul_slice(&mut slow, &src, c);
+                assert_eq!(fast, slow, "mul_slice len {len} coefficient {c}");
+            }
+        }
     }
 
     #[test]

@@ -49,8 +49,8 @@ pub mod gf256;
 pub mod matrix;
 pub mod rs;
 
-pub use chunk::{Chunk, ChunkId, ChunkIndex, CodingParams, ObjectId};
+pub use chunk::{Chunk, ChunkId, ChunkIndex, ChunkSet, CodingParams, ObjectId};
 pub use error::EcError;
 pub use gf256::Gf256;
 pub use matrix::Matrix;
-pub use rs::{MatrixKind, ReedSolomon};
+pub use rs::{DecodeReport, MatrixKind, ReedSolomon};

@@ -18,7 +18,7 @@
 //! ```
 
 use crate::error::EcError;
-use crate::gf256::Gf256;
+use crate::gf256::{mul_add_slice, Gf256};
 use std::fmt;
 
 /// A dense row-major matrix over GF(2^8).
@@ -215,16 +215,11 @@ impl Matrix {
         }
         let mut out = Matrix::zero(self.rows, rhs.cols)?;
         for r in 0..self.rows {
+            // Accumulate whole rows through the nibble-table kernel:
+            // out[r] ^= self[r][k] * rhs[k] for every k.
+            let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
             for k in 0..self.cols {
-                let a = Gf256::new(self.get(r, k));
-                if a.is_zero() {
-                    continue;
-                }
-                for c in 0..rhs.cols {
-                    let cur = Gf256::new(out.get(r, c));
-                    let b = Gf256::new(rhs.get(k, c));
-                    out.set(r, c, (cur + a * b).value());
-                }
+                mul_add_slice(out_row, rhs.row(k), self.data[r * self.cols + k]);
             }
         }
         Ok(out)

@@ -33,11 +33,15 @@
 //! # Ok::<(), agar_ec::EcError>(())
 //! ```
 
-use crate::chunk::CodingParams;
+use crate::chunk::{ChunkSet, CodingParams};
 use crate::error::EcError;
 use crate::gf256::mul_add_slice;
 use crate::matrix::Matrix;
 use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 
 /// Which matrix construction backs the encoder.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
@@ -50,13 +54,73 @@ pub enum MatrixKind {
     Cauchy,
 }
 
+/// A cached decode plan: which `k` shards to decode from and the
+/// inverse of their encoding rows. Computing one costs a Gauss-Jordan
+/// inversion; reusing one costs a `HashMap` lookup.
+#[derive(Debug)]
+struct DecodePlan {
+    /// The `k` shard indices (ascending) the plan decodes from.
+    chosen: Vec<usize>,
+    /// `k x k` inverse of the encoding rows selected by `chosen`: row
+    /// `target` maps the chosen shards back to data shard `target`.
+    decode: Matrix,
+}
+
+/// Decode-plan caches outlive any realistic erasure-pattern population
+/// (RS(9, 3) has 220 possible k-subsets), but a pathological caller
+/// cycling synthetic patterns must not grow the map unboundedly.
+const PLAN_CACHE_CAP: usize = 1024;
+
+/// What one [`ReedSolomon::reconstruct_object_report`] call did —
+/// the observability hook behind the `systematic_fast_reads` /
+/// `decode_plan_hits` cache counters and the fast-path assertions in
+/// the test suite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DecodeReport {
+    /// All `k` data shards were present: the object was assembled
+    /// without touching the GF(2^8) kernels or the decode matrix.
+    pub systematic_fast_path: bool,
+    /// The decode plan (erasure pattern → inverted matrix) came from
+    /// the cache instead of a fresh Gaussian inversion.
+    pub plan_cache_hit: bool,
+    /// Bytes run through the GF multiply kernel (coefficient ≥ 2).
+    /// Zero on the systematic path by construction.
+    pub gf_multiply_bytes: u64,
+    /// Object-sized scratch buffers allocated: 1 on every path except
+    /// the `k = 1` systematic case, which returns a zero-copy slice.
+    pub allocations: u32,
+}
+
 /// A systematic Reed-Solomon codec for fixed `(k, m)`.
-#[derive(Clone, Debug)]
 pub struct ReedSolomon {
     params: CodingParams,
     /// `(k + m) x k` encoding matrix whose top `k x k` block is the
     /// identity.
     encoding: Matrix,
+    /// Decode plans keyed by the chosen-shard bitmask. Shared across
+    /// clones (the cache is a pure memo of deterministic inversions),
+    /// so every node reading through one codec reuses warm plans.
+    plan_cache: Arc<Mutex<HashMap<ChunkSet, Arc<DecodePlan>>>>,
+}
+
+impl Clone for ReedSolomon {
+    fn clone(&self) -> Self {
+        ReedSolomon {
+            params: self.params,
+            encoding: self.encoding.clone(),
+            plan_cache: Arc::clone(&self.plan_cache),
+        }
+    }
+}
+
+impl fmt::Debug for ReedSolomon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReedSolomon")
+            .field("params", &self.params)
+            .field("encoding", &self.encoding)
+            .field("cached_plans", &self.plan_cache.lock().len())
+            .finish()
+    }
 }
 
 impl ReedSolomon {
@@ -97,7 +161,39 @@ impl ReedSolomon {
             .select_rows(&(0..k).collect::<Vec<_>>())
             .map(|top| top.is_identity())
             .unwrap_or(false));
-        Ok(ReedSolomon { params, encoding })
+        Ok(ReedSolomon {
+            params,
+            encoding,
+            plan_cache: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// The decode plan for the given present shards: the first `k` of
+    /// them and the inverse of their encoding rows, memoised by the
+    /// chosen-shard bitmask. Returns the plan and whether it was a
+    /// cache hit.
+    ///
+    /// Two threads racing on a cold pattern may both invert; the loser
+    /// adopts the winner's entry (both are byte-identical, the
+    /// inversion is deterministic).
+    fn decode_plan(&self, present: &[usize]) -> Result<(Arc<DecodePlan>, bool), EcError> {
+        let k = self.params.data_chunks();
+        let chosen = &present[..k];
+        let key: ChunkSet = chosen.iter().map(|&i| i as u8).collect();
+        if let Some(plan) = self.plan_cache.lock().get(&key) {
+            return Ok((Arc::clone(plan), true));
+        }
+        let sub = self.encoding.select_rows(chosen)?;
+        let plan = Arc::new(DecodePlan {
+            chosen: chosen.to_vec(),
+            decode: sub.inverted()?,
+        });
+        let mut cache = self.plan_cache.lock();
+        if cache.len() >= PLAN_CACHE_CAP {
+            cache.clear();
+        }
+        let entry = cache.entry(key).or_insert(plan);
+        Ok((Arc::clone(entry), false))
     }
 
     /// The codec's coding parameters.
@@ -153,7 +249,10 @@ impl ReedSolomon {
     ///
     /// The object is zero-padded so every chunk has exactly
     /// [`CodingParams::chunk_size`] bytes; [`Self::reconstruct_object`]
-    /// strips the padding again.
+    /// strips the padding again. The data shards are zero-copy slices
+    /// of one padded buffer (a single copy of the object), and parity
+    /// is encoded straight into a second buffer — no per-shard `Vec`
+    /// round trip.
     ///
     /// # Errors
     ///
@@ -163,21 +262,47 @@ impl ReedSolomon {
             return Err(EcError::ShardSizeMismatch);
         }
         let k = self.params.data_chunks();
+        let m = self.params.parity_chunks();
         let chunk_size = self.params.chunk_size(object.len());
-        let mut data: Vec<Vec<u8>> = Vec::with_capacity(k);
-        for i in 0..k {
-            let start = (i * chunk_size).min(object.len());
-            let end = ((i + 1) * chunk_size).min(object.len());
-            let mut chunk = object[start..end].to_vec();
-            chunk.resize(chunk_size, 0);
-            data.push(chunk);
+        let mut padded = vec![0u8; k * chunk_size];
+        padded[..object.len()].copy_from_slice(object);
+        let mut parity = vec![0u8; m * chunk_size];
+        for (p, out) in parity.chunks_exact_mut(chunk_size).enumerate() {
+            let row = self.encoding.row(k + p);
+            for (c, shard) in padded.chunks_exact(chunk_size).enumerate() {
+                mul_add_slice(out, shard, row[c]);
+            }
         }
-        let parity = self.encode(&data)?;
-        Ok(data.into_iter().chain(parity).map(Bytes::from).collect())
+        let data_buf = Bytes::from(padded);
+        let parity_buf = Bytes::from(parity);
+        Ok((0..k)
+            .map(|i| data_buf.slice(i * chunk_size..(i + 1) * chunk_size))
+            .chain((0..m).map(|p| parity_buf.slice(p * chunk_size..(p + 1) * chunk_size)))
+            .collect())
+    }
+
+    /// Validates shard counts/sizes for reconstruction and returns the
+    /// present indices and the common shard length.
+    fn check_present(&self, present: &[usize], lens: &[usize]) -> Result<usize, EcError> {
+        let k = self.params.data_chunks();
+        if present.len() < k {
+            return Err(EcError::NotEnoughShards {
+                present: present.len(),
+                needed: k,
+            });
+        }
+        let len = lens[present[0]];
+        if len == 0 || present.iter().any(|&i| lens[i] != len) {
+            return Err(EcError::ShardSizeMismatch);
+        }
+        Ok(len)
     }
 
     /// Reassembles an object of `object_size` bytes from at least `k` of
     /// its shards (missing shards are `None`).
+    ///
+    /// Equivalent to [`Self::reconstruct_object_report`] without the
+    /// report.
     ///
     /// # Errors
     ///
@@ -189,19 +314,94 @@ impl ReedSolomon {
         shards: &[Option<Bytes>],
         object_size: usize,
     ) -> Result<Bytes, EcError> {
-        let mut work: Vec<Option<Vec<u8>>> = shards
-            .iter()
-            .map(|s| s.as_ref().map(|b| b.to_vec()))
-            .collect();
-        self.reconstruct_data(&mut work)?;
+        self.reconstruct_object_report(shards, object_size)
+            .map(|(object, _)| object)
+    }
+
+    /// Reassembles an object and reports how the decode went.
+    ///
+    /// The fast paths, in decreasing order of cheapness:
+    ///
+    /// - **systematic, `k = 1`** — the object *is* the single data
+    ///   shard: return a zero-copy [`Bytes::slice`] of it;
+    /// - **systematic** — all `k` data shards present: one object-sized
+    ///   buffer, one `memcpy` per shard, zero GF arithmetic;
+    /// - **degraded** — decode *only* the missing data shards, straight
+    ///   into the object buffer (no per-shard scratch), using the
+    ///   [cached decode plan](DecodeReport::plan_cache_hit) for the
+    ///   erasure pattern.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::reconstruct_object`].
+    pub fn reconstruct_object_report(
+        &self,
+        shards: &[Option<Bytes>],
+        object_size: usize,
+    ) -> Result<(Bytes, DecodeReport), EcError> {
         let k = self.params.data_chunks();
-        let mut object = Vec::with_capacity(object_size);
-        for shard in work.iter().take(k) {
-            let shard = shard.as_ref().expect("data shard reconstructed");
-            let remaining = object_size - object.len();
-            object.extend_from_slice(&shard[..remaining.min(shard.len())]);
+        let total = self.params.total_chunks();
+        if shards.len() != total {
+            return Err(EcError::WrongShardCount {
+                provided: shards.len(),
+                expected: total,
+            });
         }
-        Ok(Bytes::from(object))
+        let present: Vec<usize> = (0..total).filter(|&i| shards[i].is_some()).collect();
+        let lens: Vec<usize> = shards
+            .iter()
+            .map(|s| s.as_ref().map_or(0, Bytes::len))
+            .collect();
+        let shard_len = self.check_present(&present, &lens)?;
+        let out_len = object_size.min(k * shard_len);
+        let mut report = DecodeReport::default();
+
+        if (0..k).all(|i| shards[i].is_some()) {
+            report.systematic_fast_path = true;
+            if k == 1 {
+                // The single data shard is the object: pure slice.
+                let shard = shards[0].as_ref().expect("present");
+                return Ok((shard.slice(0..out_len), report));
+            }
+            let mut object = Vec::with_capacity(out_len);
+            report.allocations = 1;
+            for shard in shards.iter().take(k) {
+                let shard = shard.as_ref().expect("present");
+                let take = (out_len - object.len()).min(shard.len());
+                object.extend_from_slice(&shard[..take]);
+            }
+            return Ok((Bytes::from(object), report));
+        }
+
+        let (plan, cache_hit) = self.decode_plan(&present)?;
+        report.plan_cache_hit = cache_hit;
+        let mut object = vec![0u8; out_len];
+        report.allocations = 1;
+        for target in 0..k {
+            let start = (target * shard_len).min(out_len);
+            let end = ((target + 1) * shard_len).min(out_len);
+            if start >= end {
+                break; // remaining shards are entirely padding
+            }
+            let out = &mut object[start..end];
+            match shards[target].as_ref() {
+                Some(shard) => out.copy_from_slice(&shard[..end - start]),
+                None => {
+                    // Decode just the bytes the object needs, straight
+                    // into place (the buffer starts zeroed, so the
+                    // mul-accumulate needs no scratch shard).
+                    let row = plan.decode.row(target);
+                    for (j, &src) in plan.chosen.iter().enumerate() {
+                        let shard = shards[src].as_ref().expect("chosen shard present");
+                        mul_add_slice(out, &shard[..end - start], row[j]);
+                        if row[j] >= 2 {
+                            report.gf_multiply_bytes += (end - start) as u64;
+                        }
+                    }
+                }
+            }
+        }
+        Ok((Bytes::from(object), report))
     }
 
     /// Reconstructs *all* missing shards (data and parity) in place.
@@ -269,24 +469,27 @@ impl ReedSolomon {
             return Ok(()); // nothing to do
         }
 
-        // Use the first k present shards to invert the code.
-        let chosen = &present[..k];
-        let sub = self.encoding.select_rows(chosen)?;
-        let decode = sub.inverted()?;
-
+        // Decode from the first k present shards, reusing the cached
+        // plan (inverted matrix) for this erasure pattern if one exists.
+        let (plan, _) = self.decode_plan(&present)?;
         let missing_data: Vec<usize> = (0..k).filter(|&i| shards[i].is_none()).collect();
         for &target in &missing_data {
             // Row `target` of the decode matrix maps the chosen shards
             // back to data shard `target`.
             let mut out = vec![0u8; shard_len];
-            let row = decode.row(target);
-            for (j, &src) in chosen.iter().enumerate() {
+            let row = plan.decode.row(target);
+            for (j, &src) in plan.chosen.iter().enumerate() {
                 let shard = shards[src].as_ref().expect("chosen shard present");
                 mul_add_slice(&mut out, shard, row[j]);
             }
             shards[target] = Some(out);
         }
         Ok(())
+    }
+
+    /// How many decode plans (erasure patterns) are currently cached.
+    pub fn cached_decode_plans(&self) -> usize {
+        self.plan_cache.lock().len()
     }
 
     /// Verifies that a complete set of `k + m` shards is consistent with
@@ -503,6 +706,109 @@ mod tests {
                 .select_rows(&(0..9).collect::<Vec<_>>())
                 .unwrap();
             assert!(top.is_identity(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn systematic_fast_path_touches_no_gf_kernel() {
+        let rs = ReedSolomon::new(CodingParams::new(9, 3).unwrap()).unwrap();
+        let object: Vec<u8> = (0..9_000).map(|i| (i % 253) as u8).collect();
+        let shards = rs.encode_object(&object).unwrap();
+        let opts: Vec<Option<Bytes>> = shards.into_iter().map(Some).collect();
+        let (back, report) = rs.reconstruct_object_report(&opts, object.len()).unwrap();
+        assert_eq!(back.as_ref(), object.as_slice());
+        assert!(report.systematic_fast_path);
+        assert_eq!(report.gf_multiply_bytes, 0, "systematic read multiplied");
+        assert_eq!(report.allocations, 1);
+        assert!(!report.plan_cache_hit);
+        assert_eq!(rs.cached_decode_plans(), 0, "no inversion should run");
+    }
+
+    #[test]
+    fn k1_systematic_read_is_zero_copy() {
+        let rs = ReedSolomon::new(CodingParams::new(1, 2).unwrap()).unwrap();
+        let object = vec![42u8; 4096];
+        let shards = rs.encode_object(&object).unwrap();
+        let opts: Vec<Option<Bytes>> = shards.into_iter().map(Some).collect();
+        let (back, report) = rs.reconstruct_object_report(&opts, object.len()).unwrap();
+        assert_eq!(back.as_ref(), object.as_slice());
+        assert_eq!(report.allocations, 0);
+        // The returned object aliases the data shard's buffer.
+        assert_eq!(
+            back.as_ref().as_ptr(),
+            opts[0].as_ref().unwrap().as_ref().as_ptr()
+        );
+    }
+
+    #[test]
+    fn decode_plan_cache_hits_on_repeated_erasure_pattern() {
+        let rs = ReedSolomon::new(CodingParams::new(9, 3).unwrap()).unwrap();
+        let object: Vec<u8> = (0..27_001).map(|i| (i % 251) as u8).collect();
+        let shards = rs.encode_object(&object).unwrap();
+        let mut degraded: Vec<Option<Bytes>> = shards.iter().cloned().map(Some).collect();
+        degraded[1] = None;
+        degraded[5] = None;
+
+        let (cold, cold_report) = rs
+            .reconstruct_object_report(&degraded, object.len())
+            .unwrap();
+        assert!(!cold_report.plan_cache_hit);
+        assert!(!cold_report.systematic_fast_path);
+        assert!(cold_report.gf_multiply_bytes > 0);
+        assert_eq!(rs.cached_decode_plans(), 1);
+
+        let (warm, warm_report) = rs
+            .reconstruct_object_report(&degraded, object.len())
+            .unwrap();
+        assert!(
+            warm_report.plan_cache_hit,
+            "same pattern must hit the cache"
+        );
+        assert_eq!(rs.cached_decode_plans(), 1, "no re-inversion");
+        assert_eq!(cold.as_ref(), warm.as_ref(), "cached plan changed bytes");
+        assert_eq!(cold.as_ref(), object.as_slice());
+
+        // A different pattern is a fresh plan...
+        let mut other: Vec<Option<Bytes>> = shards.iter().cloned().map(Some).collect();
+        other[0] = None;
+        let (_, other_report) = rs.reconstruct_object_report(&other, object.len()).unwrap();
+        assert!(!other_report.plan_cache_hit);
+        assert_eq!(rs.cached_decode_plans(), 2);
+        // ...and clones share the memo.
+        let clone = rs.clone();
+        let (_, clone_report) = clone
+            .reconstruct_object_report(&degraded, object.len())
+            .unwrap();
+        assert!(clone_report.plan_cache_hit);
+    }
+
+    #[test]
+    fn reconstruct_data_reuses_the_plan_cache() {
+        let rs = ReedSolomon::new(CodingParams::new(4, 2).unwrap()).unwrap();
+        let data = sample_data(4, 32);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+        for _ in 0..3 {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[2] = None;
+            rs.reconstruct(&mut shards).unwrap();
+            assert_eq!(shards[2].as_ref().unwrap(), &full[2]);
+        }
+        assert_eq!(rs.cached_decode_plans(), 1);
+    }
+
+    #[test]
+    fn encode_object_data_shards_share_one_buffer() {
+        let rs = ReedSolomon::new(CodingParams::new(4, 2).unwrap()).unwrap();
+        let object: Vec<u8> = (0..400).map(|i| (i % 256) as u8).collect();
+        let shards = rs.encode_object(&object).unwrap();
+        let base = shards[0].as_ref().as_ptr();
+        for (i, shard) in shards.iter().take(4).enumerate() {
+            assert_eq!(
+                shard.as_ref().as_ptr(),
+                unsafe { base.add(i * 100) },
+                "data shard {i} is not a slice of the padded buffer"
+            );
         }
     }
 

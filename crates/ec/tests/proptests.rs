@@ -1,9 +1,11 @@
 //! Property-based tests for the erasure-coding substrate: field axioms,
-//! matrix algebra and the MDS reconstruction invariant.
+//! matrix algebra, the MDS reconstruction invariant, and equivalence of
+//! the optimized kernels/fast paths against naive references.
 
-use agar_ec::gf256::{mul_add_slice, mul_slice, Gf256};
+use agar_ec::gf256::{self, mul_add_slice, mul_slice, Gf256};
 use agar_ec::matrix::Matrix;
 use agar_ec::{CodingParams, MatrixKind, ReedSolomon};
+use bytes::Bytes;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -84,6 +86,38 @@ proptest! {
                 Gf256::new(*i) + Gf256::new(*s) * Gf256::new(c)
             );
         }
+    }
+
+    // The vectorized kernels (GFNI / AVX2 / SSSE3 / scalar nibble)
+    // against the retained naive log/exp reference, over lengths that
+    // are deliberately NOT multiples of the 8/16/32/64-byte block
+    // sizes — and the empty slice (0..).
+    #[test]
+    fn mul_add_slice_matches_naive_reference(
+        pair in vec((any::<u8>(), any::<u8>()), 0..500),
+        c in any::<u8>(),
+    ) {
+        let src: Vec<u8> = pair.iter().map(|&(s, _)| s).collect();
+        let init: Vec<u8> = pair.iter().map(|&(_, d)| d).collect();
+        let mut fast = init.clone();
+        let mut reference = init;
+        mul_add_slice(&mut fast, &src, c);
+        gf256::naive::mul_add_slice(&mut reference, &src, c);
+        prop_assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn mul_slice_matches_naive_reference(
+        pair in vec((any::<u8>(), any::<u8>()), 0..500),
+        c in any::<u8>(),
+    ) {
+        let src: Vec<u8> = pair.iter().map(|&(s, _)| s).collect();
+        let init: Vec<u8> = pair.iter().map(|&(_, d)| d).collect();
+        let mut fast = init.clone();
+        let mut reference = init;
+        mul_slice(&mut fast, &src, c);
+        gf256::naive::mul_slice(&mut reference, &src, c);
+        prop_assert_eq!(fast, reference);
     }
 }
 
@@ -183,5 +217,91 @@ proptest! {
         }
         let back = rs.reconstruct_object(&opts, object.len()).unwrap();
         prop_assert_eq!(back.as_ref(), object.as_slice());
+    }
+
+    // The zero-copy/in-place `reconstruct_object` against the naive
+    // reference algorithm (reconstruct every shard, then concatenate),
+    // and a warm decode-plan-cache hit against a cold inversion in a
+    // fresh codec: all three must produce identical bytes.
+    #[test]
+    fn reconstruct_object_fast_paths_match_reference(
+        object in vec(any::<u8>(), 1..2048),
+        k in 1usize..=10,
+        m in 1usize..=4,
+        erase_seed in any::<u64>(),
+        erasures in 0usize..=4,
+    ) {
+        let params = CodingParams::new(k, m).unwrap();
+        let rs = ReedSolomon::new(params).unwrap();
+        let shards = rs.encode_object(&object).unwrap();
+        let mut opts: Vec<Option<Bytes>> = shards.iter().cloned().map(Some).collect();
+        // Erase up to min(erasures, m) pseudo-random shards.
+        for round in 0..erasures.min(m) {
+            let i = (erase_seed.wrapping_mul(6364136223846793005).wrapping_add(round as u64)
+                % (k + m) as u64) as usize;
+            opts[i] = None;
+        }
+
+        // Naive reference: reconstruct all shards, concatenate, trim.
+        let mut work: Vec<Option<Vec<u8>>> =
+            opts.iter().map(|s| s.as_ref().map(|b| b.to_vec())).collect();
+        let reference_rs = ReedSolomon::new(params).unwrap();
+        reference_rs.reconstruct_data(&mut work).unwrap();
+        let mut reference = Vec::with_capacity(object.len());
+        for shard in work.iter().take(k) {
+            let shard = shard.as_ref().unwrap();
+            let remaining = object.len() - reference.len();
+            reference.extend_from_slice(&shard[..remaining.min(shard.len())]);
+        }
+        prop_assert_eq!(reference.as_slice(), object.as_slice());
+
+        // Cold decode (fresh codec, empty plan cache).
+        let cold_rs = ReedSolomon::new(params).unwrap();
+        let (cold, cold_report) = cold_rs
+            .reconstruct_object_report(&opts, object.len())
+            .unwrap();
+        prop_assert_eq!(cold.as_ref(), object.as_slice());
+        prop_assert!(!cold_report.plan_cache_hit);
+        if cold_report.systematic_fast_path {
+            prop_assert_eq!(cold_report.gf_multiply_bytes, 0);
+            prop_assert!(cold_report.allocations <= 1);
+        }
+
+        // Warm decode: the same erasure pattern again must hit the
+        // plan cache (degraded case) and stay byte-identical.
+        let (warm, warm_report) = cold_rs
+            .reconstruct_object_report(&opts, object.len())
+            .unwrap();
+        prop_assert_eq!(warm.as_ref(), cold.as_ref());
+        prop_assert_eq!(
+            warm_report.plan_cache_hit,
+            !warm_report.systematic_fast_path
+        );
+    }
+
+    // `encode_object`'s single-buffer path against chunk-by-chunk
+    // padding and a fresh `encode` call.
+    #[test]
+    fn encode_object_matches_manual_split(
+        object in vec(any::<u8>(), 1..2048),
+        k in 1usize..=10,
+        m in 1usize..=4,
+    ) {
+        let params = CodingParams::new(k, m).unwrap();
+        let rs = ReedSolomon::new(params).unwrap();
+        let shards = rs.encode_object(&object).unwrap();
+        let chunk_size = params.chunk_size(object.len());
+        let mut manual: Vec<Vec<u8>> = Vec::with_capacity(k);
+        for i in 0..k {
+            let start = (i * chunk_size).min(object.len());
+            let end = ((i + 1) * chunk_size).min(object.len());
+            let mut chunk = object[start..end].to_vec();
+            chunk.resize(chunk_size, 0);
+            manual.push(chunk);
+        }
+        let parity = rs.encode(&manual).unwrap();
+        for (i, expected) in manual.iter().chain(parity.iter()).enumerate() {
+            prop_assert_eq!(shards[i].as_ref(), expected.as_slice(), "shard {}", i);
+        }
     }
 }

@@ -1,0 +1,122 @@
+//! The coding fast path observed end-to-end through an Agar node:
+//! systematic reads (all `k` data chunks fetched) assemble the object
+//! with zero GF arithmetic, degraded reads with a repeated erasure
+//! pattern reuse the codec's cached decode plan instead of re-running
+//! the Gaussian inversion, and both are visible in the cache counters
+//! (`systematic_fast_reads` / `decode_plan_hits`).
+
+use agar::{AgarNode, AgarSettings, CachingClient};
+use agar_ec::{CodingParams, ObjectId};
+use agar_net::presets::aws_six_regions;
+use agar_net::{ConstantLatency, Topology};
+use agar_store::{expected_payload, populate, Backend, RoundRobin};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const OBJECT_SIZE: usize = 9_000;
+
+fn populated_backend(topology: Topology, objects: u64) -> Arc<Backend> {
+    let backend = Arc::new(
+        Backend::new(
+            topology,
+            Arc::new(ConstantLatency::new(Duration::from_millis(25))),
+            CodingParams::paper_default(),
+            Box::new(RoundRobin),
+        )
+        .unwrap(),
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    populate(&backend, objects, OBJECT_SIZE, &mut rng).unwrap();
+    backend
+}
+
+/// With a single region every chunk costs the same, so the planner's
+/// (price, index) tie-break picks exactly the data chunks 0..k: the
+/// read is systematic and must never touch the GF kernels or the
+/// decode-plan cache.
+#[test]
+fn single_region_reads_take_the_systematic_fast_path() {
+    let backend = populated_backend(Topology::from_names(["solo"]), 3);
+    let region = backend.topology().ids().next().unwrap();
+    let node = AgarNode::new(
+        region,
+        Arc::clone(&backend),
+        AgarSettings::paper_default(5 * OBJECT_SIZE),
+        3,
+    )
+    .unwrap();
+
+    for round in 0..2 {
+        for i in 0..3 {
+            let metrics = node.read(ObjectId::new(i)).unwrap();
+            assert_eq!(
+                metrics.data.as_ref(),
+                expected_payload(i, OBJECT_SIZE).as_slice(),
+                "round {round} object {i}"
+            );
+            assert!(!metrics.decoded, "single-region read decoded");
+        }
+    }
+    let stats = node.cache_stats();
+    assert_eq!(stats.systematic_fast_reads(), 6);
+    assert_eq!(stats.decode_plan_hits(), 0);
+}
+
+/// Fail one backend region so two data chunks become unreachable:
+/// every read of every object now decodes through parity with the
+/// *same* erasure pattern. The first read pays the matrix inversion;
+/// warm reads — of the same object or any other — must hit the cached
+/// decode plan and return identical bytes.
+#[test]
+fn warm_same_erasure_pattern_read_skips_reinversion() {
+    let preset = aws_six_regions();
+    let backend = populated_backend(preset.topology.clone(), 2);
+    let frankfurt = preset.region("Frankfurt");
+    // RoundRobin places chunk i in region ids[i % 6]: failing ids[1]
+    // removes data chunks 1 and 7, forcing a parity decode.
+    let failed = backend.topology().ids().nth(1).unwrap();
+    backend.fail_region(failed);
+
+    let node = AgarNode::new(
+        frankfurt,
+        Arc::clone(&backend),
+        AgarSettings::paper_default(5 * OBJECT_SIZE),
+        3,
+    )
+    .unwrap();
+
+    let cold = node.read(ObjectId::new(0)).unwrap();
+    assert!(cold.decoded, "losing data chunks must force a decode");
+    assert_eq!(
+        cold.data.as_ref(),
+        expected_payload(0, OBJECT_SIZE).as_slice()
+    );
+    let after_cold = node.cache_stats();
+    assert_eq!(
+        after_cold.decode_plan_hits(),
+        0,
+        "first decode of the pattern cannot hit the plan cache"
+    );
+
+    let warm = node.read(ObjectId::new(0)).unwrap();
+    assert!(warm.decoded);
+    assert_eq!(warm.data.as_ref(), cold.data.as_ref());
+    assert_eq!(
+        node.cache_stats().decode_plan_hits(),
+        1,
+        "second read with the same erasure pattern re-inverted"
+    );
+
+    // A different object shares the placement, hence the pattern and
+    // the plan.
+    let other = node.read(ObjectId::new(1)).unwrap();
+    assert!(other.decoded);
+    assert_eq!(
+        other.data.as_ref(),
+        expected_payload(1, OBJECT_SIZE).as_slice()
+    );
+    assert_eq!(node.cache_stats().decode_plan_hits(), 2);
+    assert_eq!(node.cache_stats().systematic_fast_reads(), 0);
+}

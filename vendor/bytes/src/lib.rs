@@ -1,26 +1,35 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! Provides [`Bytes`], a cheaply clonable, immutable, contiguous byte
-//! container backed by either a `'static` slice or an `Arc<[u8]>`. Only
-//! the subset of the real API used by this workspace is implemented.
+//! container backed by either a `'static` slice or a reference-counted
+//! buffer, plus zero-copy views via [`Bytes::slice`]. Only the subset
+//! of the real API used by this workspace is implemented.
 
 #![warn(missing_docs)]
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable slice of bytes.
+///
+/// A `Bytes` is a `(buffer, start, len)` view: cloning and
+/// [slicing](Bytes::slice) share the underlying buffer instead of
+/// copying it, and `From<Vec<u8>>` takes ownership without copying —
+/// matching the real crate's zero-copy semantics that the erasure-coding
+/// fast path relies on.
 #[derive(Clone)]
 pub struct Bytes {
     repr: Repr,
+    start: usize,
+    len: usize,
 }
 
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    Shared(Arc<Vec<u8>>),
 }
 
 impl Bytes {
@@ -28,6 +37,8 @@ impl Bytes {
     pub const fn new() -> Self {
         Self {
             repr: Repr::Static(&[]),
+            start: 0,
+            len: 0,
         }
     }
 
@@ -35,31 +46,61 @@ impl Bytes {
     pub const fn from_static(bytes: &'static [u8]) -> Self {
         Self {
             repr: Repr::Static(bytes),
+            start: 0,
+            len: bytes.len(),
         }
     }
 
     /// Copies a slice into a new reference-counted buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self {
-            repr: Repr::Shared(Arc::from(data)),
-        }
+        Self::from(data.to_vec())
     }
 
     /// Returns the number of bytes.
     pub fn len(&self) -> usize {
-        self.as_slice().len()
+        self.len
     }
 
     /// Returns `true` if the container holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.as_slice().is_empty()
+        self.len == 0
+    }
+
+    /// Returns a zero-copy view of the given subrange: the returned
+    /// `Bytes` shares this buffer, no bytes are moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            begin <= end && end <= self.len,
+            "range out of bounds: {begin}..{end} of {}",
+            self.len
+        );
+        Self {
+            repr: self.repr.clone(),
+            start: self.start + begin,
+            len: end - begin,
+        }
     }
 
     fn as_slice(&self) -> &[u8] {
-        match &self.repr {
+        let full: &[u8] = match &self.repr {
             Repr::Static(s) => s,
             Repr::Shared(s) => s,
-        }
+        };
+        &full[self.start..self.start + self.len]
     }
 }
 
@@ -85,8 +126,11 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
         Self {
-            repr: Repr::Shared(Arc::from(v)),
+            repr: Repr::Shared(Arc::new(v)),
+            start: 0,
+            len,
         }
     }
 }
@@ -105,9 +149,7 @@ impl From<&'static str> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Self {
-        Self {
-            repr: Repr::Shared(Arc::from(b)),
-        }
+        Self::from(b.into_vec())
     }
 }
 
@@ -195,5 +237,37 @@ mod tests {
         let b = Bytes::copy_from_slice(&src);
         drop(src);
         assert_eq!(&b[..], &[5, 6, 7]);
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![1u8, 2, 3, 4];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_slice().as_ptr(), ptr, "From<Vec> must not copy");
+    }
+
+    #[test]
+    fn slice_shares_the_buffer() {
+        let b = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let s = b.slice(4..12);
+        assert_eq!(&s[..], &(4u8..12).collect::<Vec<u8>>()[..]);
+        assert_eq!(s.as_slice().as_ptr(), unsafe {
+            b.as_slice().as_ptr().add(4)
+        });
+        // Slicing a slice composes offsets.
+        let ss = s.slice(2..=5);
+        assert_eq!(&ss[..], &[6, 7, 8, 9]);
+        // Unbounded and empty ranges.
+        assert_eq!(b.slice(..).len(), 32);
+        assert_eq!(b.slice(7..7).len(), 0);
+        let st = Bytes::from_static(b"hello world").slice(6..);
+        assert_eq!(&st[..], b"world");
+    }
+
+    #[test]
+    #[should_panic(expected = "range out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let _ = Bytes::from(vec![0u8; 4]).slice(2..9);
     }
 }
