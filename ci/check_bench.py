@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Tail-latency perf-regression gate.
+
+Compares the P99 of every (scenario, engine) cell in a fresh
+``experiments -- tail --json`` run against the checked-in baseline
+(``ci/BENCH_baseline.json``) and fails if any cell regressed by more
+than the threshold (default 25%).
+
+The tail experiment runs on a deterministic simulated clock, so the
+numbers are host-independent: a drift beyond the threshold means the
+*code* changed read-path behaviour, not that CI got a slow runner. The
+gate is soft by policy, not by mechanism — apply the ``perf-override``
+label to a PR to skip this step (the workflow gates on the label), then
+refresh the baseline in the same PR:
+
+    cargo run -p agar-bench --release --bin experiments -- \
+        tail --tiny --ops 300 --json ci/BENCH_baseline.json
+
+Usage: check_bench.py BASELINE CURRENT [--threshold PCT]
+Exit status: 0 clean, 1 regression or malformed input.
+"""
+
+import json
+import sys
+
+
+def load_cells(path):
+    with open(path) as handle:
+        document = json.load(handle)
+    cells = document.get("tail", [])
+    if not cells:
+        raise SystemExit(f"error: {path} has no 'tail' section — "
+                         "was it produced by 'experiments -- tail --json'?")
+    return {(cell["scenario"], cell["policy"]): cell for cell in cells}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        raise SystemExit(__doc__)
+    threshold_pct = 25.0
+    for flag in argv[1:]:
+        if flag.startswith("--threshold"):
+            threshold_pct = float(flag.split("=", 1)[1])
+    baseline = load_cells(args[0])
+    current = load_cells(args[1])
+
+    failures = []
+    width = max(len(f"{s} / {p}") for s, p in baseline) + 2
+    print(f"tail P99 gate: threshold +{threshold_pct:.0f}% vs {args[0]}")
+    for key in sorted(baseline):
+        label = f"{key[0]} / {key[1]}"
+        cell = current.get(key)
+        if cell is None:
+            failures.append(f"{label}: cell missing from current run")
+            print(f"  {label:<{width}} MISSING")
+            continue
+        old, new = baseline[key]["p99_ms"], cell["p99_ms"]
+        delta_pct = (new / old - 1.0) * 100.0 if old > 0 else 0.0
+        verdict = "ok"
+        if old > 0 and new > old * (1.0 + threshold_pct / 100.0):
+            verdict = "REGRESSED"
+            failures.append(
+                f"{label}: P99 {old:.0f} ms -> {new:.0f} ms ({delta_pct:+.1f}%)")
+        print(f"  {label:<{width}} P99 {old:7.1f} -> {new:7.1f} ms "
+              f"({delta_pct:+6.1f}%)  {verdict}")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  {key[0]} / {key[1]}: new cell (not in baseline), ignored")
+
+    if failures:
+        print("\nP99 regressions beyond the threshold:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print("\nIf the slowdown is intended, apply the 'perf-override' label "
+              "and refresh ci/BENCH_baseline.json in this PR (see file docstring).")
+        return 1
+    print("no P99 regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

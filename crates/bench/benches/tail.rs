@@ -1,0 +1,53 @@
+//! Host execution time of the tail-latency experiment cells: one
+//! seeded closed-loop run (deployment build + 150 simulated reads)
+//! per engine under the slow-spikes scenario. The *simulated* P99s the
+//! cells report are asserted relative to each other — this bench keeps
+//! the hedged engine's host-side cost visible (planning, racing and
+//! discarding stragglers are real work even on a virtual clock), and
+//! `experiments -- tail` prints the full scenario table.
+
+use agar_bench::{tail_run, TailParams};
+use agar_workload::StragglerScenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const OPERATIONS: usize = 150;
+
+fn bench_tail_cells(c: &mut Criterion) {
+    let mut params = TailParams::tiny();
+    params.operations = OPERATIONS;
+    let scenario = StragglerScenario::slow_spikes();
+
+    let mut group = c.benchmark_group("tail_cells");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPERATIONS as u64));
+    for delta in [0usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("slow_spikes_delta_{delta}")),
+            &delta,
+            |b, &delta| b.iter(|| black_box(tail_run(&params, &scenario, delta))),
+        );
+    }
+    group.finish();
+
+    // Headline: the simulated-tail payoff the wall-clock cost buys.
+    let unhedged = tail_run(&params, &scenario, 0);
+    let hedged = tail_run(&params, &scenario, params.max_hedges);
+    eprintln!(
+        "tail: slow-spikes P99 unhedged {:.0} ms vs hedged {:.0} ms \
+         ({} hedges, {} wins, {} -> {} fetches)",
+        unhedged.latency.p99_ms,
+        hedged.latency.p99_ms,
+        hedged.hedged_requests,
+        hedged.hedge_wins,
+        unhedged.backend_fetches,
+        hedged.backend_fetches,
+    );
+    assert!(
+        hedged.latency.p99_ms < unhedged.latency.p99_ms,
+        "hedging must cut the simulated P99 under spikes"
+    );
+}
+
+criterion_group!(benches, bench_tail_cells);
+criterion_main!(benches);

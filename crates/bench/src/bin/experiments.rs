@@ -12,14 +12,18 @@
 //!                    write ratios: lease write path, stale-read check)
 //!      ec           (coding-path throughput: encode/decode MB/s across
 //!                    (k, m), chunk sizes and erasure patterns)
+//!      tail         (hedged vs unhedged P50/P95/P99/P999 across the
+//!                    straggler scenario family; simulated clock, so the
+//!                    JSON output is host-independent and CI-gateable)
 //! --tiny        run at test scale (fast, same shapes)
 //! --runs N      repetitions to average (default 5, paper value)
 //! --ops N       operations per run (default 1000, paper value)
 //! --out DIR     also write CSVs under DIR (default results/)
+//! --json FILE   also write every table (and tail percentiles) as JSON
 //! ```
 
 use agar_bench::experiments::{self, ExperimentParams};
-use agar_bench::{Deployment, Table};
+use agar_bench::{Deployment, Table, TailParams, TailResult};
 use std::path::PathBuf;
 
 fn main() {
@@ -27,6 +31,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut params = ExperimentParams::paper();
     let mut out_dir = PathBuf::from("results");
+    let mut json_path: Option<PathBuf> = None;
     let mut profile = agar_bench::LatencyProfile::Calibrated;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -61,6 +66,13 @@ fn main() {
                     .map(PathBuf::from)
                     .unwrap_or_else(|| usage("--out needs a directory"));
             }
+            "--json" => {
+                json_path = Some(
+                    iter.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| usage("--json needs a file path")),
+                );
+            }
             "--help" | "-h" => usage(""),
             id if !id.starts_with('-') => ids.push(id.to_string()),
             other => usage(&format!("unknown flag {other}")),
@@ -83,6 +95,7 @@ fn main() {
     eprintln!("populated backend in {:.1?}\n", start.elapsed());
 
     let mut emitted: Vec<Table> = Vec::new();
+    let mut tail_cells: Vec<TailResult> = Vec::new();
     let mut comparison: Option<Vec<(String, String, f64, f64)>> = None;
     for id in &ids {
         let start = std::time::Instant::now();
@@ -117,6 +130,15 @@ fn main() {
                 params.operations,
             )],
             "ec" => vec![agar_bench::ec::ec_table()],
+            "tail" => {
+                let mut tail_params = TailParams::paper();
+                tail_params.scale = params.scale;
+                tail_params.operations = params.operations;
+                let results = agar_bench::tail_results(&tail_params);
+                let table = agar_bench::tail_table(&results);
+                tail_cells = results;
+                vec![table]
+            }
             other => usage(&format!("unknown experiment {other}")),
         };
         for table in tables {
@@ -129,6 +151,15 @@ fn main() {
         }
         eprintln!("[{id}] done in {:.1?}\n", start.elapsed());
     }
+    if let Some(path) = &json_path {
+        match std::fs::write(path, results_json(&emitted, &tail_cells)) {
+            Ok(()) => eprintln!("wrote JSON results to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!(
         "all {} experiment(s) done in {:.1?}; CSVs under {}",
         emitted.len(),
@@ -137,13 +168,96 @@ fn main() {
     );
 }
 
+/// Serialises every emitted table plus the tail percentile cells as a
+/// JSON document (`ci/check_bench.py` consumes the `tail` section).
+/// Hand-rolled: the vendored serde stub has no serialisation backend.
+fn results_json(tables: &[Table], tail: &[TailResult]) -> String {
+    let mut out = String::from("{\n  \"tables\": [");
+    for (i, table) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"title\": ");
+        out.push_str(&json_string(table.title()));
+        out.push_str(", \"headers\": ");
+        json_string_array(&mut out, table.headers());
+        out.push_str(", \"rows\": [");
+        for (j, row) in table.rows().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            json_string_array(&mut out, row);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ],\n  \"tail\": [");
+    for (i, cell) in tail.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"scenario\": {}, \"policy\": {}, \"max_hedges\": {}, \
+             \"operations\": {}, \"errors\": {}, \"mean_ms\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"p999_ms\": {:.3}, \"max_ms\": {:.3}, \"backend_fetches\": {}, \
+             \"hedged_requests\": {}, \"hedge_wins\": {}, \"hedges_cancelled\": {}}}",
+            json_string(&cell.scenario),
+            json_string(&cell.policy),
+            cell.max_hedges,
+            cell.operations,
+            cell.errors,
+            cell.latency.mean_ms,
+            cell.latency.p50_ms,
+            cell.latency.p95_ms,
+            cell.latency.p99_ms,
+            cell.latency.p999_ms,
+            cell.latency.max_ms,
+            cell.backend_fetches,
+            cell.hedged_requests,
+            cell.hedge_wins,
+            cell.hedges_cancelled,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn json_string_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_string(item));
+    }
+    out.push(']');
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn usage(error: &str) -> ! {
     if !error.is_empty() {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|cluster|mixed|ec|all]... \
-         [--tiny] [--runs N] [--ops N] [--out DIR]"
+        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|cluster|mixed|ec|tail|all]... \
+         [--tiny] [--runs N] [--ops N] [--out DIR] [--json FILE]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

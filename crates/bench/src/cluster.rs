@@ -11,6 +11,7 @@
 //! cores, not node count, on small hosts.
 
 use crate::harness::Deployment;
+use crate::table::LatencyHistogram;
 use crate::throughput::ThroughputRun;
 use agar::{AgarNode, AgarSettings};
 use agar_cluster::{ClusterRouter, ClusterSettings};
@@ -37,11 +38,31 @@ pub fn build_warm_cluster(
     hot_objects: u64,
     seed: u64,
 ) -> Arc<ClusterRouter> {
+    build_warm_hedged_cluster(deployment, region, members, cache_mb, hot_objects, 0, seed)
+}
+
+/// [`build_warm_cluster`] with hedging enabled on every member: up to
+/// `max_hedges` speculative backend fetches per read (0 reproduces the
+/// unhedged cluster exactly).
+///
+/// # Panics
+///
+/// Same as [`build_warm_cluster`].
+pub fn build_warm_hedged_cluster(
+    deployment: &Deployment,
+    region: RegionId,
+    members: usize,
+    cache_mb: f64,
+    hot_objects: u64,
+    max_hedges: usize,
+    seed: u64,
+) -> Arc<ClusterRouter> {
     assert!(members > 0, "need at least one member");
     assert!(hot_objects > 0, "need at least one hot object");
     let mut settings = AgarSettings::paper_default(deployment.scale.cache_bytes(cache_mb));
     settings.cache_read = deployment.preset.cache_read;
     settings.client_overhead = deployment.preset.client_overhead;
+    settings.max_hedges = max_hedges;
     let router = Arc::new(
         ClusterRouter::new(
             Arc::clone(&deployment.backend),
@@ -97,6 +118,7 @@ pub fn run_cluster_threads(
     let start = Instant::now();
     let mut cache_hits = 0u64;
     let mut backend_fetches = 0u64;
+    let mut histogram = LatencyHistogram::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
@@ -104,25 +126,29 @@ pub fn run_cluster_threads(
                 scope.spawn(move || {
                     let mut hits = 0u64;
                     let mut fetches = 0u64;
+                    let mut local = LatencyHistogram::new();
                     for i in 0..ops_per_thread {
                         // Offset each thread so they touch different
                         // objects (and so different members) at any
                         // instant.
                         let object = (t * 3 + i) as u64 % hot_objects;
+                        let op_start = Instant::now();
                         let metrics = router
                             .read(ObjectId::new(object))
                             .expect("healthy backend read");
+                        local.record(op_start.elapsed());
                         hits += metrics.metrics().cache_hits as u64;
                         fetches += metrics.metrics().backend_fetches as u64;
                     }
-                    (hits, fetches)
+                    (hits, fetches, local)
                 })
             })
             .collect();
         for handle in handles {
-            let (hits, fetches) = handle.join().expect("client thread panicked");
+            let (hits, fetches, local) = handle.join().expect("client thread panicked");
             cache_hits += hits;
             backend_fetches += fetches;
+            histogram.merge(&local);
         }
     });
     let elapsed = start.elapsed();
@@ -134,6 +160,7 @@ pub fn run_cluster_threads(
         ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
         cache_hits,
         backend_fetches,
+        latency: histogram.summary(),
     }
 }
 
@@ -175,6 +202,10 @@ pub fn cluster_table(deployment: &Deployment, ops_per_thread: usize) -> crate::t
             "ops/s".into(),
             "speed-up".into(),
             "hit %".into(),
+            "P50 (µs)".into(),
+            "P95 (µs)".into(),
+            "P99 (µs)".into(),
+            "P999 (µs)".into(),
         ],
     );
     let runs = cluster_scaling(
@@ -194,7 +225,7 @@ pub fn cluster_table(deployment: &Deployment, ops_per_thread: usize) -> crate::t
             run.ops_per_sec / base,
             run.hit_fraction() * 100.0
         );
-        table.push_row(vec![
+        let mut row = vec![
             members.to_string(),
             run.threads.to_string(),
             run.total_ops.to_string(),
@@ -202,7 +233,19 @@ pub fn cluster_table(deployment: &Deployment, ops_per_thread: usize) -> crate::t
             format!("{:.0}", run.ops_per_sec),
             format!("{:.2}x", run.ops_per_sec / base),
             format!("{:.1}", run.hit_fraction() * 100.0),
-        ]);
+        ];
+        // Wall-clock cache hits are microseconds, not milliseconds.
+        row.extend(
+            [
+                run.latency.p50_ms,
+                run.latency.p95_ms,
+                run.latency.p99_ms,
+                run.latency.p999_ms,
+            ]
+            .iter()
+            .map(|ms| format!("{:.0}", ms * 1e3)),
+        );
+        table.push_row(row);
     }
     table
 }
@@ -222,6 +265,7 @@ mod tests {
         assert_eq!(run.backend_fetches, 0, "warm hot set must not fetch");
         assert_eq!(run.cache_hits, 100 * 9);
         assert!(run.ops_per_sec > 0.0);
+        assert_eq!(run.latency.samples, 100);
     }
 
     #[test]

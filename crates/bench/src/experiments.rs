@@ -87,6 +87,7 @@ pub fn fig2(deployment: &Deployment, params: &ExperimentParams) -> Table {
                 cache_mb: 500.0,
                 workload: params.workload(zipf_default()),
                 clients: 2,
+                max_hedges: 0,
                 seed: 0xF160 + c as u64,
             };
             let result = run_averaged(deployment, &config, params.runs);
@@ -150,6 +151,7 @@ pub fn policy_comparison(
                 cache_mb: 10.0,
                 workload: params.workload(zipf_default()),
                 clients: 2,
+                max_hedges: 0,
                 seed: 0xF166,
             };
             let result = run_averaged(deployment, &config, params.runs);
@@ -247,6 +249,7 @@ pub fn fig8a(deployment: &Deployment, params: &ExperimentParams) -> Table {
                     cache_mb: 0.0,
                     workload: params.workload(zipf_default()),
                     clients: 2,
+                    max_hedges: 0,
                     seed: 0xF18A,
                 };
                 run_averaged(deployment, &config, params.runs).mean_latency_ms
@@ -257,6 +260,7 @@ pub fn fig8a(deployment: &Deployment, params: &ExperimentParams) -> Table {
                     cache_mb: mb,
                     workload: params.workload(zipf_default()),
                     clients: 2,
+                    max_hedges: 0,
                     seed: 0xF18A,
                 };
                 run_averaged(deployment, &config, params.runs).mean_latency_ms
@@ -304,6 +308,7 @@ pub fn fig8b(deployment: &Deployment, params: &ExperimentParams) -> Table {
                 cache_mb: 10.0,
                 workload: params.workload(*dist),
                 clients: 2,
+                max_hedges: 0,
                 seed: 0xF18B,
             };
             let result = run_averaged(deployment, &config, params.runs);
@@ -368,6 +373,7 @@ pub fn fig10(deployment: &Deployment, params: &ExperimentParams) -> Table {
             cache_mb: mb,
             workload: params.workload(zipf_default()),
             clients: 2,
+            max_hedges: 0,
             seed: 0xF1_10,
         };
         let result = run_once(deployment, &config);
@@ -416,6 +422,7 @@ pub fn ablation(deployment: &Deployment, params: &ExperimentParams) -> Table {
         cache_mb: 10.0,
         workload: params.workload(zipf_default()),
         clients: 2,
+        max_hedges: 0,
         seed: 0xAB1A,
     };
     let dp_run = run_averaged(deployment, &config, params.runs);

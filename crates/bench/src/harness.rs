@@ -8,15 +8,17 @@
 //! ticks on the simulated clock, and aggregates latency and hit-ratio
 //! statistics.
 
+use crate::table::{LatencyHistogram, LatencySummary};
 use agar::{
     AgarNode, AgarSettings, BackendOnlyClient, BaselinePolicy, CachingClient, FixedChunksClient,
 };
 use agar_ec::{CodingParams, ObjectId};
+use agar_net::latency::LatencyModel;
 use agar_net::presets::{aws_six_regions, paper_table_one, GeoPreset};
 use agar_net::sim::Simulation;
-use agar_net::{RegionId, SimTime};
+use agar_net::{LatencySpike, RegionId, SimTime, SpikedLatency};
 use agar_store::{populate, Backend, RoundRobin};
-use agar_workload::{Op, WorkloadSpec};
+use agar_workload::{Op, StragglerScenario, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, VecDeque};
@@ -138,6 +140,57 @@ impl Deployment {
         }
     }
 
+    /// Builds the calibrated deployment and overlays a straggler/fault
+    /// scenario: slowdown spikes wrap the latency model (samples spike,
+    /// planner-visible means stay optimistic — exactly the blind spot
+    /// hedging covers), and dead regions are failed outright. Flaky
+    /// regions are *not* applied here: drivers schedule their fail/heal
+    /// cycle on the simulated clock (see the `tail` experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if population fails or a spike descriptor is invalid
+    /// (programming errors in the scenario family).
+    pub fn build_with_scenario(scale: Scale, scenario: &StragglerScenario) -> Self {
+        let mut preset = aws_six_regions();
+        preset.latency = preset
+            .latency
+            .clone()
+            .with_nominal_bytes(scale.chunk_size());
+        let spikes: Vec<LatencySpike> = scenario
+            .spikes
+            .iter()
+            .map(|s| LatencySpike {
+                region: RegionId::new(s.region),
+                every: s.every,
+                factor: s.factor,
+            })
+            .collect();
+        let model: Arc<dyn LatencyModel> = if spikes.is_empty() {
+            Arc::new(preset.latency.clone())
+        } else {
+            Arc::new(SpikedLatency::new(Arc::new(preset.latency.clone()), spikes))
+        };
+        let backend = Backend::new(
+            preset.topology.clone(),
+            model,
+            CodingParams::paper_default(),
+            Box::new(RoundRobin),
+        )
+        .expect("preset deployment is valid");
+        let mut rng = StdRng::seed_from_u64(0xA6A2);
+        populate(&backend, scale.object_count, scale.object_size, &mut rng)
+            .expect("population cannot fail on a healthy deployment");
+        for &dead in &scenario.dead {
+            backend.fail_region(RegionId::new(dead));
+        }
+        Deployment {
+            preset,
+            backend: Arc::new(backend),
+            scale,
+        }
+    }
+
     /// Region id by name (panics on unknown name, as in [`GeoPreset`]).
     pub fn region(&self, name: &str) -> RegionId {
         self.preset.region(name)
@@ -182,6 +235,9 @@ pub struct RunConfig {
     pub workload: WorkloadSpec,
     /// Number of closed-loop clients (the paper runs 2).
     pub clients: usize,
+    /// Maximum hedge chunks Δ per read (Agar policy only; 0 disables
+    /// hedging and reproduces the unhedged engine byte for byte).
+    pub max_hedges: usize,
     /// RNG seed for this run.
     pub seed: u64,
 }
@@ -196,6 +252,7 @@ impl RunConfig {
             cache_mb: 10.0,
             workload: WorkloadSpec::paper_default(),
             clients: 2,
+            max_hedges: 0,
             seed: 1,
         }
     }
@@ -208,6 +265,9 @@ pub struct RunResult {
     pub label: String,
     /// Mean end-to-end read latency in milliseconds.
     pub mean_latency_ms: f64,
+    /// Percentile summary of every per-operation latency in the run
+    /// (pooled across batches for [`run_averaged`]).
+    pub latency: LatencySummary,
     /// The paper's Figure 7 hit ratio: (total + partial hits) / reads.
     pub hit_ratio: f64,
     /// Object reads fully served by the cache.
@@ -233,6 +293,7 @@ fn make_client(
             let mut settings = AgarSettings::paper_default(cache_bytes);
             settings.cache_read = preset.cache_read;
             settings.client_overhead = preset.client_overhead;
+            settings.max_hedges = config.max_hedges;
             // §VI: the paper stops the dynamic program a fixed number of
             // iterations after a full-capacity configuration first
             // appears, so reconfiguration cost depends on the cache
@@ -372,9 +433,12 @@ pub fn run_once(deployment: &Deployment, config: &RunConfig) -> RunResult {
     let client = make_client(deployment, config);
     let (latencies, end) = run_batch(deployment, config, &client, SimTime::ZERO, config.seed);
     let stats = client.cache_stats();
+    let mut histogram = LatencyHistogram::new();
+    latencies.iter().for_each(|&l| histogram.record(l));
     RunResult {
         label: config.policy.label(),
         mean_latency_ms: mean_ms(&latencies),
+        latency: histogram.summary(),
         hit_ratio: stats.object_hit_ratio(),
         total_hits: stats.object_total_hits(),
         partial_hits: stats.object_partial_hits(),
@@ -396,11 +460,13 @@ pub fn run_averaged(deployment: &Deployment, config: &RunConfig, runs: usize) ->
     let mut batch_ratios = Vec::with_capacity(runs);
     let mut previous_stats = client.cache_stats();
     let mut operations = 0;
+    let mut histogram = LatencyHistogram::new();
     for i in 0..runs {
         let seed = config.seed.wrapping_add(i as u64 * 7919);
         let (latencies, end) = run_batch(deployment, config, &client, start, seed);
         operations = latencies.len();
         batch_means.push(mean_ms(&latencies));
+        latencies.iter().for_each(|&l| histogram.record(l));
         let now = client.cache_stats();
         batch_ratios.push(now.delta_since(&previous_stats).object_hit_ratio());
         previous_stats = now;
@@ -411,6 +477,7 @@ pub fn run_averaged(deployment: &Deployment, config: &RunConfig, runs: usize) ->
     RunResult {
         label: config.policy.label(),
         mean_latency_ms: batch_means.iter().sum::<f64>() / n,
+        latency: histogram.summary(),
         hit_ratio: batch_ratios.iter().sum::<f64>() / n,
         total_hits: stats.object_total_hits(),
         partial_hits: stats.object_partial_hits(),
@@ -508,6 +575,48 @@ mod tests {
         let avg = run_averaged(&deployment, &config, 3);
         assert_eq!(avg.operations, 60);
         assert!(avg.mean_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn run_result_reports_percentiles() {
+        let deployment = Deployment::build(Scale::tiny());
+        let mut config = RunConfig::paper_default(FRANKFURT, PolicySpec::Backend);
+        config.workload = quick_workload(50);
+        let result = run_once(&deployment, &config);
+        assert_eq!(result.latency.samples, 50);
+        assert!((result.latency.mean_ms - result.mean_latency_ms).abs() < 1e-9);
+        assert!(result.latency.p50_ms <= result.latency.p99_ms);
+        assert!(result.latency.p99_ms <= result.latency.max_ms);
+    }
+
+    #[test]
+    fn scenario_deployment_spikes_the_tail() {
+        let calm = Deployment::build_with_scenario(Scale::tiny(), &StragglerScenario::calm());
+        let spiky =
+            Deployment::build_with_scenario(Scale::tiny(), &StragglerScenario::slow_spikes());
+        let mut config = RunConfig::paper_default(FRANKFURT, PolicySpec::Backend);
+        config.workload = quick_workload(120);
+        let calm_run = run_once(&calm, &config);
+        let spiky_run = run_once(&spiky, &config);
+        assert!(
+            spiky_run.latency.p99_ms > calm_run.latency.p99_ms * 2.0,
+            "spikes should own the tail: {} vs {}",
+            spiky_run.latency.p99_ms,
+            calm_run.latency.p99_ms
+        );
+        // Means barely move: spikes are a tail phenomenon.
+        assert!(spiky_run.mean_latency_ms < calm_run.mean_latency_ms * 3.0);
+    }
+
+    #[test]
+    fn dead_region_deployment_still_serves_reads() {
+        let deployment =
+            Deployment::build_with_scenario(Scale::tiny(), &StragglerScenario::dead_region());
+        let mut config = RunConfig::paper_default(FRANKFURT, PolicySpec::Agar);
+        config.workload = quick_workload(60);
+        config.max_hedges = 2;
+        let result = run_once(&deployment, &config);
+        assert_eq!(result.operations, 60);
     }
 
     #[test]

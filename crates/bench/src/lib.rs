@@ -27,13 +27,17 @@ pub mod experiments;
 pub mod harness;
 pub mod mixed;
 pub mod table;
+pub mod tail;
 pub mod throughput;
 
-pub use cluster::{build_warm_cluster, cluster_scaling, run_cluster_threads};
+pub use cluster::{
+    build_warm_cluster, build_warm_hedged_cluster, cluster_scaling, run_cluster_threads,
+};
 pub use ec::ec_table;
 pub use harness::{
     run_averaged, run_once, Deployment, LatencyProfile, PolicySpec, RunConfig, RunResult, Scale,
 };
 pub use mixed::{mixed_table, run_mixed_cluster, MixedRun};
-pub use table::Table;
+pub use table::{LatencyHistogram, LatencySummary, Table};
+pub use tail::{tail_results, tail_run, tail_table, TailParams, TailResult};
 pub use throughput::{build_warm_node, run_threads, throughput_scaling, ThroughputRun};

@@ -26,6 +26,7 @@
 //! payoff: well under `members - 1`, the broadcast cost).
 
 use crate::harness::Deployment;
+use crate::table::{LatencyHistogram, LatencySummary};
 use agar_cluster::ClusterRouter;
 use agar_ec::ObjectId;
 use agar_net::RegionId;
@@ -184,6 +185,8 @@ pub struct MixedRun {
     pub contended_reads: u64,
     /// Mean simulated read latency.
     pub read_latency_mean: Duration,
+    /// Percentile summary of per-read simulated latency.
+    pub read_latency: LatencySummary,
     /// Mean simulated write latency.
     pub write_latency_mean: Duration,
     /// Writes that waited behind another writer's lease.
@@ -251,6 +254,7 @@ pub fn run_mixed_cluster(
         stale: u64,
         contended_reads: u64,
         read_latency: Duration,
+        read_histogram: LatencyHistogram,
         write_latency: Duration,
         lease_contentions: u64,
         invalidations: u64,
@@ -282,6 +286,7 @@ pub fn run_mixed_cluster(
                                 };
                                 out.reads += 1;
                                 out.read_latency += metrics.metrics().latency;
+                                out.read_histogram.record(metrics.metrics().latency);
                                 let stale =
                                     match checker.classify(key, metrics.metrics().data.as_ref()) {
                                         ReadVersion::Version(version) => version < floor,
@@ -315,6 +320,7 @@ pub fn run_mixed_cluster(
             totals.stale += out.stale;
             totals.contended_reads += out.contended_reads;
             totals.read_latency += out.read_latency;
+            totals.read_histogram.merge(&out.read_histogram);
             totals.write_latency += out.write_latency;
             totals.lease_contentions += out.lease_contentions;
             totals.invalidations += out.invalidations;
@@ -333,6 +339,7 @@ pub fn run_mixed_cluster(
             .read_latency
             .checked_div(totals.reads.max(1) as u32)
             .unwrap_or_default(),
+        read_latency: totals.read_histogram.summary(),
         write_latency_mean: totals
             .write_latency
             .checked_div(totals.writes.max(1) as u32)
@@ -369,19 +376,25 @@ pub fn mixed_table_at(
     let mut table = crate::table::Table::new(
         "Mixed — M client threads x K ring-routed nodes under a read/write mix \
          (per-object write leases, targeted invalidation)",
-        vec![
-            "write %".into(),
-            "nodes".into(),
-            "threads".into(),
-            "reads".into(),
-            "writes".into(),
-            "stale".into(),
-            "read ms".into(),
-            "write ms".into(),
-            "lease waits".into(),
-            "inval/write".into(),
-            "ops/s".into(),
-        ],
+        {
+            let mut headers: Vec<String> = vec![
+                "write %".into(),
+                "nodes".into(),
+                "threads".into(),
+                "reads".into(),
+                "writes".into(),
+                "stale".into(),
+                "read ms".into(),
+            ];
+            headers.extend(LatencySummary::percentile_headers());
+            headers.extend([
+                "write ms".into(),
+                "lease waits".into(),
+                "inval/write".into(),
+                "ops/s".into(),
+            ]);
+            headers
+        },
     );
     let hot_objects = 8;
     let base_size = deployment.scale.object_size;
@@ -425,7 +438,7 @@ pub fn mixed_table_at(
             run.invalidations_per_write(),
             run.ops_per_sec
         );
-        table.push_row(vec![
+        let mut row = vec![
             format!("{:.0}", ratio * 100.0),
             members.to_string(),
             run.threads.to_string(),
@@ -433,11 +446,15 @@ pub fn mixed_table_at(
             run.writes.to_string(),
             run.stale_reads.to_string(),
             format!("{:.1}", run.read_latency_mean.as_secs_f64() * 1e3),
+        ];
+        row.extend(run.read_latency.percentile_cells());
+        row.extend([
             format!("{:.1}", run.write_latency_mean.as_secs_f64() * 1e3),
             run.lease_contentions.to_string(),
             format!("{:.2}", run.invalidations_per_write()),
             format!("{:.0}", run.ops_per_sec),
         ]);
+        table.push_row(row);
     }
     table
 }
@@ -459,6 +476,8 @@ mod tests {
         assert!(run.writes > 0, "a 25% mix must produce writes");
         assert_eq!(run.stale_reads, 0, "stale or mixed-version reads");
         assert!(run.read_latency_mean > Duration::ZERO);
+        assert_eq!(run.read_latency.samples as u64, run.reads);
+        assert!(run.read_latency.p50_ms <= run.read_latency.p999_ms);
         assert!(run.write_latency_mean > Duration::ZERO);
         assert!(run.ops_per_sec > 0.0);
     }

@@ -1,8 +1,121 @@
-//! Plain-text result tables and CSV emission for the experiment harness.
+//! Plain-text result tables and CSV emission for the experiment
+//! harness, plus the shared latency histogram every experiment reports
+//! its percentile columns from.
 
 use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
+use std::time::Duration;
+
+/// Percentile summary of a latency sample set, in milliseconds. The
+/// shared shape every experiment's P50/P95/P99/P999 columns and the
+/// JSON bench output are built from.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (nearest rank).
+    pub p50_ms: f64,
+    /// 95th percentile (nearest rank).
+    pub p95_ms: f64,
+    /// 99th percentile (nearest rank).
+    pub p99_ms: f64,
+    /// 99.9th percentile (nearest rank).
+    pub p999_ms: f64,
+    /// Largest sample.
+    pub max_ms: f64,
+    /// Number of samples summarised.
+    pub samples: usize,
+}
+
+impl LatencySummary {
+    /// The four percentile columns as formatted table cells
+    /// (`P50 P95 P99 P999`, whole milliseconds).
+    pub fn percentile_cells(&self) -> Vec<String> {
+        [self.p50_ms, self.p95_ms, self.p99_ms, self.p999_ms]
+            .iter()
+            .map(|ms| format!("{ms:.0}"))
+            .collect()
+    }
+
+    /// The matching headers for [`LatencySummary::percentile_cells`].
+    pub fn percentile_headers() -> Vec<String> {
+        ["P50 (ms)", "P95 (ms)", "P99 (ms)", "P999 (ms)"]
+            .map(String::from)
+            .to_vec()
+    }
+}
+
+/// An exact latency histogram: collects every sample and answers
+/// nearest-rank percentile queries. Experiment runs are at most a few
+/// hundred thousand operations, so exactness costs nothing and the
+/// P999 column never suffers bucketing error.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<Duration>,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples.push(latency);
+    }
+
+    /// Absorbs every sample of `other`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank percentile; `Duration::ZERO` when empty.
+    pub fn percentile(&self, quantile: f64) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = (quantile * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Summarises the histogram (single sort, all percentiles).
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let at = |quantile: f64| {
+            let rank = (quantile * n as f64).ceil() as usize;
+            sorted[rank.clamp(1, n) - 1].as_secs_f64() * 1e3
+        };
+        let total: Duration = sorted.iter().sum();
+        LatencySummary {
+            mean_ms: total.as_secs_f64() * 1e3 / n as f64,
+            p50_ms: at(0.50),
+            p95_ms: at(0.95),
+            p99_ms: at(0.99),
+            p999_ms: at(0.999),
+            max_ms: sorted[n - 1].as_secs_f64() * 1e3,
+            samples: n,
+        }
+    }
+}
 
 /// A printable experiment result table.
 #[derive(Clone, Debug)]
@@ -35,6 +148,11 @@ impl Table {
     /// The table's title.
     pub fn title(&self) -> &str {
         &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
     }
 
     /// Number of data rows.
@@ -159,6 +277,50 @@ mod tests {
         assert_eq!(csv_row(&["a,b".into()]), "\"a,b\"");
         assert_eq!(csv_row(&["say \"hi\"".into()]), "\"say \"\"hi\"\"\"");
         assert_eq!(csv_row(&["plain".into()]), "plain");
+    }
+
+    #[test]
+    fn histogram_percentiles_are_exact() {
+        let mut h = LatencyHistogram::new();
+        // 1..=1000 ms, shuffled order must not matter.
+        for ms in (1..=1000u64).rev() {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.len(), 1000);
+        assert_eq!(h.percentile(0.50), Duration::from_millis(500));
+        assert_eq!(h.percentile(0.99), Duration::from_millis(990));
+        let s = h.summary();
+        assert!((s.mean_ms - 500.5).abs() < 1e-9);
+        assert!((s.p50_ms - 500.0).abs() < 1e-9);
+        assert!((s.p95_ms - 950.0).abs() < 1e-9);
+        assert!((s.p99_ms - 990.0).abs() < 1e-9);
+        assert!((s.p999_ms - 999.0).abs() < 1e-9);
+        assert!((s.max_ms - 1000.0).abs() < 1e-9);
+        assert_eq!(s.samples, 1000);
+    }
+
+    #[test]
+    fn histogram_merge_and_empty() {
+        let empty = LatencyHistogram::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.percentile(0.99), Duration::ZERO);
+        assert_eq!(empty.summary(), LatencySummary::default());
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_millis(10));
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_millis(30));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.percentile(1.0), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn percentile_cells_match_headers() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_millis(250));
+        let cells = h.summary().percentile_cells();
+        assert_eq!(cells.len(), LatencySummary::percentile_headers().len());
+        assert!(cells.iter().all(|c| c == "250"));
     }
 
     #[test]

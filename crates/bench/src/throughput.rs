@@ -10,6 +10,7 @@
 //! sharded pipeline it scales.
 
 use crate::harness::Deployment;
+use crate::table::{LatencyHistogram, LatencySummary};
 use agar::{AgarNode, AgarSettings, CachingClient};
 use agar_ec::ObjectId;
 use agar_net::RegionId;
@@ -31,6 +32,8 @@ pub struct ThroughputRun {
     pub cache_hits: u64,
     /// Chunks fetched from the backend across all reads.
     pub backend_fetches: u64,
+    /// Percentile summary of per-operation wall-clock latency.
+    pub latency: LatencySummary,
 }
 
 impl ThroughputRun {
@@ -103,6 +106,7 @@ pub fn run_threads(
     let start = Instant::now();
     let mut cache_hits = 0u64;
     let mut backend_fetches = 0u64;
+    let mut histogram = LatencyHistogram::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
@@ -110,24 +114,28 @@ pub fn run_threads(
                 scope.spawn(move || {
                     let mut hits = 0u64;
                     let mut fetches = 0u64;
+                    let mut local = LatencyHistogram::new();
                     for i in 0..ops_per_thread {
                         // Offset each thread so they touch different
                         // objects at any instant (distinct cache shards).
                         let object = (t * 3 + i) as u64 % hot_objects;
+                        let op_start = Instant::now();
                         let metrics = node
                             .read(ObjectId::new(object))
                             .expect("healthy backend read");
+                        local.record(op_start.elapsed());
                         hits += metrics.cache_hits as u64;
                         fetches += metrics.backend_fetches as u64;
                     }
-                    (hits, fetches)
+                    (hits, fetches, local)
                 })
             })
             .collect();
         for handle in handles {
-            let (hits, fetches) = handle.join().expect("client thread panicked");
+            let (hits, fetches, local) = handle.join().expect("client thread panicked");
             cache_hits += hits;
             backend_fetches += fetches;
+            histogram.merge(&local);
         }
     });
     let elapsed = start.elapsed();
@@ -139,6 +147,7 @@ pub fn run_threads(
         ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
         cache_hits,
         backend_fetches,
+        latency: histogram.summary(),
     }
 }
 
@@ -171,6 +180,10 @@ pub fn throughput_table(deployment: &Deployment, ops_per_thread: usize) -> crate
             "ops/s".into(),
             "speed-up".into(),
             "hit %".into(),
+            "P50 (µs)".into(),
+            "P95 (µs)".into(),
+            "P99 (µs)".into(),
+            "P999 (µs)".into(),
         ],
     );
     let runs = throughput_scaling(
@@ -188,14 +201,26 @@ pub fn throughput_table(deployment: &Deployment, ops_per_thread: usize) -> crate
             run.ops_per_sec / base,
             run.hit_fraction() * 100.0
         );
-        table.push_row(vec![
+        let mut row = vec![
             run.threads.to_string(),
             run.total_ops.to_string(),
             format!("{:.1}", run.elapsed.as_secs_f64() * 1e3),
             format!("{:.0}", run.ops_per_sec),
             format!("{:.2}x", run.ops_per_sec / base),
             format!("{:.1}", run.hit_fraction() * 100.0),
-        ]);
+        ];
+        // Wall-clock cache hits are microseconds, not milliseconds.
+        row.extend(
+            [
+                run.latency.p50_ms,
+                run.latency.p95_ms,
+                run.latency.p99_ms,
+                run.latency.p999_ms,
+            ]
+            .iter()
+            .map(|ms| format!("{:.0}", ms * 1e3)),
+        );
+        table.push_row(row);
     }
     table
 }
@@ -216,6 +241,8 @@ mod tests {
         assert_eq!(run.cache_hits, 100 * 9);
         assert!((run.hit_fraction() - 1.0).abs() < 1e-12);
         assert!(run.ops_per_sec > 0.0);
+        assert_eq!(run.latency.samples, 100);
+        assert!(run.latency.p50_ms <= run.latency.p999_ms);
     }
 
     #[test]

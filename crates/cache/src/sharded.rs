@@ -275,6 +275,24 @@ impl ShardedChunkCache {
     pub fn record_systematic_fast_read(&self) {
         self.stats.record_systematic_fast_read();
     }
+
+    /// Records `n` hedge backend requests issued (lock-free); see
+    /// [`CacheStats::hedged_requests`].
+    pub fn record_hedged_requests(&self, n: u64) {
+        self.stats.record_hedged_requests(n);
+    }
+
+    /// Records one hedge bound into a decode (lock-free); see
+    /// [`CacheStats::hedge_wins`].
+    pub fn record_hedge_win(&self) {
+        self.stats.record_hedge_win();
+    }
+
+    /// Records `n` discarded straggler responses (lock-free); see
+    /// [`CacheStats::hedges_cancelled`].
+    pub fn record_hedges_cancelled(&self, n: u64) {
+        self.stats.record_hedges_cancelled(n);
+    }
 }
 
 impl std::fmt::Debug for ShardedChunkCache {

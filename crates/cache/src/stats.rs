@@ -31,6 +31,9 @@ pub struct CacheStats {
     targeted_invalidations: u64,
     decode_plan_hits: u64,
     systematic_fast_reads: u64,
+    hedged_requests: u64,
+    hedge_wins: u64,
+    hedges_cancelled: u64,
 }
 
 impl CacheStats {
@@ -195,6 +198,41 @@ impl CacheStats {
         self.systematic_fast_reads
     }
 
+    /// Records `n` hedge (speculative duplicate) backend requests
+    /// issued beyond the k the decode strictly needs.
+    pub fn record_hedged_requests(&mut self, n: u64) {
+        self.hedged_requests += n;
+    }
+
+    /// Records one hedge that arrived among the first k responses and
+    /// was bound into the decode.
+    pub fn record_hedge_win(&mut self) {
+        self.hedge_wins += 1;
+    }
+
+    /// Records `n` straggler responses discarded after the first k
+    /// arrivals already satisfied the read.
+    pub fn record_hedges_cancelled(&mut self, n: u64) {
+        self.hedges_cancelled += n;
+    }
+
+    /// Hedge (speculative duplicate) backend requests issued.
+    pub fn hedged_requests(&self) -> u64 {
+        self.hedged_requests
+    }
+
+    /// Hedges that beat a primary into the first-k set and were bound
+    /// into the decode.
+    pub fn hedge_wins(&self) -> u64 {
+        self.hedge_wins
+    }
+
+    /// Straggler responses discarded because the read was already
+    /// satisfied by k faster arrivals.
+    pub fn hedges_cancelled(&self) -> u64 {
+        self.hedges_cancelled
+    }
+
     /// Total object reads recorded.
     pub fn object_reads(&self) -> u64 {
         self.object_total_hits + self.object_partial_hits + self.object_misses
@@ -257,6 +295,11 @@ impl CacheStats {
             systematic_fast_reads: self
                 .systematic_fast_reads
                 .saturating_sub(earlier.systematic_fast_reads),
+            hedged_requests: self.hedged_requests.saturating_sub(earlier.hedged_requests),
+            hedge_wins: self.hedge_wins.saturating_sub(earlier.hedge_wins),
+            hedges_cancelled: self
+                .hedges_cancelled
+                .saturating_sub(earlier.hedges_cancelled),
         }
     }
 
@@ -277,6 +320,9 @@ impl CacheStats {
         self.targeted_invalidations += other.targeted_invalidations;
         self.decode_plan_hits += other.decode_plan_hits;
         self.systematic_fast_reads += other.systematic_fast_reads;
+        self.hedged_requests += other.hedged_requests;
+        self.hedge_wins += other.hedge_wins;
+        self.hedges_cancelled += other.hedges_cancelled;
     }
 }
 
@@ -304,6 +350,9 @@ pub struct AtomicCacheStats {
     targeted_invalidations: AtomicU64,
     decode_plan_hits: AtomicU64,
     systematic_fast_reads: AtomicU64,
+    hedged_requests: AtomicU64,
+    hedge_wins: AtomicU64,
+    hedges_cancelled: AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -384,6 +433,22 @@ impl AtomicCacheStats {
         self.systematic_fast_reads.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` hedge (speculative duplicate) backend requests.
+    pub fn record_hedged_requests(&self, n: u64) {
+        self.hedged_requests.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one hedge bound into the decode's first-k set.
+    pub fn record_hedge_win(&self) {
+        self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` straggler responses discarded after the read was
+    /// already satisfied.
+    pub fn record_hedges_cancelled(&self, n: u64) {
+        self.hedges_cancelled.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters as plain [`CacheStats`].
     pub fn snapshot(&self) -> CacheStats {
         CacheStats {
@@ -402,6 +467,9 @@ impl AtomicCacheStats {
             targeted_invalidations: self.targeted_invalidations.load(Ordering::Relaxed),
             decode_plan_hits: self.decode_plan_hits.load(Ordering::Relaxed),
             systematic_fast_reads: self.systematic_fast_reads.load(Ordering::Relaxed),
+            hedged_requests: self.hedged_requests.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            hedges_cancelled: self.hedges_cancelled.load(Ordering::Relaxed),
         }
     }
 }
@@ -549,6 +617,32 @@ mod tests {
         let delta = merged.delta_since(&snap);
         assert_eq!(delta.decode_plan_hits(), 1);
         assert_eq!(delta.systematic_fast_reads(), 1);
+    }
+
+    #[test]
+    fn hedge_counters_roundtrip() {
+        let atomic = AtomicCacheStats::new();
+        atomic.record_hedged_requests(2);
+        atomic.record_hedge_win();
+        atomic.record_hedges_cancelled(1);
+        let snap = atomic.snapshot();
+        assert_eq!(snap.hedged_requests(), 2);
+        assert_eq!(snap.hedge_wins(), 1);
+        assert_eq!(snap.hedges_cancelled(), 1);
+
+        let mut merged = CacheStats::new();
+        merged.record_hedged_requests(3);
+        merged.record_hedge_win();
+        merged.record_hedges_cancelled(2);
+        merged.merge(&snap);
+        assert_eq!(merged.hedged_requests(), 5);
+        assert_eq!(merged.hedge_wins(), 2);
+        assert_eq!(merged.hedges_cancelled(), 3);
+
+        let delta = merged.delta_since(&snap);
+        assert_eq!(delta.hedged_requests(), 3);
+        assert_eq!(delta.hedge_wins(), 1);
+        assert_eq!(delta.hedges_cancelled(), 2);
     }
 
     #[test]

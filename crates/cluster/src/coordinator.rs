@@ -129,6 +129,18 @@ impl FetchCoordinator {
         self.stats.snapshot().batched_requests()
     }
 
+    /// Number of entries currently in the single-flight table. Quiesced
+    /// coordinators must report zero — a nonzero count with no fetch in
+    /// progress means a leader leaked its entry (and any joiners parked
+    /// on its condvar are stranded). Tests assert this after hedged
+    /// reads discard stragglers.
+    pub fn in_flight(&self) -> usize {
+        self.inflight
+            .lock()
+            .expect("in-flight table poisoned")
+            .len()
+    }
+
     /// Snapshot of the coordination counters as [`CacheStats`] (only
     /// the `coalesced_fetches` / `batched_requests` fields are used);
     /// routers merge this into their aggregated cache statistics.

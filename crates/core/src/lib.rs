@@ -106,5 +106,5 @@ pub use knapsack::{exhaustive_optimum, greedy, relax, Config, KnapsackSolver};
 pub use monitor::RequestMonitor;
 pub use node::{AgarNode, AgarSettings, CachingClient, CollabReadMetrics, ReadMetrics};
 pub use options::{generate_options, CachingOption, ObjectOptions};
-pub use planner::{ChunkSet, ChunkSource, ReadPlan, ReadPlanner, RemoteChunk};
+pub use planner::{ChunkSet, ChunkSource, HedgePolicy, ReadPlan, ReadPlanner, RemoteChunk};
 pub use region_manager::RegionManager;

@@ -33,7 +33,7 @@ use crate::events::CacheEventSink;
 use crate::fetcher::{ChunkFetcher, DirectFetcher, FetchRequest};
 use crate::knapsack::KnapsackSolver;
 use crate::monitor::RequestMonitor;
-use crate::planner::{ChunkSource, ReadPlanner, RemoteChunk};
+use crate::planner::{ChunkSource, HedgePolicy, ReadPlanner, RemoteChunk};
 use crate::region_manager::RegionManager;
 use agar_cache::{CacheStats, CachedChunk, PolicyKind, ShardedChunkCache, DEFAULT_CACHE_SHARDS};
 use agar_ec::{ChunkId, ObjectId};
@@ -57,7 +57,10 @@ pub struct ReadMetrics {
     pub latency: Duration,
     /// Chunks served from the local cache.
     pub cache_hits: usize,
-    /// Chunks fetched from the backend on the critical path.
+    /// Successful backend chunk fetches issued for this read: the
+    /// critical-path fetches, plus — on a hedged read — any straggler
+    /// responses that arrived after the decode was already satisfied
+    /// (issued work is issued work; the hedging budget counts it all).
     pub backend_fetches: usize,
     /// Chunks fetched off the critical path to fill the cache.
     pub fill_fetches: usize,
@@ -134,6 +137,15 @@ pub struct AgarSettings {
     /// [`DEFAULT_CACHE_SHARDS`]). More shards reduce lock contention
     /// between client threads; the byte capacity stays global.
     pub cache_shards: usize,
+    /// Maximum speculative hedge fetches (Δ) per read: race k+Δ
+    /// distinct chunks and bind the first k arrivals. `0` (the
+    /// default) disables hedging and keeps reads byte-identical to the
+    /// unhedged engine.
+    pub max_hedges: usize,
+    /// Dispersion multiplier for hedge admission: a spare chunk is
+    /// hedged only while its latency estimate stays within `hedge_z`
+    /// mean-deviations of the slowest planned backend primary.
+    pub hedge_z: f64,
     /// Knapsack solver configuration.
     pub solver: KnapsackSolver,
 }
@@ -150,6 +162,8 @@ impl AgarSettings {
             warmup_probes: 3,
             warmup_probe_bytes: 100_000,
             cache_shards: DEFAULT_CACHE_SHARDS,
+            max_hedges: 0,
+            hedge_z: 3.0,
             solver: KnapsackSolver::new(),
         }
     }
@@ -173,6 +187,11 @@ impl AgarSettings {
         if self.cache_shards == 0 {
             return Err(AgarError::InvalidSetting {
                 what: "cache shard count must be positive",
+            });
+        }
+        if !(self.hedge_z.is_finite() && self.hedge_z > 0.0) {
+            return Err(AgarError::InvalidSetting {
+                what: "hedge dispersion multiplier must be positive and finite",
             });
         }
         Ok(())
@@ -463,8 +482,21 @@ impl AgarNode {
         let mut attempts = 0;
         let (worst, remote_hits, backend_fetches) = 'replan: loop {
             attempts += 1;
-            let estimates = self.region_manager.lock().estimates().to_vec();
-            let plan = planner.plan(hits.clone(), remote, &self.backend, &estimates)?;
+            let (estimates, deviations) = {
+                let region_manager = self.region_manager.lock();
+                (
+                    region_manager.estimates().to_vec(),
+                    region_manager.deviations().to_vec(),
+                )
+            };
+            let hedging = HedgePolicy {
+                max_hedges: self.settings.max_hedges,
+                z: self.settings.hedge_z,
+                deviations: &deviations,
+            };
+            let plan =
+                planner.plan_hedged(hits.clone(), remote, &self.backend, &estimates, hedging)?;
+            let hedges = plan.hedges;
             shards.iter_mut().for_each(|s| *s = None);
             let mut worst = Duration::ZERO;
             let mut remote_hits = 0;
@@ -489,30 +521,100 @@ impl AgarNode {
                     }
                 }
             }
-            for (request, result) in fetcher.fetch(self.region, &requests, &mut rng) {
+            if hedges == 0 {
+                for (request, result) in fetcher.fetch(self.region, &requests, &mut rng) {
+                    match result {
+                        Ok(fetch) => {
+                            self.region_manager
+                                .lock()
+                                .observe(request.region, fetch.latency);
+                            if fetch.version != version {
+                                // A write landed mid-read; mixing
+                                // versions would decode garbage.
+                                return Ok(None);
+                            }
+                            backend_fetches += 1;
+                            worst = worst.max(fetch.latency);
+                            shards[request.chunk.index().value() as usize] = Some(fetch.data);
+                        }
+                        Err(StoreError::RegionUnavailable { region }) => {
+                            self.region_manager.lock().mark_unreachable(region);
+                            if attempts < 3 {
+                                continue 'replan; // re-plan around the failure
+                            }
+                            return Err(StoreError::RegionUnavailable { region }.into());
+                        }
+                        Err(other) => return Err(other.into()),
+                    }
+                }
+                break (worst, remote_hits, backend_fetches);
+            }
+
+            // Hedged execute: the request list carries the plan's
+            // backend primaries first and its `hedges` spares last.
+            // Race them all, *late-bind* the first `needed` successful
+            // arrivals (smallest latencies) into the decode and discard
+            // the stragglers — their payloads never reach `shards`, so
+            // a straggler can neither mix versions into the decode nor
+            // displace a bound chunk.
+            let needed = requests.len() - hedges;
+            self.cache.record_hedged_requests(hedges as u64);
+            let mut arrivals: Vec<(usize, Duration, FetchRequest, Bytes)> = Vec::new();
+            let mut failed_region = None;
+            for (position, (request, result)) in fetcher
+                .fetch(self.region, &requests, &mut rng)
+                .into_iter()
+                .enumerate()
+            {
                 match result {
                     Ok(fetch) => {
+                        // Every response — bound or straggling — feeds
+                        // the latency estimator; stragglers are exactly
+                        // the observations that grow the deviation.
                         self.region_manager
                             .lock()
                             .observe(request.region, fetch.latency);
                         if fetch.version != version {
-                            // A write landed mid-read; mixing
-                            // versions would decode garbage.
                             return Ok(None);
                         }
-                        backend_fetches += 1;
-                        worst = worst.max(fetch.latency);
-                        shards[request.chunk.index().value() as usize] = Some(fetch.data);
+                        arrivals.push((position, fetch.latency, request, fetch.data));
                     }
                     Err(StoreError::RegionUnavailable { region }) => {
+                        // A dead hedge region must not fail the read:
+                        // replan only if the survivors cannot cover k.
                         self.region_manager.lock().mark_unreachable(region);
-                        if attempts < 3 {
-                            continue 'replan; // re-plan around the failure
-                        }
-                        return Err(StoreError::RegionUnavailable { region }.into());
+                        failed_region = Some(region);
                     }
                     Err(other) => return Err(other.into()),
                 }
+            }
+            if arrivals.len() < needed {
+                if attempts < 3 {
+                    continue 'replan;
+                }
+                let region = failed_region.unwrap_or(self.region);
+                return Err(StoreError::RegionUnavailable { region }.into());
+            }
+            // All successful fetches are issued backend work, bound or
+            // not (the (1+Δ/k)× round-trip budget counts them all).
+            backend_fetches = arrivals.len();
+            // First-k binding: sort by arrival time, position breaking
+            // ties in favour of primaries (stable, deterministic).
+            arrivals.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+            let mut cancelled = 0u64;
+            for (slot, (position, latency, request, data)) in arrivals.into_iter().enumerate() {
+                if slot < needed {
+                    worst = worst.max(latency);
+                    shards[request.chunk.index().value() as usize] = Some(data);
+                    if position >= needed {
+                        self.cache.record_hedge_win();
+                    }
+                } else {
+                    cancelled += 1;
+                }
+            }
+            if cancelled > 0 {
+                self.cache.record_hedges_cancelled(cancelled);
             }
             break (worst, remote_hits, backend_fetches);
         };
@@ -952,6 +1054,60 @@ mod tests {
     }
 
     #[test]
+    fn hedged_reads_return_correct_data_and_count_hedges() {
+        let backend = test_backend(3, 900);
+        let mut settings = AgarSettings::paper_default(900);
+        settings.max_hedges = 2;
+        let node = AgarNode::new(FRANKFURT, backend, settings, 7).unwrap();
+        for i in 0..3 {
+            let metrics = node.read(ObjectId::new(i)).unwrap();
+            assert_eq!(metrics.data.as_ref(), expected_payload(i, 900).as_slice());
+            assert!(
+                metrics.backend_fetches >= 9,
+                "hedged cold reads issue at least k fetches"
+            );
+        }
+        let stats = node.cache_stats();
+        // The jittered preset seeds nonzero deviations, so at least the
+        // equal-estimate spare chunk is hedged on every cold read; with
+        // no failures every hedge ends as a win or leaves an equally
+        // priced straggler cancelled.
+        assert!(stats.hedged_requests() > 0);
+        assert_eq!(stats.hedged_requests(), stats.hedges_cancelled());
+        assert!(stats.hedge_wins() <= stats.hedged_requests());
+    }
+
+    #[test]
+    fn zero_hedges_is_byte_identical_to_the_unhedged_engine() {
+        // Two fresh nodes, same seed: one built before hedging existed
+        // (defaults) and one with hedging explicitly disabled must
+        // produce identical latency sequences and identical stats.
+        let run = |settings: AgarSettings| {
+            let backend = test_backend(4, 900);
+            let node = AgarNode::new(FRANKFURT, backend, settings, 7).unwrap();
+            let mut latencies = Vec::new();
+            for round in 0..12 {
+                let metrics = node.read(ObjectId::new(round % 4)).unwrap();
+                latencies.push(metrics.latency);
+            }
+            node.force_reconfigure();
+            for round in 0..12 {
+                let metrics = node.read(ObjectId::new(round % 4)).unwrap();
+                latencies.push(metrics.latency);
+            }
+            (latencies, node.cache_stats())
+        };
+        let (default_latencies, default_stats) = run(AgarSettings::paper_default(1_800));
+        let mut disabled = AgarSettings::paper_default(1_800);
+        disabled.max_hedges = 0;
+        disabled.hedge_z = 1.0;
+        let (disabled_latencies, disabled_stats) = run(disabled);
+        assert_eq!(default_latencies, disabled_latencies);
+        assert_eq!(default_stats, disabled_stats);
+        assert_eq!(default_stats.hedged_requests(), 0);
+    }
+
+    #[test]
     fn invalid_settings_rejected() {
         let backend = test_backend(1, 900);
         let mut settings = AgarSettings::paper_default(900);
@@ -974,6 +1130,12 @@ mod tests {
         ));
         let mut settings = AgarSettings::paper_default(900);
         settings.cache_shards = 0;
+        assert!(matches!(
+            AgarNode::new(FRANKFURT, Arc::clone(&backend), settings, 0),
+            Err(AgarError::InvalidSetting { .. })
+        ));
+        let mut settings = AgarSettings::paper_default(900);
+        settings.hedge_z = 0.0;
         assert!(matches!(
             AgarNode::new(FRANKFURT, backend, settings, 0),
             Err(AgarError::InvalidSetting { .. })

@@ -70,15 +70,56 @@ pub enum ChunkSource {
     },
 }
 
-/// The executable outcome of planning one object read: exactly `k`
-/// `(chunk index, source)` pairs covering `k` distinct chunks.
+/// The executable outcome of planning one object read: at least `k`
+/// `(chunk index, source)` pairs covering distinct chunks — exactly `k`
+/// primaries, plus up to Δ trailing backend hedges when a
+/// [`HedgePolicy`] prices the extra requests as worthwhile.
 #[derive(Clone, Debug, Default)]
 pub struct ReadPlan {
     /// The chosen source per chunk, local hits first, then the
-    /// remaining sources cheapest-first.
+    /// remaining primary sources cheapest-first, then any hedges.
     pub sources: Vec<(u8, ChunkSource)>,
     /// How many of the sources are local cache hits.
     pub cache_hits: usize,
+    /// How many trailing entries of `sources` are speculative hedges
+    /// (always backend fetches of spare chunks beyond the k the decode
+    /// needs). Zero when hedging is disabled or unpriced.
+    pub hedges: usize,
+}
+
+/// Prices speculative over-provisioning of backend fetches (Dean &
+/// Barroso's hedged requests): issue k+Δ, bind the first k arrivals,
+/// discard the stragglers.
+///
+/// A spare chunk qualifies as a hedge only while its latency estimate
+/// stays within `z` mean-deviations of the slowest planned backend
+/// primary — hedging is worth paying for exactly when the primaries'
+/// regions are high-variance, and free of spurious duplicates when the
+/// network is steady (zero deviation admits no hedges).
+#[derive(Clone, Copy, Debug)]
+pub struct HedgePolicy<'a> {
+    /// Maximum number of extra backend fetches (Δ) per read, applied at
+    /// full backend fan-out; reads partially served by caches get a cap
+    /// pro-rated by their backend share (`Δ · backend primaries / k`),
+    /// keeping total round trips within `(1 + Δ/k)×` the unhedged cost.
+    pub max_hedges: usize,
+    /// Dispersion multiplier on the admission threshold.
+    pub z: f64,
+    /// Per-region mean-deviation estimates (σ), indexed by region id;
+    /// typically `RegionManager::deviations`.
+    pub deviations: &'a [Duration],
+}
+
+impl HedgePolicy<'static> {
+    /// A policy that never hedges; `plan` with this policy is
+    /// byte-identical to unhedged planning.
+    pub fn disabled() -> Self {
+        HedgePolicy {
+            max_hedges: 0,
+            z: 0.0,
+            deviations: &[],
+        }
+    }
 }
 
 /// Plans object reads against a config snapshot: ranks local cache
@@ -160,6 +201,29 @@ impl<'a> ReadPlanner<'a> {
         backend: &Backend,
         estimates: &[Duration],
     ) -> Result<ReadPlan, AgarError> {
+        self.plan_hedged(hits, remote, backend, estimates, HedgePolicy::disabled())
+    }
+
+    /// [`ReadPlanner::plan`] with speculative over-provisioning: after
+    /// picking the k cheapest primaries, appends up to
+    /// `hedging.max_hedges` spare backend chunks whose estimates fall
+    /// within the policy's dispersion threshold. The spares are
+    /// *distinct* chunk indices — with an any-k decode, racing k+Δ
+    /// distinct chunks and binding the first k arrivals needs no
+    /// request cancellation protocol at all.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReadPlanner::plan`]; hedge availability never affects
+    /// plan feasibility.
+    pub fn plan_hedged(
+        &self,
+        hits: Vec<(u8, Bytes)>,
+        remote: &[RemoteChunk],
+        backend: &Backend,
+        estimates: &[Duration],
+        hedging: HedgePolicy<'_>,
+    ) -> Result<ReadPlan, AgarError> {
         let object = self.manifest.object();
         let k = self.manifest.params().data_chunks();
         let total = self.manifest.params().total_chunks();
@@ -174,6 +238,7 @@ impl<'a> ReadPlanner<'a> {
             return Ok(ReadPlan {
                 sources,
                 cache_hits,
+                hedges: 0,
             });
         }
 
@@ -238,15 +303,48 @@ impl<'a> ReadPlanner<'a> {
             .into());
         }
         candidates.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-        sources.extend(
-            candidates
-                .into_iter()
-                .take(needed)
-                .map(|(_, index, source)| (index, source)),
-        );
+        let mut ranked = candidates.into_iter();
+        // The worst planned backend primary sets the hedge admission
+        // threshold; σ is the largest dispersion among the primaries'
+        // regions (hedge when *they* look risky, not when the spare is
+        // cheap).
+        let mut worst_backend: Option<Duration> = None;
+        let mut sigma = Duration::ZERO;
+        let mut backend_primaries = 0usize;
+        for (price, index, source) in ranked.by_ref().take(needed) {
+            if let ChunkSource::Backend { region, .. } = &source {
+                backend_primaries += 1;
+                worst_backend = Some(worst_backend.map_or(price, |w| w.max(price)));
+                if let Some(&dev) = hedging.deviations.get(region.index()) {
+                    sigma = sigma.max(dev);
+                }
+            }
+            sources.push((index, source));
+        }
+        // Pro-rate Δ by the read's backend share: a read the cache
+        // mostly serves carries little straggler risk, and full-Δ
+        // hedging there would blow the (1 + Δ/k)× round-trip budget.
+        let max_hedges = backend_primaries * hedging.max_hedges / k;
+        let mut hedges = 0;
+        if max_hedges > 0 && hedging.z > 0.0 && sigma > Duration::ZERO {
+            if let Some(worst) = worst_backend {
+                let threshold = worst + sigma.mul_f64(hedging.z);
+                for (price, index, source) in ranked {
+                    if hedges == max_hedges || price > threshold {
+                        break;
+                    }
+                    if !matches!(source, ChunkSource::Backend { .. }) {
+                        continue;
+                    }
+                    sources.push((index, source));
+                    hedges += 1;
+                }
+            }
+        }
         Ok(ReadPlan {
             sources,
             cache_hits,
+            hedges,
         })
     }
 }
@@ -402,6 +500,74 @@ mod tests {
             .sources
             .iter()
             .all(|(_, s)| matches!(s, ChunkSource::Backend { .. })));
+    }
+
+    #[test]
+    fn hedged_plan_appends_distinct_spare_backend_chunks() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        let planner = ReadPlanner::new(&manifest, &config);
+        let deviations = vec![Duration::from_millis(400); 6];
+        let policy = HedgePolicy {
+            max_hedges: 2,
+            z: 3.0,
+            deviations: &deviations,
+        };
+        let plan = planner
+            .plan_hedged(Vec::new(), &[], &backend, &estimates, policy)
+            .unwrap();
+        assert_eq!(plan.hedges, 2);
+        assert_eq!(plan.sources.len(), 11, "k=9 primaries + 2 hedges");
+        // Hedges are spare, distinct chunk indices (any-k decode needs
+        // no duplicates), trailing in the plan, and backend-sourced.
+        let distinct: ChunkSet = plan.sources.iter().map(|&(i, _)| i).collect();
+        assert_eq!(distinct.len(), 11);
+        for (_, source) in plan.sources.iter().rev().take(2) {
+            assert!(matches!(source, ChunkSource::Backend { .. }));
+        }
+    }
+
+    #[test]
+    fn steady_network_admits_no_hedges() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        let planner = ReadPlanner::new(&manifest, &config);
+        // Zero observed dispersion: duplicates would be pure waste.
+        let deviations = vec![Duration::ZERO; 6];
+        let policy = HedgePolicy {
+            max_hedges: 3,
+            z: 3.0,
+            deviations: &deviations,
+        };
+        let plan = planner
+            .plan_hedged(Vec::new(), &[], &backend, &estimates, policy)
+            .unwrap();
+        assert_eq!(plan.hedges, 0);
+        assert_eq!(plan.sources.len(), 9);
+    }
+
+    #[test]
+    fn disabled_policy_matches_plain_plan() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        let planner = ReadPlanner::new(&manifest, &config);
+        let plain = planner.plan(Vec::new(), &[], &backend, &estimates).unwrap();
+        let hedged = planner
+            .plan_hedged(
+                Vec::new(),
+                &[],
+                &backend,
+                &estimates,
+                HedgePolicy::disabled(),
+            )
+            .unwrap();
+        assert_eq!(plain.hedges, 0);
+        assert_eq!(plain.sources.len(), hedged.sources.len());
+        let indices = |p: &ReadPlan| p.sources.iter().map(|&(i, _)| i).collect::<Vec<_>>();
+        assert_eq!(indices(&plain), indices(&hedged));
     }
 
     #[test]

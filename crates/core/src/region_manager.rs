@@ -21,6 +21,9 @@ pub struct RegionManager {
     home: RegionId,
     topology: Topology,
     estimates: Vec<Duration>,
+    /// Exponentially weighted mean deviation per region (TCP-rttvar
+    /// style): the dispersion signal hedged reads price Δ from.
+    deviations: Vec<Duration>,
     /// EWMA weight for live observations.
     alpha: f64,
     observations: u64,
@@ -44,6 +47,7 @@ impl RegionManager {
             home,
             topology,
             estimates: vec![Duration::ZERO; n],
+            deviations: vec![Duration::ZERO; n],
             alpha: 0.3,
             observations: 0,
         }
@@ -71,6 +75,7 @@ impl RegionManager {
         let prober = Prober::new(chunk_bytes, probes);
         let estimates = prober.probe_all(model, self.home, self.topology.len(), rng);
         self.estimates = estimates.iter().map(|e| e.mean()).collect();
+        self.deviations = estimates.iter().map(|e| e.std_dev()).collect();
     }
 
     /// Directly sets one region's estimate (tests, manual overrides).
@@ -82,17 +87,23 @@ impl RegionManager {
         self.estimates[region.index()] = latency;
     }
 
-    /// Folds a live fetch observation into the estimate (EWMA).
+    /// Folds a live fetch observation into the estimate (EWMA) and the
+    /// deviation (exponentially weighted mean deviation against the
+    /// pre-update estimate, as TCP's rttvar does).
     pub fn observe(&mut self, region: RegionId, latency: Duration) {
         let index = region.index();
         let prev = self.estimates[index];
         // A previously-unreachable or unseeded region adopts the
-        // observation outright.
-        self.estimates[index] = if prev == Duration::ZERO || prev >= UNREACHABLE {
-            latency
+        // observation outright (and resets its deviation).
+        if prev == Duration::ZERO || prev >= UNREACHABLE {
+            self.estimates[index] = latency;
+            self.deviations[index] = Duration::ZERO;
         } else {
-            prev.mul_f64(1.0 - self.alpha) + latency.mul_f64(self.alpha)
-        };
+            let error = latency.abs_diff(prev);
+            self.deviations[index] =
+                self.deviations[index].mul_f64(1.0 - self.alpha) + error.mul_f64(self.alpha);
+            self.estimates[index] = prev.mul_f64(1.0 - self.alpha) + latency.mul_f64(self.alpha);
+        }
         self.observations += 1;
     }
 
@@ -115,6 +126,16 @@ impl RegionManager {
     /// All estimates, indexed by region id.
     pub fn estimates(&self) -> &[Duration] {
         &self.estimates
+    }
+
+    /// The current mean-deviation estimate for a region.
+    pub fn deviation(&self, region: RegionId) -> Duration {
+        self.deviations[region.index()]
+    }
+
+    /// All mean-deviation estimates, indexed by region id.
+    pub fn deviations(&self) -> &[Duration] {
+        &self.deviations
     }
 
     /// Regions ordered nearest-first by current estimates.
@@ -197,6 +218,33 @@ mod tests {
         let mut manager = RegionManager::new(FRANKFURT, preset.topology);
         manager.observe(SYDNEY, Duration::from_millis(900));
         assert_eq!(manager.estimate(SYDNEY), Duration::from_millis(900));
+        assert_eq!(manager.deviation(SYDNEY), Duration::ZERO);
+    }
+
+    #[test]
+    fn warm_up_seeds_deviations_from_probe_dispersion() {
+        let manager = warmed_manager();
+        // The calibrated preset is jittered, so far regions show spread.
+        assert!(manager.deviation(SYDNEY) > Duration::ZERO);
+        assert_eq!(manager.deviations().len(), manager.estimates().len());
+    }
+
+    #[test]
+    fn deviation_tracks_observation_spread() {
+        let mut manager = warmed_manager();
+        // Steady observations collapse the deviation towards zero...
+        for _ in 0..100 {
+            manager.observe(SYDNEY, Duration::from_millis(500));
+        }
+        let steady = manager.deviation(SYDNEY);
+        assert!(steady < Duration::from_millis(1), "steady dev {steady:?}");
+        // ...while alternating fast/slow observations grow it.
+        for i in 0..100 {
+            let ms = if i % 2 == 0 { 100 } else { 900 };
+            manager.observe(SYDNEY, Duration::from_millis(ms));
+        }
+        let noisy = manager.deviation(SYDNEY);
+        assert!(noisy > Duration::from_millis(100), "noisy dev {noisy:?}");
     }
 
     #[test]

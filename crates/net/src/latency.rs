@@ -10,6 +10,8 @@
 use crate::error::NetError;
 use crate::region::RegionId;
 use rand::RngCore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A source of wide-area fetch latencies.
@@ -278,6 +280,135 @@ impl LatencyModel for MatrixLatency {
     }
 }
 
+/// A deterministic periodic slowdown applied to fetches *served by* one
+/// region: every `every`-th draw against that region takes `factor`×
+/// longer. This is the building block of the straggler scenarios — the
+/// classic "one in N requests hits a GC pause / queue spike" tail.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LatencySpike {
+    /// Region whose responses are slowed.
+    pub region: RegionId,
+    /// Period: the Nth, 2Nth, … draws against the region are spiked.
+    pub every: u64,
+    /// Latency multiplier applied to spiked draws (≥ 1).
+    pub factor: f64,
+}
+
+struct SpikeState {
+    spike: LatencySpike,
+    draws: AtomicU64,
+}
+
+/// Wraps another [`LatencyModel`] with deterministic per-region
+/// slowdown spikes.
+///
+/// Spikes apply only to `sample`/`sample_batch` — the *tail* of the
+/// distribution. `mean` still reports the inner model's optimistic
+/// estimate, exactly the situation hedged reads are built for: the
+/// planner's estimates look fine while the occasional response
+/// straggles.
+///
+/// The spike schedule counts draws per spiked region with atomic
+/// counters, so a single-threaded simulation replays identically under
+/// the same seed while multi-threaded harnesses stay race-free.
+pub struct SpikedLatency {
+    inner: Arc<dyn LatencyModel>,
+    spikes: Vec<SpikeState>,
+    spiked_draws: AtomicU64,
+}
+
+impl SpikedLatency {
+    /// Wraps `inner` with the given spike schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spike has a zero period or a factor below 1 (or
+    /// non-finite).
+    pub fn new(inner: Arc<dyn LatencyModel>, spikes: Vec<LatencySpike>) -> Self {
+        for spike in &spikes {
+            assert!(spike.every > 0, "spike period must be at least 1");
+            assert!(
+                spike.factor.is_finite() && spike.factor >= 1.0,
+                "spike factor must be finite and at least 1"
+            );
+        }
+        SpikedLatency {
+            inner,
+            spikes: spikes
+                .into_iter()
+                .map(|spike| SpikeState {
+                    spike,
+                    draws: AtomicU64::new(0),
+                })
+                .collect(),
+            spiked_draws: AtomicU64::new(0),
+        }
+    }
+
+    /// Total number of draws that were actually spiked so far.
+    pub fn spiked_draws(&self) -> u64 {
+        self.spiked_draws.load(Ordering::Relaxed)
+    }
+
+    fn stretch(&self, to: RegionId, latency: Duration) -> Duration {
+        let Some(state) = self.spikes.iter().find(|s| s.spike.region == to) else {
+            return latency;
+        };
+        let draw = state.draws.fetch_add(1, Ordering::Relaxed) + 1;
+        if draw % state.spike.every == 0 {
+            self.spiked_draws.fetch_add(1, Ordering::Relaxed);
+            latency.mul_f64(state.spike.factor)
+        } else {
+            latency
+        }
+    }
+}
+
+impl std::fmt::Debug for SpikedLatency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpikedLatency")
+            .field(
+                "spikes",
+                &self.spikes.iter().map(|s| s.spike).collect::<Vec<_>>(),
+            )
+            .field("spiked_draws", &self.spiked_draws())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LatencyModel for SpikedLatency {
+    fn mean(&self, from: RegionId, to: RegionId, bytes: usize) -> Duration {
+        self.inner.mean(from, to, bytes)
+    }
+
+    fn sample(
+        &self,
+        from: RegionId,
+        to: RegionId,
+        bytes: usize,
+        rng: &mut dyn RngCore,
+    ) -> Duration {
+        self.stretch(to, self.inner.sample(from, to, bytes, rng))
+    }
+
+    fn mean_batch(&self, from: RegionId, to: RegionId, chunk_bytes: &[usize]) -> Duration {
+        self.inner.mean_batch(from, to, chunk_bytes)
+    }
+
+    fn sample_batch(
+        &self,
+        from: RegionId,
+        to: RegionId,
+        chunk_bytes: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Duration {
+        if chunk_bytes.is_empty() {
+            return Duration::ZERO;
+        }
+        self.stretch(to, self.inner.sample_batch(from, to, chunk_bytes, rng))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +577,68 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let single = m.sample(a, b, 600, &mut rng);
         assert_eq!(batch, single);
+    }
+
+    #[test]
+    fn spikes_slow_every_nth_draw_to_the_region() {
+        let inner = Arc::new(ConstantLatency::new(Duration::from_millis(10)));
+        let model = SpikedLatency::new(
+            inner,
+            vec![LatencySpike {
+                region: RegionId::new(1),
+                every: 3,
+                factor: 10.0,
+            }],
+        );
+        let a = RegionId::new(0);
+        let spiked = RegionId::new(1);
+        let calm = RegionId::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let draws: Vec<Duration> = (0..6)
+            .map(|_| model.sample(a, spiked, 100, &mut rng))
+            .collect();
+        let fast = Duration::from_millis(10);
+        let slow = Duration::from_millis(100);
+        assert_eq!(draws, vec![fast, fast, slow, fast, fast, slow]);
+        assert_eq!(model.spiked_draws(), 2);
+        // Other regions are untouched, and the mean stays optimistic.
+        assert_eq!(model.sample(a, calm, 100, &mut rng), fast);
+        assert_eq!(model.mean(a, spiked, 100), fast);
+    }
+
+    #[test]
+    fn spiked_batches_count_as_one_draw() {
+        let inner = Arc::new(ConstantLatency::new(Duration::from_millis(10)));
+        let model = SpikedLatency::new(
+            inner,
+            vec![LatencySpike {
+                region: RegionId::new(0),
+                every: 2,
+                factor: 3.0,
+            }],
+        );
+        let r = RegionId::new(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        // Empty batches don't advance the schedule.
+        assert_eq!(model.sample_batch(r, r, &[], &mut rng), Duration::ZERO);
+        let first = model.sample_batch(r, r, &[50, 50], &mut rng);
+        let second = model.sample_batch(r, r, &[50, 50], &mut rng);
+        assert_eq!(first, Duration::from_millis(10));
+        assert_eq!(second, Duration::from_millis(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_spike_period_rejected() {
+        let inner = Arc::new(ConstantLatency::new(Duration::from_millis(1)));
+        let _ = SpikedLatency::new(
+            inner,
+            vec![LatencySpike {
+                region: RegionId::new(0),
+                every: 0,
+                factor: 2.0,
+            }],
+        );
     }
 
     #[test]

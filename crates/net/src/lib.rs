@@ -42,7 +42,7 @@ pub mod sim;
 pub mod time;
 
 pub use error::NetError;
-pub use latency::{ConstantLatency, Jitter, MatrixLatency};
+pub use latency::{ConstantLatency, Jitter, LatencySpike, MatrixLatency, SpikedLatency};
 pub use presets::GeoPreset;
 pub use prober::{LatencyEstimate, Prober};
 pub use region::{Region, RegionId, Topology};

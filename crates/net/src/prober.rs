@@ -16,6 +16,8 @@ pub struct LatencyEstimate {
     mean: Duration,
     min: Duration,
     max: Duration,
+    std_dev: Duration,
+    p99: Duration,
     samples: usize,
 }
 
@@ -31,10 +33,24 @@ impl LatencyEstimate {
             "latency estimate needs at least one sample"
         );
         let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let mean_s = mean.as_secs_f64();
+        let variance = samples
+            .iter()
+            .map(|s| {
+                let d = s.as_secs_f64() - mean_s;
+                d * d
+            })
+            .sum::<f64>()
+            / samples.len() as f64;
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
         LatencyEstimate {
-            mean: total / samples.len() as u32,
-            min: *samples.iter().min().expect("non-empty"),
-            max: *samples.iter().max().expect("non-empty"),
+            mean,
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            std_dev: Duration::from_secs_f64(variance.sqrt()),
+            p99: nearest_rank(&sorted, 0.99),
             samples: samples.len(),
         }
     }
@@ -54,18 +70,41 @@ impl LatencyEstimate {
         self.max
     }
 
+    /// Population standard deviation of the samples — the dispersion
+    /// signal hedged-read planning prices its extra requests from.
+    pub fn std_dev(&self) -> Duration {
+        self.std_dev
+    }
+
+    /// 99th-percentile sample (nearest-rank on the observed set).
+    pub fn p99(&self) -> Duration {
+        self.p99
+    }
+
     /// Number of samples aggregated.
     pub fn samples(&self) -> usize {
         self.samples
     }
 }
 
+/// Nearest-rank percentile over an already-sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+fn nearest_rank(sorted: &[Duration], quantile: f64) -> Duration {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let rank = (quantile * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 impl std::fmt::Display for LatencyEstimate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:.1}ms (min {:.1}, max {:.1}, n={})",
+            "{:.1}ms ±{:.1} (min {:.1}, max {:.1}, n={})",
             self.mean.as_secs_f64() * 1e3,
+            self.std_dev.as_secs_f64() * 1e3,
             self.min.as_secs_f64() * 1e3,
             self.max.as_secs_f64() * 1e3,
             self.samples
@@ -143,6 +182,31 @@ mod tests {
         assert_eq!(est.max(), Duration::from_millis(30));
         assert_eq!(est.samples(), 3);
         assert!(est.to_string().contains("20.0ms"));
+        // Population std-dev of {10, 20, 30} ms is sqrt(200/3) ≈ 8.165ms.
+        let std_ms = est.std_dev().as_secs_f64() * 1e3;
+        assert!((std_ms - 8.165).abs() < 0.01, "std {std_ms}");
+        // Nearest-rank p99 of three samples is the max.
+        assert_eq!(est.p99(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn constant_samples_have_zero_dispersion() {
+        let est = LatencyEstimate::from_samples(&[Duration::from_millis(5); 8]);
+        assert_eq!(est.std_dev(), Duration::ZERO);
+        assert_eq!(est.p99(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn p99_tracks_the_tail_not_the_mean() {
+        // 99 fast samples and one slow one: p99 lands on the fast bulk
+        // with 100 samples (rank ceil(0.99*100)=99), while max sees the
+        // outlier.
+        let mut samples = vec![Duration::from_millis(10); 99];
+        samples.push(Duration::from_millis(500));
+        let est = LatencyEstimate::from_samples(&samples);
+        assert_eq!(est.p99(), Duration::from_millis(10));
+        assert_eq!(est.max(), Duration::from_millis(500));
+        assert!(est.std_dev() > Duration::from_millis(40));
     }
 
     #[test]

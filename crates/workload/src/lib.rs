@@ -16,7 +16,11 @@
 //!   extension: a write ratio plus a write-size distribution
 //!   ([`WriteSizeDist`]), yielding [`MixedOp`]s whose writes carry a
 //!   sampled payload size;
-//! - [`cdf`] — analytic and empirical popularity CDFs (Figure 9).
+//! - [`cdf`] — analytic and empirical popularity CDFs (Figure 9);
+//! - [`scenario`] — the straggler/fault family for the tail-latency
+//!   harness: per-region slowdown spikes, flaky backends and dead
+//!   regions as pure-data [`StragglerScenario`] descriptors,
+//!   deterministic under the simulated clock.
 //!
 //! # Examples
 //!
@@ -38,12 +42,14 @@
 pub mod cdf;
 pub mod dist;
 pub mod error;
+pub mod scenario;
 pub mod spec;
 pub mod zipf;
 
 pub use cdf::{empirical_popularity_cdf, zipf_popularity_cdf, CdfPoint};
 pub use dist::{Hotspot, KeyDistribution, Latest, Sequential, UniformKeys};
 pub use error::WorkloadError;
+pub use scenario::{FlakyRegion, SlowdownSpike, StragglerScenario};
 pub use spec::{
     Distribution, MixedOp, MixedStream, Op, OpStream, ReadWriteMix, WorkloadSpec, WriteSizeDist,
 };

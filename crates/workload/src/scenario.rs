@@ -1,0 +1,185 @@
+//! Straggler and fault scenarios for the tail-latency harness.
+//!
+//! The Agar paper's pitch is cutting the *tail* of erasure-coded read
+//! latency, so the evaluation needs more than a steady WAN: it needs
+//! regions that occasionally straggle (GC pauses, queue spikes), flake
+//! (fail and heal on a schedule) or die outright. This module holds the
+//! pure-data descriptors of those faults; the bench harness realises
+//! them against its latency model and backend under the deterministic
+//! simulated clock, so every scenario replays identically per seed.
+//!
+//! Regions are plain `u16` indices (the same values `agar-net`'s
+//! `RegionId::new` accepts) — descriptors stay free of any network
+//! dependency and serialise trivially.
+
+use serde::{Deserialize, Serialize};
+
+/// A periodic per-region slowdown: every `every`-th response served by
+/// `region` takes `factor`× longer. Deterministic — no coin flips.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SlowdownSpike {
+    /// Index of the region whose responses straggle.
+    pub region: u16,
+    /// Period: the Nth, 2Nth, … responses are spiked.
+    pub every: u64,
+    /// Latency multiplier for spiked responses (≥ 1).
+    pub factor: f64,
+}
+
+/// A region that fails and heals on a fixed simulated-clock cycle:
+/// starting at `first_failure_s`, the region is down for `down_s`
+/// seconds out of every `period_s`-second cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FlakyRegion {
+    /// Index of the flaky region.
+    pub region: u16,
+    /// Simulated second of the first failure.
+    pub first_failure_s: u64,
+    /// Seconds the region stays down per cycle.
+    pub down_s: u64,
+    /// Full fail-heal cycle length in seconds (must exceed `down_s`).
+    pub period_s: u64,
+}
+
+impl FlakyRegion {
+    /// Whether the region is down at simulated second `now_s`.
+    pub fn is_down_at(&self, now_s: u64) -> bool {
+        if now_s < self.first_failure_s {
+            return false;
+        }
+        (now_s - self.first_failure_s) % self.period_s < self.down_s
+    }
+}
+
+/// One named straggler/fault scenario: a spike schedule, flaky
+/// regions, and regions dead for the whole run.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct StragglerScenario {
+    /// Scenario name, used in reports and JSON output.
+    pub name: &'static str,
+    /// Periodic slowdown spikes.
+    pub spikes: Vec<SlowdownSpike>,
+    /// Regions failing and healing on a schedule.
+    pub flaky: Vec<FlakyRegion>,
+    /// Regions down for the entire run.
+    pub dead: Vec<u16>,
+}
+
+impl StragglerScenario {
+    /// A fault-free control: hedging should win nothing and waste
+    /// (almost) nothing here.
+    pub fn calm() -> Self {
+        StragglerScenario {
+            name: "calm",
+            ..StragglerScenario::default()
+        }
+    }
+
+    /// Classic tail-at-scale stragglers: two nearby regions each hit a
+    /// 10× pause every 10th response — rare enough to leave the mean
+    /// alone, common enough to own the P99.
+    pub fn slow_spikes() -> Self {
+        StragglerScenario {
+            name: "slow-spikes",
+            spikes: vec![
+                SlowdownSpike {
+                    region: 0,
+                    every: 10,
+                    factor: 10.0,
+                },
+                SlowdownSpike {
+                    region: 1,
+                    every: 10,
+                    factor: 10.0,
+                },
+            ],
+            ..StragglerScenario::default()
+        }
+    }
+
+    /// A backend that keeps falling over: one mid-distance region is
+    /// down 5 s out of every 20 s, starting at second 5.
+    pub fn flaky_backend() -> Self {
+        StragglerScenario {
+            name: "flaky-backend",
+            flaky: vec![FlakyRegion {
+                region: 2,
+                first_failure_s: 5,
+                down_s: 5,
+                period_s: 20,
+            }],
+            ..StragglerScenario::default()
+        }
+    }
+
+    /// A whole region lost for the run, with spikes on a survivor —
+    /// degraded reads under stragglers, the paper's worst quadrant.
+    pub fn dead_region() -> Self {
+        StragglerScenario {
+            name: "dead-region",
+            spikes: vec![SlowdownSpike {
+                region: 1,
+                every: 10,
+                factor: 10.0,
+            }],
+            dead: vec![3],
+            ..StragglerScenario::default()
+        }
+    }
+
+    /// Every scenario in the family, calm control first.
+    pub fn all() -> Vec<StragglerScenario> {
+        vec![
+            StragglerScenario::calm(),
+            StragglerScenario::slow_spikes(),
+            StragglerScenario::flaky_backend(),
+            StragglerScenario::dead_region(),
+        ]
+    }
+
+    /// Whether the scenario injects any fault at all.
+    pub fn is_calm(&self) -> bool {
+        self.spikes.is_empty() && self.flaky.is_empty() && self.dead.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flaky_schedule_cycles() {
+        let flaky = FlakyRegion {
+            region: 2,
+            first_failure_s: 5,
+            down_s: 5,
+            period_s: 20,
+        };
+        assert!(!flaky.is_down_at(0));
+        assert!(!flaky.is_down_at(4));
+        assert!(flaky.is_down_at(5));
+        assert!(flaky.is_down_at(9));
+        assert!(!flaky.is_down_at(10));
+        assert!(!flaky.is_down_at(24));
+        assert!(flaky.is_down_at(25));
+        assert!(flaky.is_down_at(29));
+        assert!(!flaky.is_down_at(30));
+    }
+
+    #[test]
+    fn family_names_are_distinct_and_calm_leads() {
+        let all = StragglerScenario::all();
+        assert!(all[0].is_calm());
+        let mut names: Vec<&str> = all.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn fault_scenarios_are_not_calm() {
+        assert!(!StragglerScenario::slow_spikes().is_calm());
+        assert!(!StragglerScenario::flaky_backend().is_calm());
+        assert!(!StragglerScenario::dead_region().is_calm());
+    }
+}

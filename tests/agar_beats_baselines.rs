@@ -5,11 +5,13 @@
 //!   backend, at both Frankfurt and Sydney;
 //! - Agar beats LRU-1 by a wide margin (the paper's 41% case);
 //! - under a uniform workload all policies converge (Figure 8b's left
-//!   edge).
+//!   edge);
+//! - the margin survives the straggler scenario family (slowdown
+//!   spikes, a dead region), with hedging protecting the tail.
 
 use agar_bench::{run_averaged, Deployment, PolicySpec, RunConfig, Scale};
 use agar_net::presets::{FRANKFURT, SYDNEY};
-use agar_workload::Distribution;
+use agar_workload::{Distribution, StragglerScenario};
 
 fn config(region: agar_net::RegionId, policy: PolicySpec, dist: Distribution) -> RunConfig {
     let mut config = RunConfig::paper_default(region, policy);
@@ -110,5 +112,48 @@ fn hit_ratio_shapes_match_figure7() {
             agar.hit_ratio,
             fixed.hit_ratio
         );
+    }
+}
+
+#[test]
+fn agar_holds_its_margin_across_the_straggler_scenarios() {
+    // The scenario family from `agar_workload::scenario`, applied to
+    // the deployment itself: regional slowdown spikes and a dead
+    // region. Hedged Agar (Δ = 2) must still beat the backend on the
+    // mean, and hedging must keep its P99 below the unhedged run's
+    // wherever stragglers actually bite (the calm scenario is the
+    // control: hedges barely fire and nothing changes).
+    let zipf = Distribution::Zipfian { skew: 1.1 };
+    for scenario in [
+        StragglerScenario::calm(),
+        StragglerScenario::slow_spikes(),
+        StragglerScenario::dead_region(),
+    ] {
+        let deployment = Deployment::build_with_scenario(Scale::tiny(), &scenario);
+        let mut hedged_config = config(FRANKFURT, PolicySpec::Agar, zipf);
+        hedged_config.max_hedges = 2;
+        let hedged = run_averaged(&deployment, &hedged_config, 2);
+        let backend = run_averaged(
+            &deployment,
+            &config(FRANKFURT, PolicySpec::Backend, zipf),
+            1,
+        );
+        assert!(
+            hedged.mean_latency_ms < backend.mean_latency_ms,
+            "{}: hedged Agar {:.0} vs backend {:.0}",
+            scenario.name,
+            hedged.mean_latency_ms,
+            backend.mean_latency_ms
+        );
+        if !scenario.is_calm() {
+            let unhedged = run_averaged(&deployment, &config(FRANKFURT, PolicySpec::Agar, zipf), 2);
+            assert!(
+                hedged.latency.p99_ms <= unhedged.latency.p99_ms,
+                "{}: hedged P99 {:.0} vs unhedged {:.0}",
+                scenario.name,
+                hedged.latency.p99_ms,
+                unhedged.latency.p99_ms
+            );
+        }
     }
 }
