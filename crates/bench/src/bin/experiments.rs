@@ -15,6 +15,9 @@
 //!      tail         (hedged vs unhedged P50/P95/P99/P999 across the
 //!                    straggler scenario family; simulated clock, so the
 //!                    JSON output is host-independent and CI-gateable)
+//!      tiers        (RAM-only vs two-tier RAM+disk cache while the
+//!                    catalogue outgrows RAM 1x/4x/16x; simulated clock,
+//!                    CI-gateable like tail)
 //! --tiny        run at test scale (fast, same shapes)
 //! --runs N      repetitions to average (default 5, paper value)
 //! --ops N       operations per run (default 1000, paper value)
@@ -23,7 +26,7 @@
 //! ```
 
 use agar_bench::experiments::{self, ExperimentParams};
-use agar_bench::{Deployment, Table, TailParams, TailResult};
+use agar_bench::{Deployment, Table, TailParams, TailResult, TiersParams, TiersResult};
 use std::path::PathBuf;
 
 fn main() {
@@ -96,6 +99,7 @@ fn main() {
 
     let mut emitted: Vec<Table> = Vec::new();
     let mut tail_cells: Vec<TailResult> = Vec::new();
+    let mut tiers_cells: Vec<TiersResult> = Vec::new();
     let mut comparison: Option<Vec<(String, String, f64, f64)>> = None;
     for id in &ids {
         let start = std::time::Instant::now();
@@ -139,6 +143,15 @@ fn main() {
                 tail_cells = results;
                 vec![table]
             }
+            "tiers" => {
+                let mut tiers_params = TiersParams::paper();
+                tiers_params.scale = params.scale;
+                tiers_params.operations = params.operations;
+                let results = agar_bench::tiers_results(&deployment, &tiers_params);
+                let table = agar_bench::tiers_table(&results);
+                tiers_cells = results;
+                vec![table]
+            }
             other => usage(&format!("unknown experiment {other}")),
         };
         for table in tables {
@@ -152,7 +165,7 @@ fn main() {
         eprintln!("[{id}] done in {:.1?}\n", start.elapsed());
     }
     if let Some(path) = &json_path {
-        match std::fs::write(path, results_json(&emitted, &tail_cells)) {
+        match std::fs::write(path, results_json(&emitted, &tail_cells, &tiers_cells)) {
             Ok(()) => eprintln!("wrote JSON results to {}", path.display()),
             Err(e) => {
                 eprintln!("error: could not write {}: {e}", path.display());
@@ -168,10 +181,13 @@ fn main() {
     );
 }
 
-/// Serialises every emitted table plus the tail percentile cells as a
-/// JSON document (`ci/check_bench.py` consumes the `tail` section).
-/// Hand-rolled: the vendored serde stub has no serialisation backend.
-fn results_json(tables: &[Table], tail: &[TailResult]) -> String {
+/// Serialises every emitted table plus the tail and tiers percentile
+/// cells as a JSON document. Both experiment families land in the
+/// `tail` section — `ci/check_bench.py` gates any (scenario, policy,
+/// p99_ms) cell list and the scenario namespaces are disjoint
+/// (straggler names vs `catalogue Nx`). Hand-rolled: the vendored
+/// serde stub has no serialisation backend.
+fn results_json(tables: &[Table], tail: &[TailResult], tiers: &[TiersResult]) -> String {
     let mut out = String::from("{\n  \"tables\": [");
     for (i, table) in tables.iter().enumerate() {
         if i > 0 {
@@ -218,6 +234,40 @@ fn results_json(tables: &[Table], tail: &[TailResult]) -> String {
             cell.hedges_cancelled,
         ));
     }
+    for (i, cell) in tiers.iter().enumerate() {
+        if i > 0 || !tail.is_empty() {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"scenario\": {}, \"policy\": {}, \"catalogue_multiple\": {}, \
+             \"operations\": {}, \"errors\": {}, \"mean_ms\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"p999_ms\": {:.3}, \"max_ms\": {:.3}, \"ram_hits\": {}, \
+             \"disk_hits\": {}, \"chunk_lookups\": {}, \"ram_hit_ratio\": {:.4}, \
+             \"disk_hit_ratio\": {:.4}, \"ram_chunks\": {}, \"disk_chunks\": {}, \
+             \"tier_promotions\": {}, \"disk_evictions\": {}}}",
+            json_string(&cell.scenario),
+            json_string(&cell.policy),
+            cell.catalogue_multiple,
+            cell.operations,
+            cell.errors,
+            cell.latency.mean_ms,
+            cell.latency.p50_ms,
+            cell.latency.p95_ms,
+            cell.latency.p99_ms,
+            cell.latency.p999_ms,
+            cell.latency.max_ms,
+            cell.ram_hits,
+            cell.disk_hits,
+            cell.chunk_lookups,
+            cell.ram_hit_ratio(),
+            cell.disk_hit_ratio(),
+            cell.ram_chunks,
+            cell.disk_chunks,
+            cell.tier_promotions,
+            cell.disk_evictions,
+        ));
+    }
     out.push_str("\n  ]\n}\n");
     out
 }
@@ -256,7 +306,7 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|cluster|mixed|ec|tail|all]... \
+        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|cluster|mixed|ec|tail|tiers|all]... \
          [--tiny] [--runs N] [--ops N] [--out DIR] [--json FILE]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });

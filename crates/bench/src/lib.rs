@@ -13,6 +13,7 @@
 //! | Figure 9 (popularity CDF) | [`experiments::fig9`] | `experiments -- fig9` |
 //! | Figure 10 (cache contents) | [`experiments::fig10`] | `experiments -- fig10` |
 //! | §II-D / §VI solver claims | [`experiments::ablation`] + Criterion benches | `experiments -- ablation`, `cargo bench` |
+//! | Two-tier cache under catalogue pressure | [`tiers::tiers_results`] | `experiments -- tiers` |
 //!
 //! The harness drives closed-loop clients on a deterministic simulated
 //! clock ([`harness::run_once`]), exactly mirroring the paper's two
@@ -29,6 +30,7 @@ pub mod mixed;
 pub mod table;
 pub mod tail;
 pub mod throughput;
+pub mod tiers;
 
 pub use cluster::{
     build_warm_cluster, build_warm_hedged_cluster, cluster_scaling, run_cluster_threads,
@@ -41,3 +43,4 @@ pub use mixed::{mixed_table, run_mixed_cluster, MixedRun};
 pub use table::{LatencyHistogram, LatencySummary, Table};
 pub use tail::{tail_results, tail_run, tail_table, TailParams, TailResult};
 pub use throughput::{build_warm_node, run_threads, throughput_scaling, ThroughputRun};
+pub use tiers::{tiers_results, tiers_run, tiers_table, TiersParams, TiersResult};

@@ -1,0 +1,485 @@
+//! The per-node disk cache tier: a segmented append-log chunk store.
+//!
+//! The Agar paper caps the cacheable catalogue at what fits in each
+//! node's memcached; f4-style warm tiers show that the long tail of an
+//! erasure-coded working set belongs on cheap, slower storage. This
+//! module is that tier: a byte-capped store of versioned chunks kept in
+//! append-only segment files under a private temp directory, fronted by
+//! an in-memory index.
+//!
+//! Design points:
+//!
+//! - **Append-log segments.** Writes append a checksummed frame to the
+//!   active segment; a segment seals once it passes its target size and
+//!   a fresh one becomes active. Overwrites leave the old frame behind
+//!   as dead space — the index only ever points at the newest frame.
+//! - **FIFO capacity eviction.** When total segment bytes exceed the
+//!   budget the *oldest whole segment* is deleted and its still-live
+//!   index entries are dropped. That is deterministic, O(1) per
+//!   segment, and mirrors how log-structured caches reclaim space.
+//! - **Corruption is a miss, never bad bytes.** Every frame carries its
+//!   identity, version, length and an FNV-1a checksum. A torn or
+//!   corrupted frame (short read, magic/identity mismatch, checksum
+//!   failure) purges the index entry and reports a miss so the caller
+//!   falls back to the backend; it never panics and never returns
+//!   payload bytes that failed verification.
+//!
+//! The store removes its directory on drop.
+
+use crate::cache::CachedChunk;
+use agar_ec::ChunkId;
+use bytes::Bytes;
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Frame magic, little-endian, first 4 bytes of every frame.
+const FRAME_MAGIC: u32 = 0xA6A7_C4CE;
+
+/// Fixed frame header size: magic(4) + object(8) + index(1) + version(8)
+/// + len(4) + checksum(8).
+const HEADER_LEN: usize = 4 + 8 + 1 + 8 + 4 + 8;
+
+/// Global counter so concurrent stores in one process get distinct dirs.
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// FNV-1a 64-bit over a byte slice — dependency-free payload checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Where a live chunk's newest frame sits.
+#[derive(Clone, Copy, Debug)]
+struct Location {
+    segment: u64,
+    /// Byte offset of the frame header within the segment file.
+    offset: u64,
+    /// Payload length (excludes the header).
+    len: u32,
+    version: u64,
+}
+
+#[derive(Debug)]
+struct Segment {
+    id: u64,
+    path: PathBuf,
+    /// Bytes written to this segment (headers + payloads).
+    len: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    dir: PathBuf,
+    /// Oldest first; the back entry is the active (append) segment.
+    segments: VecDeque<Segment>,
+    index: HashMap<ChunkId, Location>,
+    /// Sum of all segment lengths, live and dead frames alike.
+    used: u64,
+    next_segment: u64,
+}
+
+/// Outcome of a [`DiskStore::put`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskPutOutcome {
+    /// Whether the chunk was stored (false: larger than the whole tier,
+    /// or the tier has zero capacity).
+    pub stored: bool,
+    /// Live entries dropped by whole-segment capacity eviction.
+    pub evicted: u64,
+}
+
+/// A byte-capped, checksummed, segmented append-log store of versioned
+/// chunks under a private temp directory.
+///
+/// All operations take `&self`; the store is internally synchronised
+/// with a single mutex (this is the slow tier — its lock is not on the
+/// RAM hot path).
+///
+/// # Examples
+///
+/// ```
+/// use agar_cache::{CachedChunk, DiskStore};
+/// use agar_ec::{ChunkId, ObjectId};
+/// use bytes::Bytes;
+///
+/// let store = DiskStore::new(1 << 20).unwrap();
+/// let id = ChunkId::new(ObjectId::new(1), 0);
+/// store.put(id, &CachedChunk::new(Bytes::from(vec![7u8; 128]), 3));
+/// let back = store.get(&id).unwrap();
+/// assert_eq!(back.version(), 3);
+/// assert_eq!(back.data().len(), 128);
+/// ```
+#[derive(Debug)]
+pub struct DiskStore {
+    capacity: u64,
+    /// Target size after which the active segment seals.
+    segment_target: u64,
+    inner: Mutex<Inner>,
+}
+
+impl DiskStore {
+    /// Creates a store of `capacity_bytes` under a fresh private
+    /// directory in the system temp dir (removed on drop).
+    pub fn new(capacity_bytes: usize) -> std::io::Result<Self> {
+        let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("agar-disk-{}-{}", std::process::id(), seq));
+        std::fs::create_dir_all(&dir)?;
+        let capacity = capacity_bytes as u64;
+        // Eight segments per tier keeps whole-segment FIFO eviction
+        // reasonably granular without a file per chunk.
+        let segment_target = (capacity / 8).max(1);
+        Ok(DiskStore {
+            capacity,
+            segment_target,
+            inner: Mutex::new(Inner {
+                dir,
+                segments: VecDeque::new(),
+                index: HashMap::new(),
+                used: 0,
+                next_segment: 0,
+            }),
+        })
+    }
+
+    /// The byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Bytes currently held in segment files (including dead frames
+    /// left behind by overwrites).
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().unwrap().used as usize
+    }
+
+    /// Number of live (indexed) chunks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().index.len()
+    }
+
+    /// Whether no live chunks are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a live entry exists for `id`.
+    pub fn contains(&self, id: &ChunkId) -> bool {
+        self.inner.lock().unwrap().index.contains_key(id)
+    }
+
+    /// The version of the live entry for `id`, if any.
+    pub fn version_of(&self, id: &ChunkId) -> Option<u64> {
+        self.inner.lock().unwrap().index.get(id).map(|l| l.version)
+    }
+
+    /// All live chunk ids (unordered).
+    pub fn keys(&self) -> Vec<ChunkId> {
+        self.inner.lock().unwrap().index.keys().copied().collect()
+    }
+
+    /// Paths of the current segment files, oldest first. Exposed for
+    /// crash/corruption tests and diagnostics; treat the contents as
+    /// opaque.
+    pub fn segment_paths(&self) -> Vec<PathBuf> {
+        self.inner
+            .lock()
+            .unwrap()
+            .segments
+            .iter()
+            .map(|s| s.path.clone())
+            .collect()
+    }
+
+    /// Appends `chunk` under `id`, replacing any older live entry (the
+    /// old frame becomes dead space). Evicts whole oldest segments as
+    /// needed to stay within the byte budget.
+    pub fn put(&self, id: ChunkId, chunk: &CachedChunk) -> DiskPutOutcome {
+        let payload = chunk.data();
+        let frame_len = HEADER_LEN as u64 + payload.len() as u64;
+        if frame_len > self.capacity {
+            return DiskPutOutcome {
+                stored: false,
+                evicted: 0,
+            };
+        }
+        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+        frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        frame.extend_from_slice(&id.object().index().to_le_bytes());
+        frame.push(id.index().value());
+        frame.extend_from_slice(&chunk.version().to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let (segment, offset) = match Self::append_frame(inner, self.segment_target, &frame) {
+            Ok(at) => at,
+            Err(_) => {
+                // An I/O failure on the slow tier degrades to "not
+                // cached": drop any stale index entry and move on.
+                inner.index.remove(&id);
+                return DiskPutOutcome {
+                    stored: false,
+                    evicted: 0,
+                };
+            }
+        };
+        inner.index.insert(
+            id,
+            Location {
+                segment,
+                offset,
+                len: payload.len() as u32,
+                version: chunk.version(),
+            },
+        );
+        let evicted = Self::evict_to_capacity(inner, self.capacity);
+        DiskPutOutcome {
+            stored: inner.index.contains_key(&id),
+            evicted,
+        }
+    }
+
+    /// Looks up `id`, verifying the frame's magic, identity, version
+    /// and checksum. Any verification failure (torn frame, corrupted
+    /// payload, I/O error) drops the index entry and returns `None` —
+    /// a miss, never unverified bytes.
+    pub fn get(&self, id: &ChunkId) -> Option<CachedChunk> {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let loc = *inner.index.get(id)?;
+        match Self::read_frame(inner, id, loc) {
+            Some(chunk) => Some(chunk),
+            None => {
+                inner.index.remove(id);
+                None
+            }
+        }
+    }
+
+    /// Drops the live entry for `id` (dead space remains until its
+    /// segment is evicted). Returns whether an entry existed.
+    pub fn remove(&self, id: &ChunkId) -> bool {
+        self.inner.lock().unwrap().index.remove(id).is_some()
+    }
+
+    /// Drops every live entry whose id matches `pred`; returns how many
+    /// were dropped.
+    pub fn remove_matching(&self, mut pred: impl FnMut(&ChunkId) -> bool) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let before = inner.index.len();
+        inner.index.retain(|id, _| !pred(id));
+        before - inner.index.len()
+    }
+
+    fn append_frame(inner: &mut Inner, target: u64, frame: &[u8]) -> std::io::Result<(u64, u64)> {
+        let needs_new = match inner.segments.back() {
+            Some(active) => active.len >= target,
+            None => true,
+        };
+        if needs_new {
+            let id = inner.next_segment;
+            inner.next_segment += 1;
+            let path = inner.dir.join(format!("seg-{id}.log"));
+            File::create(&path)?;
+            inner.segments.push_back(Segment { id, path, len: 0 });
+        }
+        let active = inner.segments.back_mut().expect("active segment exists");
+        let mut file = OpenOptions::new().append(true).open(&active.path)?;
+        file.write_all(frame)?;
+        let offset = active.len;
+        active.len += frame.len() as u64;
+        inner.used += frame.len() as u64;
+        Ok((active.id, offset))
+    }
+
+    fn read_frame(inner: &Inner, id: &ChunkId, loc: Location) -> Option<CachedChunk> {
+        let segment = inner.segments.iter().find(|s| s.id == loc.segment)?;
+        let mut file = File::open(&segment.path).ok()?;
+        file.seek(SeekFrom::Start(loc.offset)).ok()?;
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact(&mut header).ok()?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let object = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        let index = header[12];
+        let version = u64::from_le_bytes(header[13..21].try_into().unwrap());
+        let len = u32::from_le_bytes(header[21..25].try_into().unwrap());
+        let checksum = u64::from_le_bytes(header[25..33].try_into().unwrap());
+        if magic != FRAME_MAGIC
+            || object != id.object().index()
+            || index != id.index().value()
+            || version != loc.version
+            || len != loc.len
+        {
+            return None;
+        }
+        let mut payload = vec![0u8; len as usize];
+        file.read_exact(&mut payload).ok()?;
+        if fnv1a(&payload) != checksum {
+            return None;
+        }
+        Some(CachedChunk::new(Bytes::from(payload), version))
+    }
+
+    /// Deletes oldest whole segments until within `capacity`; returns
+    /// how many live entries were dropped with them.
+    fn evict_to_capacity(inner: &mut Inner, capacity: u64) -> u64 {
+        let mut dropped_live = 0u64;
+        while inner.used > capacity && inner.segments.len() > 1 {
+            let victim = inner.segments.pop_front().expect("len > 1");
+            inner.used = inner.used.saturating_sub(victim.len);
+            let victim_id = victim.id;
+            let before = inner.index.len();
+            inner.index.retain(|_, loc| loc.segment != victim_id);
+            dropped_live += (before - inner.index.len()) as u64;
+            let _ = std::fs::remove_file(&victim.path);
+        }
+        dropped_live
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        if let Ok(inner) = self.inner.lock() {
+            let _ = std::fs::remove_dir_all(&inner.dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agar_ec::ObjectId;
+
+    fn chunk(byte: u8, len: usize, version: u64) -> CachedChunk {
+        CachedChunk::new(Bytes::from(vec![byte; len]), version)
+    }
+
+    fn id(object: u64, index: u8) -> ChunkId {
+        ChunkId::new(ObjectId::new(object), index)
+    }
+
+    #[test]
+    fn put_get_roundtrip_with_versions() {
+        let store = DiskStore::new(1 << 20).unwrap();
+        for i in 0..12u8 {
+            let out = store.put(id(7, i), &chunk(i, 256, 5));
+            assert!(out.stored);
+        }
+        assert_eq!(store.len(), 12);
+        for i in 0..12u8 {
+            let back = store.get(&id(7, i)).unwrap();
+            assert_eq!(back.version(), 5);
+            assert_eq!(back.data().as_ref(), &vec![i; 256][..]);
+        }
+        assert_eq!(store.version_of(&id(7, 3)), Some(5));
+        assert!(store.get(&id(8, 0)).is_none());
+    }
+
+    #[test]
+    fn overwrite_serves_newest_version() {
+        let store = DiskStore::new(1 << 20).unwrap();
+        store.put(id(1, 0), &chunk(0xAA, 100, 1));
+        store.put(id(1, 0), &chunk(0xBB, 120, 2));
+        let back = store.get(&id(1, 0)).unwrap();
+        assert_eq!(back.version(), 2);
+        assert_eq!(back.data().len(), 120);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_segments_fifo() {
+        // 8 KiB budget, 1 KiB segments: old entries age out as whole
+        // segments while recent ones survive.
+        let store = DiskStore::new(8 * 1024).unwrap();
+        let mut total_evicted = 0;
+        for i in 0..64u64 {
+            let out = store.put(id(i, 0), &chunk(i as u8, 512, 1));
+            assert!(out.stored);
+            total_evicted += out.evicted;
+        }
+        assert!(store.used_bytes() <= 8 * 1024 + 600);
+        assert!(total_evicted > 0, "old segments must have been evicted");
+        // The most recent insert is always live.
+        assert!(store.contains(&id(63, 0)));
+        // The very first insert aged out.
+        assert!(!store.contains(&id(0, 0)));
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected_not_stored() {
+        let store = DiskStore::new(1024).unwrap();
+        let out = store.put(id(1, 0), &chunk(1, 4096, 1));
+        assert!(!out.stored);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn remove_matching_purges_object() {
+        let store = DiskStore::new(1 << 20).unwrap();
+        for i in 0..6u8 {
+            store.put(id(1, i), &chunk(i, 64, 1));
+            store.put(id(2, i), &chunk(i, 64, 1));
+        }
+        let removed = store.remove_matching(|c| c.object() == ObjectId::new(1));
+        assert_eq!(removed, 6);
+        assert_eq!(store.len(), 6);
+        assert!(store.get(&id(1, 0)).is_none());
+        assert!(store.get(&id(2, 0)).is_some());
+    }
+
+    #[test]
+    fn truncated_frame_is_a_miss_not_a_panic() {
+        let store = DiskStore::new(1 << 20).unwrap();
+        store.put(id(1, 0), &chunk(0xCC, 300, 1));
+        // Tear the frame: cut the active segment mid-payload.
+        let paths = store.segment_paths();
+        let active = paths.last().unwrap();
+        let len = std::fs::metadata(active).unwrap().len();
+        let file = OpenOptions::new().write(true).open(active).unwrap();
+        file.set_len(len - 100).unwrap();
+        assert!(store.get(&id(1, 0)).is_none());
+        // The index entry is purged: a later lookup stays a clean miss.
+        assert!(!store.contains(&id(1, 0)));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let store = DiskStore::new(1 << 20).unwrap();
+        store.put(id(1, 0), &chunk(0xDD, 300, 1));
+        let paths = store.segment_paths();
+        let active = paths.last().unwrap();
+        // Flip a byte inside the payload (past the 33-byte header).
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(active)
+            .unwrap();
+        file.seek(SeekFrom::Start(50)).unwrap();
+        let mut b = [0u8; 1];
+        file.read_exact(&mut b).unwrap();
+        file.seek(SeekFrom::Start(50)).unwrap();
+        file.write_all(&[b[0] ^ 0xFF]).unwrap();
+        assert!(store.get(&id(1, 0)).is_none());
+        assert!(!store.contains(&id(1, 0)));
+    }
+
+    #[test]
+    fn directory_is_removed_on_drop() {
+        let store = DiskStore::new(1 << 20).unwrap();
+        store.put(id(1, 0), &chunk(1, 64, 1));
+        let dir = store.segment_paths()[0].parent().unwrap().to_path_buf();
+        assert!(dir.exists());
+        drop(store);
+        assert!(!dir.exists());
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod disk;
 pub mod fifo;
 pub mod lfu;
 pub mod lru;
@@ -46,9 +47,11 @@ pub mod sharded;
 pub mod sketch;
 pub mod slru;
 pub mod stats;
+pub mod tiered;
 pub mod tinylfu;
 
 pub use cache::{Cache, CachedChunk, InsertOutcome, Weigh};
+pub use disk::{DiskPutOutcome, DiskStore};
 pub use fifo::Fifo;
 pub use lfu::Lfu;
 pub use lru::Lru;
@@ -57,6 +60,7 @@ pub use sharded::{ShardedChunkCache, DEFAULT_CACHE_SHARDS};
 pub use sketch::CountMinSketch;
 pub use slru::Slru;
 pub use stats::{AtomicCacheStats, CacheStats};
+pub use tiered::{CacheTier, TieredChunkCache};
 pub use tinylfu::TinyLfu;
 
 use agar_ec::ChunkId;

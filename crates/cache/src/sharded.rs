@@ -128,11 +128,27 @@ impl ShardedChunkCache {
     /// budget fits. Returns whether the chunk was stored (an entry
     /// larger than the whole cache is rejected).
     pub fn insert(&self, key: ChunkId, value: CachedChunk) -> bool {
+        self.insert_collect(key, value).is_some()
+    }
+
+    /// Like [`ShardedChunkCache::insert`], but returns the eviction
+    /// victims (policy victims in the target shard plus global-capacity
+    /// victims across shards) so a tiered front can demote them instead
+    /// of dropping them. `None` means the insert was rejected.
+    ///
+    /// The common no-eviction path returns an empty vector, which does
+    /// not allocate.
+    pub fn insert_collect(
+        &self,
+        key: ChunkId,
+        value: CachedChunk,
+    ) -> Option<Vec<(ChunkId, CachedChunk)>> {
         let weight = value.weight();
         if weight > self.capacity {
             self.stats.record_rejected_insert();
-            return false;
+            return None;
         }
+        let mut victims = Vec::new();
         // `used` is adjusted while the shard lock is still held: an
         // entry's weight is always added before any concurrent
         // remove/evict of that entry can subtract it, so the counter
@@ -141,23 +157,25 @@ impl ShardedChunkCache {
             let mut shard = self.shards[self.shard_index(&key)].lock();
             let outcome = shard.insert(key, value);
             let mut freed = 0usize;
-            match &outcome {
+            match outcome {
                 InsertOutcome::Inserted { evicted } => {
-                    for (_, victim) in evicted {
+                    for (victim_key, victim) in evicted {
                         freed += victim.weight();
                         self.stats.record_eviction();
+                        victims.push((victim_key, victim));
                     }
                 }
                 InsertOutcome::Replaced { previous, evicted } => {
                     freed += previous.weight();
-                    for (_, victim) in evicted {
+                    for (victim_key, victim) in evicted {
                         freed += victim.weight();
                         self.stats.record_eviction();
+                        victims.push((victim_key, victim));
                     }
                 }
                 InsertOutcome::Rejected { .. } => {
                     self.stats.record_rejected_insert();
-                    return false;
+                    return None;
                 }
             }
             self.stats.record_insertion();
@@ -166,25 +184,28 @@ impl ShardedChunkCache {
                 self.used.fetch_sub(freed, Ordering::AcqRel);
             }
         }
-        self.evict_to_capacity();
-        true
+        self.evict_to_capacity(&mut victims);
+        Some(victims)
     }
 
     /// Evicts per-shard policy victims, visiting shards round-robin,
     /// until the global byte budget fits (approximate global eviction
     /// order, exact global capacity). Holds at most one shard lock at a
     /// time, so it can never deadlock against concurrent lookups.
-    fn evict_to_capacity(&self) {
+    /// Victims are appended to `victims` for the caller to demote or
+    /// drop.
+    fn evict_to_capacity(&self, victims: &mut Vec<(ChunkId, CachedChunk)>) {
         let n = self.shards.len();
         while self.used.load(Ordering::Acquire) > self.capacity {
             let start = self.evict_cursor.fetch_add(1, Ordering::Relaxed);
             let mut evicted_one = false;
             for offset in 0..n {
                 let mut shard = self.shards[(start + offset) % n].lock();
-                if let Some((_, entry)) = shard.evict_one() {
+                if let Some((key, entry)) = shard.evict_one() {
                     // Subtract under the shard lock (see `insert`).
                     self.used.fetch_sub(entry.weight(), Ordering::AcqRel);
                     self.stats.record_eviction();
+                    victims.push((key, entry));
                     evicted_one = true;
                     break;
                 }
@@ -292,6 +313,30 @@ impl ShardedChunkCache {
     /// [`CacheStats::hedges_cancelled`].
     pub fn record_hedges_cancelled(&self, n: u64) {
         self.stats.record_hedges_cancelled(n);
+    }
+
+    /// Records one disk-tier hit (lock-free); see
+    /// [`CacheStats::disk_hits`].
+    pub fn record_disk_hit(&self) {
+        self.stats.record_disk_hit();
+    }
+
+    /// Records one disk → RAM promotion (lock-free); see
+    /// [`CacheStats::tier_promotions`].
+    pub fn record_tier_promotion(&self) {
+        self.stats.record_tier_promotion();
+    }
+
+    /// Records one RAM → disk demotion (lock-free); see
+    /// [`CacheStats::tier_demotions`].
+    pub fn record_tier_demotion(&self) {
+        self.stats.record_tier_demotion();
+    }
+
+    /// Records `n` disk-tier capacity evictions (lock-free); see
+    /// [`CacheStats::disk_evictions`].
+    pub fn record_disk_evictions(&self, n: u64) {
+        self.stats.record_disk_evictions(n);
     }
 }
 
@@ -497,6 +542,23 @@ mod tests {
         // And the cache still works afterwards.
         assert!(cache.insert(id(7, 7), chunk(10, 1)));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_collect_surfaces_eviction_victims() {
+        let cache = ShardedChunkCache::new(500, PolicyKind::Lru, 8);
+        let keys = same_shard_keys(&cache, 6);
+        for &key in &keys[..5] {
+            assert_eq!(cache.insert_collect(key, chunk(100, 1)), Some(Vec::new()));
+        }
+        // The sixth 100 B insert into a full 500 B cache evicts exactly
+        // one victim — the LRU entry — and hands it back.
+        let victims = cache.insert_collect(keys[5], chunk(100, 1)).unwrap();
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].0, keys[0]);
+        assert_eq!(victims[0].1.weight(), 100);
+        // Rejected inserts return None, not an empty victim list.
+        assert_eq!(cache.insert_collect(id(99, 0), chunk(501, 1)), None);
     }
 
     #[test]

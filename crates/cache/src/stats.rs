@@ -34,6 +34,10 @@ pub struct CacheStats {
     hedged_requests: u64,
     hedge_wins: u64,
     hedges_cancelled: u64,
+    disk_hits: u64,
+    tier_promotions: u64,
+    tier_demotions: u64,
+    disk_evictions: u64,
 }
 
 impl CacheStats {
@@ -233,6 +237,50 @@ impl CacheStats {
         self.hedges_cancelled
     }
 
+    /// Records one chunk lookup served by the disk tier after a RAM
+    /// miss (the RAM miss is counted separately via
+    /// `CacheStats::record_chunk_miss`).
+    pub fn record_disk_hit(&mut self) {
+        self.disk_hits += 1;
+    }
+
+    /// Records one chunk promoted disk → RAM on a disk-tier hit.
+    pub fn record_tier_promotion(&mut self) {
+        self.tier_promotions += 1;
+    }
+
+    /// Records one RAM eviction victim demoted to the disk tier
+    /// instead of being dropped.
+    pub fn record_tier_demotion(&mut self) {
+        self.tier_demotions += 1;
+    }
+
+    /// Records `n` entries evicted from the disk tier to stay within
+    /// its byte budget.
+    pub fn record_disk_evictions(&mut self, n: u64) {
+        self.disk_evictions += n;
+    }
+
+    /// Chunk lookups served by the disk tier after a RAM miss.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits
+    }
+
+    /// Chunks promoted disk → RAM.
+    pub fn tier_promotions(&self) -> u64 {
+        self.tier_promotions
+    }
+
+    /// RAM eviction victims demoted to disk instead of dropped.
+    pub fn tier_demotions(&self) -> u64 {
+        self.tier_demotions
+    }
+
+    /// Entries evicted from the disk tier for capacity.
+    pub fn disk_evictions(&self) -> u64 {
+        self.disk_evictions
+    }
+
     /// Total object reads recorded.
     pub fn object_reads(&self) -> u64 {
         self.object_total_hits + self.object_partial_hits + self.object_misses
@@ -300,6 +348,10 @@ impl CacheStats {
             hedges_cancelled: self
                 .hedges_cancelled
                 .saturating_sub(earlier.hedges_cancelled),
+            disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
+            tier_promotions: self.tier_promotions.saturating_sub(earlier.tier_promotions),
+            tier_demotions: self.tier_demotions.saturating_sub(earlier.tier_demotions),
+            disk_evictions: self.disk_evictions.saturating_sub(earlier.disk_evictions),
         }
     }
 
@@ -323,6 +375,10 @@ impl CacheStats {
         self.hedged_requests += other.hedged_requests;
         self.hedge_wins += other.hedge_wins;
         self.hedges_cancelled += other.hedges_cancelled;
+        self.disk_hits += other.disk_hits;
+        self.tier_promotions += other.tier_promotions;
+        self.tier_demotions += other.tier_demotions;
+        self.disk_evictions += other.disk_evictions;
     }
 }
 
@@ -353,6 +409,10 @@ pub struct AtomicCacheStats {
     hedged_requests: AtomicU64,
     hedge_wins: AtomicU64,
     hedges_cancelled: AtomicU64,
+    disk_hits: AtomicU64,
+    tier_promotions: AtomicU64,
+    tier_demotions: AtomicU64,
+    disk_evictions: AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -449,6 +509,26 @@ impl AtomicCacheStats {
         self.hedges_cancelled.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one chunk lookup served by the disk tier.
+    pub fn record_disk_hit(&self) {
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one chunk promoted disk → RAM.
+    pub fn record_tier_promotion(&self) {
+        self.tier_promotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one RAM eviction victim demoted to the disk tier.
+    pub fn record_tier_demotion(&self) {
+        self.tier_demotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` disk-tier capacity evictions.
+    pub fn record_disk_evictions(&self, n: u64) {
+        self.disk_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters as plain [`CacheStats`].
     pub fn snapshot(&self) -> CacheStats {
         CacheStats {
@@ -470,6 +550,10 @@ impl AtomicCacheStats {
             hedged_requests: self.hedged_requests.load(Ordering::Relaxed),
             hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
             hedges_cancelled: self.hedges_cancelled.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            tier_promotions: self.tier_promotions.load(Ordering::Relaxed),
+            tier_demotions: self.tier_demotions.load(Ordering::Relaxed),
+            disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -643,6 +727,40 @@ mod tests {
         assert_eq!(delta.hedged_requests(), 3);
         assert_eq!(delta.hedge_wins(), 1);
         assert_eq!(delta.hedges_cancelled(), 2);
+    }
+
+    #[test]
+    fn tier_counters_roundtrip() {
+        let atomic = AtomicCacheStats::new();
+        atomic.record_disk_hit();
+        atomic.record_disk_hit();
+        atomic.record_tier_promotion();
+        atomic.record_tier_demotion();
+        atomic.record_tier_demotion();
+        atomic.record_tier_demotion();
+        atomic.record_disk_evictions(4);
+        let snap = atomic.snapshot();
+        assert_eq!(snap.disk_hits(), 2);
+        assert_eq!(snap.tier_promotions(), 1);
+        assert_eq!(snap.tier_demotions(), 3);
+        assert_eq!(snap.disk_evictions(), 4);
+
+        let mut merged = CacheStats::new();
+        merged.record_disk_hit();
+        merged.record_tier_promotion();
+        merged.record_tier_demotion();
+        merged.record_disk_evictions(2);
+        merged.merge(&snap);
+        assert_eq!(merged.disk_hits(), 3);
+        assert_eq!(merged.tier_promotions(), 2);
+        assert_eq!(merged.tier_demotions(), 4);
+        assert_eq!(merged.disk_evictions(), 6);
+
+        let delta = merged.delta_since(&snap);
+        assert_eq!(delta.disk_hits(), 1);
+        assert_eq!(delta.tier_promotions(), 1);
+        assert_eq!(delta.tier_demotions(), 1);
+        assert_eq!(delta.disk_evictions(), 2);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! *preference list* — as [`RemoteChunk`]s before falling back to the
 //! backend. The planner prices every offer against the live backend
 //! estimates, so a far sibling's cache never beats a near region.
+//! Disk-resident chunks stay in the auction on both sides: the home's
+//! own disk tier is priced at its disk-read latency by the planner,
+//! and a sibling's disk chunks are offered with the owner's disk
+//! penalty added to the discounted WAN hop.
 //!
 //! This subsumes the paper's §VI collaboration sketch: the old
 //! `CollaborativeGroup` scanned every member linearly on each lookup;
@@ -21,7 +25,7 @@ use crate::lease::{MemberCacheSink, WriteLeaseManager};
 use crate::ring::ClusterRing;
 use agar::planner::RemoteChunk;
 use agar::{AgarError, AgarNode, DirectFetcher, ReadMetrics};
-use agar_cache::CacheStats;
+use agar_cache::{CacheStats, CacheTier};
 use agar_ec::{ChunkId, ObjectId};
 use agar_net::SimTime;
 use agar_store::Backend;
@@ -418,21 +422,33 @@ impl ClusterRouter {
         let mut remote: Vec<RemoteChunk> = Vec::new();
         for index in 0..total as u8 {
             let chunk = ChunkId::new(object, index);
-            if home.peek_chunk(&chunk, version).is_some() {
-                continue; // the home cache serves it for free
+            // A home RAM hit is free; a home *disk* hit is only a
+            // candidate (priced at `disk_read` by the planner), so
+            // sibling offers still compete for it — a nearby sibling's
+            // RAM can beat the local disk.
+            if matches!(
+                home.peek_chunk_tier(&chunk, version),
+                Some((_, CacheTier::Ram))
+            ) {
+                continue;
             }
             // Offer every probed holder; the planner keeps the
             // cheapest per chunk and discards offers dearer than the
-            // backend estimate.
+            // backend estimate. Disk-resident sibling chunks pay the
+            // owner's disk-read penalty on top of the WAN hop.
             for sibling in probes {
-                let Some(data) = sibling.peek_chunk(&chunk, version) else {
+                let Some((data, tier)) = sibling.peek_chunk_tier(&chunk, version) else {
                     continue;
                 };
                 let wan = model.sample(home.region(), sibling.region(), data.len(), &mut rng);
+                let mut latency = wan.mul_f64(self.settings.remote_cache_discount);
+                if tier == CacheTier::Disk {
+                    latency += sibling.settings().disk_read;
+                }
                 remote.push(RemoteChunk {
                     index,
                     data,
-                    latency: wan.mul_f64(self.settings.remote_cache_discount),
+                    latency,
                     version,
                 });
             }
@@ -585,6 +601,20 @@ mod tests {
         )
     }
 
+    fn tiered_node(
+        backend: &Arc<Backend>,
+        region: agar_net::RegionId,
+        seed: u64,
+        ram_bytes: usize,
+        disk_bytes: usize,
+    ) -> Arc<AgarNode> {
+        let mut settings = AgarSettings::paper_default(ram_bytes);
+        settings.disk_capacity_bytes = disk_bytes;
+        settings.disk_read = Duration::from_millis(45);
+        settings.disk_write = Duration::from_millis(60);
+        Arc::new(AgarNode::new(region, Arc::clone(backend), settings, seed).unwrap())
+    }
+
     fn frankfurt_cluster(objects: u64, members: usize) -> (Arc<Backend>, ClusterRouter) {
         let backend = backend(objects);
         let router =
@@ -693,6 +723,54 @@ mod tests {
         );
         assert!(router.remote_hits() > 0, "no sibling hits recorded");
         let _ = dublin_id;
+    }
+
+    #[test]
+    fn disk_resident_sibling_chunks_join_the_ring_walk() {
+        // Dublin's RAM holds a sliver of the catalogue and its disk
+        // tier the rest; the ring walk must still surface the
+        // disk-resident chunks (with the disk penalty priced into the
+        // offer) and the read must stay correct and no slower.
+        let backend = backend(4);
+        let settings = ClusterSettings {
+            sibling_probes: 5,
+            ..ClusterSettings::default()
+        };
+        let router = ClusterRouter::new(Arc::clone(&backend), settings, 5).unwrap();
+        let frankfurt = node(&backend, FRANKFURT, 0);
+        let dublin = tiered_node(&backend, DUBLIN, 1, SIZE, 16 * SIZE);
+        let frankfurt_id = router.add_node(Arc::clone(&frankfurt)).node;
+        router.add_node(Arc::clone(&dublin));
+        // Warm the whole catalogue on Dublin so its knapsack spills
+        // beyond the one-object RAM budget onto disk.
+        for i in 0..4u64 {
+            for _ in 0..30 {
+                dublin.read(ObjectId::new(i)).unwrap();
+            }
+        }
+        dublin.force_reconfigure();
+        for i in 0..4u64 {
+            dublin.read(ObjectId::new(i)).unwrap();
+            dublin.read(ObjectId::new(i)).unwrap();
+        }
+        let dublin_stats = dublin.cache_stats();
+        assert!(
+            dublin_stats.disk_hits() > 0,
+            "warm-up never touched Dublin's disk tier"
+        );
+
+        let object = ObjectId::new(0);
+        let solo = frankfurt.read(object).unwrap();
+        let collab = router.read_from(frankfurt_id, object).unwrap();
+        assert_eq!(collab.home, frankfurt_id);
+        assert_eq!(collab.metrics().data.as_ref(), solo.data.as_ref());
+        assert!(
+            collab.metrics().latency <= solo.latency,
+            "disk-tier offers must not slow the read: {:?} vs {:?}",
+            collab.metrics().latency,
+            solo.latency
+        );
+        assert!(router.remote_hits() > 0, "no sibling hits recorded");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::config::CacheConfiguration;
 use crate::knapsack::KnapsackSolver;
 use crate::monitor::RequestMonitor;
-use crate::options::{generate_options, ObjectOptions};
+use crate::options::{generate_disk_options, generate_options, ObjectOptions};
 use crate::region_manager::RegionManager;
 use agar_ec::ObjectId;
 use agar_store::Backend;
@@ -21,14 +21,17 @@ use std::time::Duration;
 #[derive(Clone, Debug)]
 pub struct CacheManager {
     capacity_bytes: usize,
+    disk_capacity_bytes: usize,
     solver: KnapsackSolver,
 }
 
 impl CacheManager {
-    /// Creates a manager for a cache of `capacity_bytes`.
+    /// Creates a manager for a RAM cache of `capacity_bytes` (no disk
+    /// tier).
     pub fn new(capacity_bytes: usize) -> Self {
         CacheManager {
             capacity_bytes,
+            disk_capacity_bytes: 0,
             solver: KnapsackSolver::new(),
         }
     }
@@ -41,9 +44,22 @@ impl CacheManager {
         self
     }
 
-    /// The configured capacity in bytes.
+    /// Attaches a disk-tier budget of `bytes` (0 disables the disk
+    /// phase of [`CacheManager::recompute_tiered`]).
+    #[must_use]
+    pub fn with_disk_capacity(mut self, bytes: usize) -> Self {
+        self.disk_capacity_bytes = bytes;
+        self
+    }
+
+    /// The configured RAM capacity in bytes.
     pub fn capacity_bytes(&self) -> usize {
         self.capacity_bytes
+    }
+
+    /// The configured disk-tier capacity in bytes.
+    pub fn disk_capacity_bytes(&self) -> usize {
+        self.disk_capacity_bytes
     }
 
     /// Generates the option sets for every object the monitor tracks.
@@ -97,6 +113,61 @@ impl CacheManager {
         let capacity_chunks = (self.capacity_bytes / chunk_size) as u32;
         let solved = self.solver.populate(&all_options, capacity_chunks);
         CacheConfiguration::from_knapsack(&solved, epoch)
+    }
+
+    /// The two-budget recompute: phase 1 solves the RAM tier exactly
+    /// like [`CacheManager::recompute`]; phase 2 generates disk-tier
+    /// options conditioned on the RAM allocation (the chunks it left on
+    /// the remote path, priced against `disk_read`) and solves them
+    /// against the disk budget. With a zero disk budget the result is
+    /// identical to [`CacheManager::recompute`] — the node calls this
+    /// unconditionally and relies on that for `disk_capacity = 0`
+    /// byte-identity.
+    pub fn recompute_tiered(
+        &self,
+        monitor: &RequestMonitor,
+        region_manager: &RegionManager,
+        backend: &Backend,
+        cache_read: Duration,
+        disk_read: Duration,
+        epoch: u64,
+    ) -> CacheConfiguration {
+        let all_options = self.build_options(monitor, region_manager, backend, cache_read);
+        let Some(first) = all_options.keys().next() else {
+            return CacheConfiguration::empty();
+        };
+        let chunk_size = backend
+            .manifest(*first)
+            .map(|m| m.chunk_size())
+            .unwrap_or(0);
+        if chunk_size == 0 {
+            return CacheConfiguration::empty();
+        }
+        let capacity_chunks = (self.capacity_bytes / chunk_size) as u32;
+        let disk_chunks = (self.disk_capacity_bytes / chunk_size) as u32;
+        let estimates = region_manager.estimates();
+        let tiered =
+            self.solver
+                .populate_tiered(&all_options, capacity_chunks, disk_chunks, |ram| {
+                    let mut disk_options = HashMap::new();
+                    for (object, popularity) in monitor.popularities() {
+                        let Ok(manifest) = backend.manifest(object) else {
+                            continue;
+                        };
+                        let ram_chunks = ram
+                            .options()
+                            .iter()
+                            .find(|o| o.object() == object)
+                            .map_or(&[][..], |o| o.chunks());
+                        if let Some(options) = generate_disk_options(
+                            &manifest, estimates, cache_read, disk_read, ram_chunks, popularity,
+                        ) {
+                            disk_options.insert(object, options);
+                        }
+                    }
+                    disk_options
+                });
+        CacheConfiguration::from_tiered(tiered.ram(), tiered.disk(), epoch)
     }
 }
 
@@ -202,6 +273,59 @@ mod tests {
             0,
         );
         assert!(config.objects().all(|o| o.index() != 999));
+    }
+
+    #[test]
+    fn tiered_recompute_fills_both_budgets() {
+        let (backend, region_manager, monitor) = setup();
+        // 10 RAM chunks + 30 disk chunks over a hot 20-object catalogue.
+        let manager = CacheManager::new(1_000).with_disk_capacity(3_000);
+        assert_eq!(manager.disk_capacity_bytes(), 3_000);
+        let config = manager.recompute_tiered(
+            &monitor,
+            &region_manager,
+            &backend,
+            Duration::from_millis(40),
+            Duration::from_millis(45),
+            2,
+        );
+        assert!(config.ram_chunks() > 0);
+        assert!(config.ram_chunks() <= 10);
+        assert!(config.disk_chunks() > 0, "disk budget must be used");
+        assert!(config.disk_chunks() <= 30);
+        assert_eq!(config.epoch(), 2);
+    }
+
+    #[test]
+    fn tiered_recompute_with_zero_disk_matches_plain_recompute() {
+        let (backend, region_manager, monitor) = setup();
+        let manager = CacheManager::new(1_000);
+        let plain = manager.recompute(
+            &monitor,
+            &region_manager,
+            &backend,
+            Duration::from_millis(40),
+            1,
+        );
+        let tiered = manager.recompute_tiered(
+            &monitor,
+            &region_manager,
+            &backend,
+            Duration::from_millis(40),
+            Duration::from_millis(45),
+            1,
+        );
+        assert_eq!(tiered.total_chunks(), plain.total_chunks());
+        assert_eq!(tiered.planned_value(), plain.planned_value());
+        assert_eq!(tiered.disk_chunks(), 0);
+        let mut plain_objects: Vec<_> = plain.objects().collect();
+        let mut tiered_objects: Vec<_> = tiered.objects().collect();
+        plain_objects.sort_unstable();
+        tiered_objects.sort_unstable();
+        assert_eq!(plain_objects, tiered_objects);
+        for object in plain.objects() {
+            assert_eq!(plain.chunks_for(object), tiered.chunks_for(object));
+        }
     }
 
     #[test]

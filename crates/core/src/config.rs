@@ -2,15 +2,24 @@
 //! (paper §III-c): which objects to cache and which chunks of each.
 
 use crate::knapsack::Config;
+use agar_cache::CacheTier;
 use agar_ec::{ChunkId, ObjectId};
 use std::collections::{BTreeMap, HashMap};
 
 /// The per-object chunk sets the cache should hold until the next
 /// reconfiguration.
+///
+/// `per_object` is the **union** across tiers — [`Self::chunks_for`] and
+/// [`Self::contains`] answer "should this chunk be cached at all?",
+/// which is what fill hints and purge predicates want regardless of
+/// tier. The disk-tier subset is tracked separately so
+/// [`Self::tier_for`] can route each fill to its planned tier.
 #[derive(Clone, Debug, Default)]
 pub struct CacheConfiguration {
     per_object: HashMap<ObjectId, Vec<u8>>,
+    disk_per_object: HashMap<ObjectId, Vec<u8>>,
     total_chunks: u32,
+    disk_chunks: u32,
     planned_value: f64,
     epoch: u64,
 }
@@ -22,7 +31,8 @@ impl CacheConfiguration {
     }
 
     /// Converts a solved Knapsack [`Config`] into a cache configuration,
-    /// tagging it with the epoch that produced it.
+    /// tagging it with the epoch that produced it. Every chunk is
+    /// RAM-tier (the single-budget solve has no disk phase).
     pub fn from_knapsack(config: &Config, epoch: u64) -> Self {
         let mut per_object = HashMap::with_capacity(config.options().len());
         for option in config.options() {
@@ -30,10 +40,36 @@ impl CacheConfiguration {
         }
         CacheConfiguration {
             per_object,
+            disk_per_object: HashMap::new(),
             total_chunks: config.weight(),
+            disk_chunks: 0,
             planned_value: config.value(),
             epoch,
         }
+    }
+
+    /// Converts a two-budget solve into a cache configuration: the RAM
+    /// and disk allocations (disjoint by construction — the disk phase
+    /// only sees chunks the RAM phase left behind) merge into the
+    /// per-object union, and the disk subset is kept for
+    /// [`Self::tier_for`]. With an empty disk configuration the result
+    /// is identical to [`Self::from_knapsack`] on the RAM half.
+    pub fn from_tiered(ram: &Config, disk: &Config, epoch: u64) -> Self {
+        let mut config = CacheConfiguration::from_knapsack(ram, epoch);
+        for option in disk.options() {
+            config
+                .per_object
+                .entry(option.object())
+                .or_default()
+                .extend_from_slice(option.chunks());
+            config
+                .disk_per_object
+                .insert(option.object(), option.chunks().to_vec());
+        }
+        config.total_chunks += disk.weight();
+        config.disk_chunks = disk.weight();
+        config.planned_value += disk.value();
+        config
     }
 
     /// The chunks to cache for `object` (empty when the object is not in
@@ -58,9 +94,40 @@ impl CacheConfiguration {
         self.per_object.len()
     }
 
-    /// Total chunks across all objects.
+    /// Total chunks across all objects and both tiers.
     pub fn total_chunks(&self) -> u32 {
         self.total_chunks
+    }
+
+    /// Chunks planned for the RAM tier.
+    pub fn ram_chunks(&self) -> u32 {
+        self.total_chunks - self.disk_chunks
+    }
+
+    /// Chunks planned for the disk tier.
+    pub fn disk_chunks(&self) -> u32 {
+        self.disk_chunks
+    }
+
+    /// The disk-tier chunks planned for `object` (empty when the object
+    /// has no disk allocation).
+    pub fn disk_chunks_for(&self, object: ObjectId) -> &[u8] {
+        self.disk_per_object.get(&object).map_or(&[], Vec::as_slice)
+    }
+
+    /// Which tier the configuration plans `chunk` for, or `None` when
+    /// the chunk is not in the configuration at all.
+    pub fn tier_for(&self, chunk: ChunkId) -> Option<CacheTier> {
+        if self
+            .disk_chunks_for(chunk.object())
+            .contains(&chunk.index().value())
+        {
+            Some(CacheTier::Disk)
+        } else if self.contains(chunk) {
+            Some(CacheTier::Ram)
+        } else {
+            None
+        }
     }
 
     /// The solver's predicted value (popularity-weighted improvement).
@@ -156,5 +223,133 @@ mod tests {
         assert_eq!(config.total_chunks(), 0);
         assert!(config.breakdown().is_empty());
         assert!(!config.contains(ChunkId::new(ObjectId::new(0), 0)));
+        assert!(config.tier_for(ChunkId::new(ObjectId::new(0), 0)).is_none());
+    }
+
+    fn tiered_config() -> CacheConfiguration {
+        let latencies: Vec<Duration> = [80u64, 200, 600, 1400, 3400, 4600]
+            .into_iter()
+            .map(Duration::from_millis)
+            .collect();
+        let params = CodingParams::paper_default();
+        let manifests: HashMap<ObjectId, _> = [(0u64, 100.0), (1, 10.0)]
+            .into_iter()
+            .map(|(i, pop)| {
+                let object = ObjectId::new(i);
+                let locations = (0..12).map(|c| RegionId::new(c % 6)).collect();
+                (
+                    object,
+                    (
+                        ObjectManifest::new(object, 1_000_000, 1, params, locations),
+                        pop,
+                    ),
+                )
+            })
+            .collect();
+        let options: HashMap<ObjectId, _> = manifests
+            .iter()
+            .map(|(&object, (manifest, pop))| {
+                (
+                    object,
+                    generate_options(manifest, &latencies, Duration::from_millis(40), *pop),
+                )
+            })
+            .collect();
+        let tiered = KnapsackSolver::new().populate_tiered(&options, 9, 9, |ram| {
+            manifests
+                .iter()
+                .filter_map(|(&object, (manifest, pop))| {
+                    let ram_chunks = ram
+                        .options()
+                        .iter()
+                        .find(|o| o.object() == object)
+                        .map_or(&[][..], |o| o.chunks());
+                    crate::options::generate_disk_options(
+                        manifest,
+                        &latencies,
+                        Duration::from_millis(40),
+                        Duration::from_millis(150),
+                        ram_chunks,
+                        *pop,
+                    )
+                    .map(|opts| (object, opts))
+                })
+                .collect()
+        });
+        CacheConfiguration::from_tiered(tiered.ram(), tiered.disk(), 5)
+    }
+
+    #[test]
+    fn from_tiered_merges_both_tiers_into_the_union() {
+        let config = tiered_config();
+        assert_eq!(config.epoch(), 5);
+        assert!(config.ram_chunks() > 0);
+        assert!(config.disk_chunks() > 0, "disk tier must be used");
+        assert_eq!(
+            config.ram_chunks() + config.disk_chunks(),
+            config.total_chunks()
+        );
+        let union: usize = config.objects().map(|o| config.chunks_for(o).len()).sum();
+        assert_eq!(union as u32, config.total_chunks(), "union holds all");
+    }
+
+    #[test]
+    fn tier_for_routes_each_configured_chunk() {
+        let config = tiered_config();
+        let mut ram_seen = 0u32;
+        let mut disk_seen = 0u32;
+        for object in config.objects() {
+            for &index in config.chunks_for(object) {
+                let chunk = ChunkId::new(object, index);
+                assert!(config.contains(chunk));
+                match config.tier_for(chunk) {
+                    Some(CacheTier::Ram) => ram_seen += 1,
+                    Some(CacheTier::Disk) => {
+                        disk_seen += 1;
+                        assert!(config.disk_chunks_for(object).contains(&index));
+                    }
+                    None => panic!("configured chunk {chunk:?} has no tier"),
+                }
+            }
+        }
+        assert_eq!(ram_seen, config.ram_chunks());
+        assert_eq!(disk_seen, config.disk_chunks());
+    }
+
+    #[test]
+    fn from_tiered_with_empty_disk_matches_from_knapsack() {
+        let ram_only = solved_config();
+        let latencies: Vec<Duration> = [80u64, 200, 600, 1400, 3400, 4600]
+            .into_iter()
+            .map(Duration::from_millis)
+            .collect();
+        let params = CodingParams::paper_default();
+        let options: HashMap<ObjectId, _> = [(0u64, 100.0), (1, 10.0)]
+            .into_iter()
+            .map(|(i, pop)| {
+                let object = ObjectId::new(i);
+                let locations = (0..12).map(|c| RegionId::new(c % 6)).collect();
+                let manifest = ObjectManifest::new(object, 1_000_000, 1, params, locations);
+                (
+                    object,
+                    generate_options(&manifest, &latencies, Duration::from_millis(40), pop),
+                )
+            })
+            .collect();
+        let solved = KnapsackSolver::new().populate(&options, 12);
+        let tiered = CacheConfiguration::from_tiered(&solved, &crate::knapsack::Config::empty(), 3);
+        assert_eq!(tiered.total_chunks(), ram_only.total_chunks());
+        assert_eq!(tiered.planned_value(), ram_only.planned_value());
+        assert_eq!(tiered.disk_chunks(), 0);
+        for object in ram_only.objects() {
+            assert_eq!(tiered.chunks_for(object), ram_only.chunks_for(object));
+            assert!(tiered.disk_chunks_for(object).is_empty());
+            for &index in ram_only.chunks_for(object) {
+                assert_eq!(
+                    tiered.tier_for(ChunkId::new(object, index)),
+                    Some(CacheTier::Ram)
+                );
+            }
+        }
     }
 }

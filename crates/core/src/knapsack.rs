@@ -234,6 +234,38 @@ impl KnapsackSolver {
                 .then(a.object().cmp(&b.object()))
         });
 
+        // Uncontended fast path: when every object's best option fits in
+        // the budget simultaneously, the per-object choices are
+        // independent and taking each object's maximum-value option is
+        // exactly optimal — no dynamic program needed. This is the
+        // common shape of the *disk* phase of a two-tier solve, where
+        // the tier is sized to hold most of what RAM rejected. Value
+        // ties break towards the heavier option, matching the dynamic
+        // program below (its final scan keeps the last — heaviest —
+        // configuration among equal values): a free upgrade to more
+        // cached chunks at identical modelled value.
+        let best_per_object: Vec<&CachingOption> = keys
+            .iter()
+            .filter_map(|opts| {
+                opts.iter()
+                    .filter(|o| o.value() > 0.0 && o.weight() > 0)
+                    .max_by(|a, b| {
+                        a.value()
+                            .partial_cmp(&b.value())
+                            .expect("option values are finite")
+                            .then(a.weight().cmp(&b.weight()))
+                    })
+            })
+            .collect();
+        let best_total: u64 = best_per_object.iter().map(|o| u64::from(o.weight())).sum();
+        if best_total <= u64::from(capacity) {
+            let mut config = Config::empty();
+            for option in best_per_object {
+                config.push(option.clone());
+            }
+            return config;
+        }
+
         let mut keys_since_full: usize = 0;
         let mut seen_full = false;
 
@@ -264,15 +296,29 @@ impl KnapsackSolver {
                 // pass has extended it.
                 let weights: Vec<u32> = max_v.keys().rev().copied().collect();
                 for w in weights {
-                    let candidate = max_v[&w].with_option(option.clone());
-                    if candidate.weight() > capacity || candidate.weight() == w {
+                    // Price the candidate without materialising it: the
+                    // clone inside `with_option` dominates solver runtime
+                    // when configurations hold hundreds of options, and
+                    // almost every candidate loses the comparison below.
+                    let base = &max_v[&w];
+                    let (new_weight, new_value) =
+                        match base.options.iter().find(|o| o.object() == option.object()) {
+                            Some(old) => (
+                                w - old.weight() + option.weight(),
+                                base.value() - old.value() + option.value(),
+                            ),
+                            None => (w + option.weight(), base.value() + option.value()),
+                        };
+                    if new_weight > capacity || new_weight == w {
                         continue;
                     }
                     let should_replace = max_v
-                        .get(&candidate.weight())
-                        .is_none_or(|existing| existing.value() < candidate.value() - 1e-12);
+                        .get(&new_weight)
+                        .is_none_or(|existing| existing.value() < new_value - 1e-12);
                     if should_replace {
-                        max_v.insert(candidate.weight(), candidate);
+                        let candidate = max_v[&w].with_option(option.clone());
+                        debug_assert_eq!(candidate.weight(), new_weight);
+                        max_v.insert(new_weight, candidate);
                     }
                 }
             }
@@ -297,6 +343,75 @@ impl KnapsackSolver {
                     .expect("config values are finite")
             })
             .unwrap_or_default()
+    }
+}
+
+/// The outcome of a two-budget solve: one configuration per cache tier.
+///
+/// The RAM configuration is exactly what [`KnapsackSolver::populate`]
+/// would produce on its own (the disk phase never perturbs it), so a
+/// deployment with `disk_capacity = 0` stays byte-identical to the
+/// single-tier engine.
+#[derive(Clone, Debug, Default)]
+pub struct TieredConfig {
+    ram: Config,
+    disk: Config,
+}
+
+impl TieredConfig {
+    /// The RAM-tier configuration (phase 1).
+    pub fn ram(&self) -> &Config {
+        &self.ram
+    }
+
+    /// The disk-tier configuration (phase 2).
+    pub fn disk(&self) -> &Config {
+        &self.disk
+    }
+
+    /// Total weight across both tiers.
+    pub fn total_weight(&self) -> u32 {
+        self.ram.weight() + self.disk.weight()
+    }
+
+    /// Total planned value across both tiers.
+    pub fn total_value(&self) -> f64 {
+        self.ram.value() + self.disk.value()
+    }
+}
+
+impl KnapsackSolver {
+    /// Two-budget solve over a RAM tier and a disk tier.
+    ///
+    /// Phase 1 runs the paper's dynamic program verbatim over
+    /// `ram_options` against `ram_capacity`. Phase 2 asks
+    /// `disk_options_for` for disk-tier options *conditioned on* the
+    /// phase-1 allocation (the remaining chunks and the residual
+    /// latencies they leave behind — see
+    /// [`crate::options::generate_disk_options`]) and runs the same
+    /// dynamic program against `disk_capacity`. The sequential
+    /// decomposition is deliberate: RAM strictly dominates disk on
+    /// latency, so any chunk worth a RAM slot is worth it regardless of
+    /// what lands on disk, and conditioning phase 2 on phase 1 keeps
+    /// the two allocations disjoint by construction.
+    ///
+    /// With `disk_capacity == 0` the closure is never called and the
+    /// disk configuration is empty.
+    pub fn populate_tiered(
+        &self,
+        ram_options: &HashMap<ObjectId, ObjectOptions>,
+        ram_capacity: u32,
+        disk_capacity: u32,
+        disk_options_for: impl FnOnce(&Config) -> HashMap<ObjectId, ObjectOptions>,
+    ) -> TieredConfig {
+        let ram = self.populate(ram_options, ram_capacity);
+        let disk = if disk_capacity == 0 {
+            Config::empty()
+        } else {
+            let disk_options = disk_options_for(&ram);
+            self.populate(&disk_options, disk_capacity)
+        };
+        TieredConfig { ram, disk }
     }
 }
 
@@ -556,6 +671,90 @@ mod tests {
         let options = build_options(&[10.0, 8.0]);
         let best = exhaustive_optimum(&options, 5);
         assert!(best.weight() <= 5);
+    }
+
+    /// Disk-option generation mirroring the cache manager's wiring: the
+    /// RAM allocation per object conditions the second-phase options.
+    fn disk_options_after(
+        ram: &Config,
+        popularities: &[f64],
+        disk_read: Duration,
+    ) -> HashMap<ObjectId, ObjectOptions> {
+        let latencies: Vec<Duration> = [80u64, 200, 600, 1400, 3400, 4600]
+            .into_iter()
+            .map(Duration::from_millis)
+            .collect();
+        let params = CodingParams::paper_default();
+        popularities
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &pop)| {
+                let object = ObjectId::new(i as u64);
+                let locations = (0..12).map(|c| RegionId::new(c % 6)).collect();
+                let manifest = ObjectManifest::new(object, 1_000_000, 1, params, locations);
+                let ram_chunks = ram
+                    .options()
+                    .iter()
+                    .find(|o| o.object() == object)
+                    .map_or(&[][..], |o| o.chunks());
+                crate::options::generate_disk_options(
+                    &manifest,
+                    &latencies,
+                    Duration::from_millis(40),
+                    disk_read,
+                    ram_chunks,
+                    pop,
+                )
+                .map(|opts| (object, opts))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiered_solve_places_chunks_in_both_tiers() {
+        let pops = [10.0, 8.0];
+        let options = build_options(&pops);
+        let solver = KnapsackSolver::new();
+        let tiered = solver.populate_tiered(&options, 9, 18, |ram| {
+            disk_options_after(ram, &pops, Duration::from_millis(150))
+        });
+        // Phase 1 is byte-identical to the plain solve.
+        let plain = solver.populate(&options, 9);
+        assert_eq!(tiered.ram().weight(), plain.weight());
+        assert_eq!(tiered.ram().value(), plain.value());
+        // The disk tier picks up chunks RAM could not afford.
+        assert!(tiered.disk().weight() > 0, "disk tier must place chunks");
+        assert!(tiered.disk().weight() <= 18);
+        assert!(tiered.total_value() > plain.value());
+        // Per object, RAM and disk allocations never overlap.
+        for disk_option in tiered.disk().options() {
+            let ram_chunks = tiered
+                .ram()
+                .options()
+                .iter()
+                .find(|o| o.object() == disk_option.object())
+                .map_or(&[][..], |o| o.chunks());
+            for chunk in disk_option.chunks() {
+                assert!(
+                    !ram_chunks.contains(chunk),
+                    "chunk {chunk} placed in both tiers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_disk_capacity_skips_the_disk_phase() {
+        let options = build_options(&[10.0, 8.0]);
+        let tiered = KnapsackSolver::new().populate_tiered(&options, 9, 0, |_| {
+            panic!("disk phase must not run with zero capacity")
+        });
+        assert_eq!(tiered.disk().weight(), 0);
+        assert!(tiered.disk().options().is_empty());
+        let plain = KnapsackSolver::new().populate(&options, 9);
+        assert_eq!(tiered.ram().value(), plain.value());
+        assert_eq!(tiered.total_weight(), plain.weight());
+        assert_eq!(tiered.total_value(), plain.value());
     }
 
     #[test]

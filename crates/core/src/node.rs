@@ -35,7 +35,9 @@ use crate::knapsack::KnapsackSolver;
 use crate::monitor::RequestMonitor;
 use crate::planner::{ChunkSource, HedgePolicy, ReadPlanner, RemoteChunk};
 use crate::region_manager::RegionManager;
-use agar_cache::{CacheStats, CachedChunk, PolicyKind, ShardedChunkCache, DEFAULT_CACHE_SHARDS};
+use agar_cache::{
+    CacheStats, CacheTier, CachedChunk, PolicyKind, TieredChunkCache, DEFAULT_CACHE_SHARDS,
+};
 use agar_ec::{ChunkId, ObjectId};
 use agar_net::{RegionId, SimTime};
 use agar_store::{Backend, StoreError};
@@ -146,6 +148,17 @@ pub struct AgarSettings {
     /// hedged only while its latency estimate stays within `hedge_z`
     /// mean-deviations of the slowest planned backend primary.
     pub hedge_z: f64,
+    /// Disk-tier capacity in bytes. `0` (the default) attaches no disk
+    /// tier and keeps the node byte-identical to the RAM-only engine.
+    pub disk_capacity_bytes: usize,
+    /// Modelled chunk-read latency of the local disk tier. Prices disk
+    /// placements in the knapsack's second budget and disk hits in the
+    /// read planner (between a RAM cache read and remote sources).
+    pub disk_read: Duration,
+    /// Modelled chunk-write latency of the local disk tier. Demotions
+    /// and a-priori disk fills run off the critical path, so this only
+    /// informs diagnostics and the experiment harness.
+    pub disk_write: Duration,
     /// Knapsack solver configuration.
     pub solver: KnapsackSolver,
 }
@@ -164,6 +177,9 @@ impl AgarSettings {
             cache_shards: DEFAULT_CACHE_SHARDS,
             max_hedges: 0,
             hedge_z: 3.0,
+            disk_capacity_bytes: 0,
+            disk_read: Duration::from_millis(150),
+            disk_write: Duration::from_millis(250),
             solver: KnapsackSolver::new(),
         }
     }
@@ -192,6 +208,11 @@ impl AgarSettings {
         if !(self.hedge_z.is_finite() && self.hedge_z > 0.0) {
             return Err(AgarError::InvalidSetting {
                 what: "hedge dispersion multiplier must be positive and finite",
+            });
+        }
+        if self.disk_capacity_bytes > 0 && (self.disk_read.is_zero() || self.disk_write.is_zero()) {
+            return Err(AgarError::InvalidSetting {
+                what: "disk I/O latencies must be positive when the disk tier is enabled",
             });
         }
         Ok(())
@@ -225,7 +246,7 @@ pub struct AgarNode {
     seed: u64,
     /// Monotonic operation counter for RNG derivation.
     ops: AtomicU64,
-    cache: ShardedChunkCache,
+    cache: TieredChunkCache,
     monitor: Mutex<RequestMonitor>,
     region_manager: Mutex<RegionManager>,
     /// Immutable configuration snapshot, swapped at reconfiguration.
@@ -271,8 +292,9 @@ impl AgarNode {
             settings.warmup_probes.max(1),
             &mut rng,
         );
-        let manager =
-            CacheManager::new(settings.cache_capacity_bytes).with_solver(settings.solver.clone());
+        let manager = CacheManager::new(settings.cache_capacity_bytes)
+            .with_disk_capacity(settings.disk_capacity_bytes)
+            .with_solver(settings.solver.clone());
         Ok(AgarNode {
             region,
             fetcher: RwLock::new(Arc::new(DirectFetcher::new(Arc::clone(&backend)))),
@@ -281,10 +303,11 @@ impl AgarNode {
             manager,
             seed,
             ops: AtomicU64::new(0),
-            cache: ShardedChunkCache::new(
+            cache: TieredChunkCache::with_disk(
                 settings.cache_capacity_bytes,
                 PolicyKind::Lru,
                 settings.cache_shards,
+                settings.disk_capacity_bytes,
             ),
             monitor: Mutex::new(RequestMonitor::with_alpha(settings.alpha)),
             region_manager: Mutex::new(region_manager),
@@ -404,14 +427,36 @@ impl AgarNode {
         self.fill_fetches.load(Ordering::Relaxed)
     }
 
-    /// Looks a chunk up in the local cache without touching recency
-    /// metadata or statistics; returns the payload only if its version
-    /// matches. Used by collaborative neighbours.
+    /// Looks a chunk up in the local cache (either tier) without
+    /// touching recency metadata, statistics or tier placement; returns
+    /// the payload only if its version matches. Used by collaborative
+    /// neighbours.
     pub fn peek_chunk(&self, chunk: &ChunkId, version: u64) -> Option<Bytes> {
+        self.peek_chunk_tier(chunk, version).map(|(data, _)| data)
+    }
+
+    /// Like [`AgarNode::peek_chunk`], additionally reporting which tier
+    /// holds the chunk — a cluster router prices a disk-resident offer
+    /// with the owner's disk-read penalty on top of the transfer cost.
+    pub fn peek_chunk_tier(&self, chunk: &ChunkId, version: u64) -> Option<(Bytes, CacheTier)> {
         self.cache
             .peek(chunk)
-            .filter(|c| c.version() == version)
-            .map(|c| c.data().clone())
+            .filter(|(c, _)| c.version() == version)
+            .map(|(c, tier)| (c.data().clone(), tier))
+    }
+
+    /// The node's settings (read-only).
+    pub fn settings(&self) -> &AgarSettings {
+        &self.settings
+    }
+
+    /// The disk tier's backing segment files (empty without a disk
+    /// tier). Exposed so corruption-tolerance tests can damage the
+    /// store underneath a live node.
+    pub fn disk_segment_paths(&self) -> Vec<std::path::PathBuf> {
+        self.cache
+            .disk()
+            .map_or_else(Vec::new, |disk| disk.segment_paths())
     }
 
     /// A read that may source chunks from collaborative neighbours:
@@ -464,10 +509,11 @@ impl AgarNode {
         let config = Arc::clone(&self.config.read());
         let planner = ReadPlanner::new(&manifest, &config);
 
-        // Stage 1: hinted-chunk lookups in the sharded cache
-        // (per-shard locks; stale versions dropped).
+        // Stage 1: hinted-chunk lookups in the tiered cache (per-shard
+        // locks; a disk rescue promotes; stale versions dropped from
+        // both tiers).
         let hits = planner.lookup_local(&self.cache, first_attempt);
-        let cache_hits = hits.len();
+        let ram_hits = hits.ram.len();
 
         // Stages 2+3: plan against snapshots, then execute with no
         // node lock held. The plan's backend fetches go through the
@@ -480,7 +526,7 @@ impl AgarNode {
         let mut rng = self.derive_rng();
         let mut shards: Vec<Option<Bytes>> = vec![None; total];
         let mut attempts = 0;
-        let (worst, remote_hits, backend_fetches) = 'replan: loop {
+        let (worst, remote_hits, disk_hits, backend_fetches) = 'replan: loop {
             attempts += 1;
             let (estimates, deviations) = {
                 let region_manager = self.region_manager.lock();
@@ -494,17 +540,28 @@ impl AgarNode {
                 z: self.settings.hedge_z,
                 deviations: &deviations,
             };
-            let plan =
-                planner.plan_hedged(hits.clone(), remote, &self.backend, &estimates, hedging)?;
+            let plan = planner.plan_hedged(
+                hits.clone(),
+                remote,
+                &self.backend,
+                &estimates,
+                self.settings.disk_read,
+                hedging,
+            )?;
             let hedges = plan.hedges;
             shards.iter_mut().for_each(|s| *s = None);
             let mut worst = Duration::ZERO;
             let mut remote_hits = 0;
+            let mut disk_hits = 0;
             let mut backend_fetches = 0;
             let mut requests: Vec<FetchRequest> = Vec::new();
             for (index, source) in plan.sources {
                 match source {
                     ChunkSource::Local { data } => {
+                        shards[index as usize] = Some(data);
+                    }
+                    ChunkSource::LocalDisk { data } => {
+                        disk_hits += 1;
                         shards[index as usize] = Some(data);
                     }
                     ChunkSource::Remote { data, latency } => {
@@ -547,7 +604,7 @@ impl AgarNode {
                         Err(other) => return Err(other.into()),
                     }
                 }
-                break (worst, remote_hits, backend_fetches);
+                break (worst, remote_hits, disk_hits, backend_fetches);
             }
 
             // Hedged execute: the request list carries the plan's
@@ -616,16 +673,21 @@ impl AgarNode {
             if cancelled > 0 {
                 self.cache.record_hedges_cancelled(cancelled);
             }
-            break (worst, remote_hits, backend_fetches);
+            break (worst, remote_hits, disk_hits, backend_fetches);
         };
+        // Disk-sourced chunks are local cache hits at the object level.
+        let cache_hits = ram_hits + disk_hits;
 
-        // Stage 4: latency — slowest parallel fetch (cache reads also
-        // run in parallel) plus fixed client overhead.
-        let cache_component = if cache_hits > 0 {
+        // Stage 4: latency — slowest parallel fetch (cache and disk
+        // reads also run in parallel) plus fixed client overhead.
+        let mut cache_component = if ram_hits > 0 {
             self.settings.cache_read
         } else {
             Duration::ZERO
         };
+        if disk_hits > 0 {
+            cache_component = cache_component.max(self.settings.disk_read);
+        }
         let latency = self.settings.client_overhead + cache_component.max(worst);
 
         // Stage 5: reconstruct. With all k data shards in hand the
@@ -690,7 +752,10 @@ impl AgarNode {
                 }
             };
             if let Some(p) = payload {
-                filled_any |= self.cache.insert(id, CachedChunk::new(p, version));
+                let tier = live_config.tier_for(id).unwrap_or(CacheTier::Ram);
+                filled_any |= self
+                    .cache
+                    .insert_to_tier(id, CachedChunk::new(p, version), tier);
                 if !self.config.read().contains(id) {
                     // A reconfiguration swapped the config between the
                     // pre-check and the insert; its purge may already
@@ -739,11 +804,12 @@ impl AgarNode {
             monitor.end_epoch();
             let epoch = monitor.epoch();
             let region_manager = self.region_manager.lock();
-            self.manager.recompute(
+            self.manager.recompute_tiered(
                 &monitor,
                 &region_manager,
                 &self.backend,
                 self.settings.cache_read,
+                self.settings.disk_read,
                 epoch,
             )
         };
@@ -778,8 +844,13 @@ impl AgarNode {
                 if let Some((_, Ok(fetch))) = fetcher.fetch(self.region, &[request], &mut rng).pop()
                 {
                     self.fill_fetches.fetch_add(1, Ordering::Relaxed);
+                    let tier = new_config.tier_for(id).unwrap_or(CacheTier::Ram);
                     if fetch.version == version
-                        && self.cache.insert(id, CachedChunk::new(fetch.data, version))
+                        && self.cache.insert_to_tier(
+                            id,
+                            CachedChunk::new(fetch.data, version),
+                            tier,
+                        )
                     {
                         filled.insert(object);
                     }
@@ -1137,6 +1208,20 @@ mod tests {
         let mut settings = AgarSettings::paper_default(900);
         settings.hedge_z = 0.0;
         assert!(matches!(
+            AgarNode::new(FRANKFURT, Arc::clone(&backend), settings, 0),
+            Err(AgarError::InvalidSetting { .. })
+        ));
+        let mut settings = AgarSettings::paper_default(900);
+        settings.disk_capacity_bytes = 10_000;
+        settings.disk_read = Duration::ZERO;
+        assert!(matches!(
+            AgarNode::new(FRANKFURT, Arc::clone(&backend), settings, 0),
+            Err(AgarError::InvalidSetting { .. })
+        ));
+        let mut settings = AgarSettings::paper_default(900);
+        settings.disk_capacity_bytes = 10_000;
+        settings.disk_write = Duration::ZERO;
+        assert!(matches!(
             AgarNode::new(FRANKFURT, backend, settings, 0),
             Err(AgarError::InvalidSetting { .. })
         ));
@@ -1170,6 +1255,109 @@ mod tests {
         let stats = node.cache_stats();
         assert!(stats.object_partial_hits() > 0);
         assert!(stats.object_hit_ratio() > 0.0);
+    }
+
+    /// Settings for a tiered node: RAM fits one object, disk fits
+    /// three more, and the disk is fast enough (45 ms, just over the
+    /// 40 ms cache constant) to beat every non-local region.
+    fn tiered_settings(ram_bytes: usize, disk_bytes: usize) -> AgarSettings {
+        let mut settings = AgarSettings::paper_default(ram_bytes);
+        settings.disk_capacity_bytes = disk_bytes;
+        settings.disk_read = Duration::from_millis(45);
+        settings.disk_write = Duration::from_millis(60);
+        settings
+    }
+
+    #[test]
+    fn disk_tier_extends_the_catalogue_beyond_ram() {
+        let backend = test_backend(4, 900);
+        // RAM: 9 chunks (one object). Disk: 27 chunks (three more).
+        let node = AgarNode::new(FRANKFURT, backend, tiered_settings(900, 2_700), 7).unwrap();
+        for _ in 0..20 {
+            for i in 0..4 {
+                node.read(ObjectId::new(i)).unwrap();
+            }
+        }
+        node.force_reconfigure();
+        let config = node.current_config();
+        assert!(config.ram_chunks() > 0, "RAM budget unused: {config:?}");
+        assert!(config.disk_chunks() > 0, "disk budget unused: {config:?}");
+
+        // Every object reads correctly, and reads of disk-configured
+        // objects count their disk-sourced chunks as local cache hits.
+        let mut disk_served_hits = 0;
+        for i in 0..4 {
+            let metrics = node.read(ObjectId::new(i)).unwrap();
+            assert_eq!(metrics.data.as_ref(), expected_payload(i, 900).as_slice());
+            let object = ObjectId::new(i);
+            if !config.disk_chunks_for(object).is_empty() && metrics.cache_hits > 0 {
+                disk_served_hits += 1;
+            }
+        }
+        assert!(disk_served_hits > 0, "no disk-configured object hit");
+        let stats = node.cache_stats();
+        assert!(stats.disk_hits() > 0, "disk tier never served: {stats:?}");
+    }
+
+    #[test]
+    fn corrupted_disk_tier_falls_back_to_the_backend() {
+        let backend = test_backend(2, 900);
+        let node = AgarNode::new(FRANKFURT, backend, tiered_settings(900, 1_800), 7).unwrap();
+        for _ in 0..20 {
+            node.read(ObjectId::new(0)).unwrap();
+            node.read(ObjectId::new(1)).unwrap();
+        }
+        node.force_reconfigure();
+        let config = node.current_config();
+        assert!(config.disk_chunks() > 0, "need a disk allocation");
+
+        // Zero out every disk segment: checksums break for every
+        // frame, so each disk lookup must degrade to a miss.
+        let paths = node.disk_segment_paths();
+        assert!(!paths.is_empty(), "disk tier must have segments");
+        for path in &paths {
+            let len = std::fs::metadata(path).unwrap().len() as usize;
+            std::fs::write(path, vec![0u8; len]).unwrap();
+        }
+
+        // Reads still return correct bytes — corrupted frames are
+        // misses served by the backend, never garbage or a panic.
+        for i in 0..2 {
+            let metrics = node.read(ObjectId::new(i)).unwrap();
+            assert_eq!(metrics.data.as_ref(), expected_payload(i, 900).as_slice());
+        }
+    }
+
+    #[test]
+    fn zero_disk_capacity_is_byte_identical_to_the_untiered_engine() {
+        // Two fresh nodes, same seed: one with defaults (disk off) and
+        // one with every disk knob twisted but the capacity still zero
+        // must produce identical latency sequences and statistics.
+        let run = |settings: AgarSettings| {
+            let backend = test_backend(4, 900);
+            let node = AgarNode::new(FRANKFURT, backend, settings, 7).unwrap();
+            let mut latencies = Vec::new();
+            for round in 0..12 {
+                let metrics = node.read(ObjectId::new(round % 4)).unwrap();
+                latencies.push(metrics.latency);
+            }
+            node.force_reconfigure();
+            for round in 0..12 {
+                let metrics = node.read(ObjectId::new(round % 4)).unwrap();
+                latencies.push(metrics.latency);
+            }
+            (latencies, node.cache_stats())
+        };
+        let (default_latencies, default_stats) = run(AgarSettings::paper_default(1_800));
+        let mut disabled = AgarSettings::paper_default(1_800);
+        disabled.disk_capacity_bytes = 0;
+        disabled.disk_read = Duration::from_millis(1);
+        disabled.disk_write = Duration::from_millis(1);
+        let (disabled_latencies, disabled_stats) = run(disabled);
+        assert_eq!(default_latencies, disabled_latencies);
+        assert_eq!(default_stats, disabled_stats);
+        assert_eq!(default_stats.disk_hits(), 0);
+        assert_eq!(default_stats.tier_demotions(), 0);
     }
 
     #[test]

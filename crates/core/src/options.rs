@@ -194,6 +194,95 @@ pub fn generate_options(
     }
 }
 
+/// Generates the *disk-tier* caching options for one object, conditioned
+/// on a RAM allocation already chosen by the first knapsack phase.
+///
+/// The disk tier is the second budget of the two-tier solve: after the
+/// RAM phase fixes `ram_chunks`, the remaining used chunks (most distant
+/// first) become candidates for the per-node disk store. A disk option
+/// of weight `w` caches the `w` most distant remaining chunks; its
+/// residual latency is the slowest of
+///
+/// - the next remaining uncached site (chunks still fetched remotely),
+/// - `disk_read` (the disk reads run in parallel with the fetches), and
+/// - `cache_read` when RAM chunks participate in the read;
+///
+/// and its value is `popularity ×` the improvement over the residual
+/// latency of the RAM allocation alone. Returns `None` when the RAM
+/// allocation already covers every used chunk (nothing left to place).
+///
+/// # Panics
+///
+/// Panics if `latencies` does not cover every region in the manifest —
+/// the caller wires both from the same topology, so a mismatch is a bug.
+pub fn generate_disk_options(
+    manifest: &ObjectManifest,
+    latencies: &[Duration],
+    cache_read: Duration,
+    disk_read: Duration,
+    ram_chunks: &[u8],
+    popularity: f64,
+) -> Option<ObjectOptions> {
+    let params = manifest.params();
+    let k = params.data_chunks();
+
+    let mut by_distance: Vec<(u8, Duration)> = manifest
+        .chunk_locations()
+        .map(|(chunk, region)| {
+            let latency = *latencies
+                .get(region.index())
+                .unwrap_or_else(|| panic!("no latency estimate for {region}"));
+            (chunk.index().value(), latency)
+        })
+        .collect();
+    by_distance.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
+    let used = &by_distance[params.parity_chunks()..];
+    debug_assert_eq!(used.len(), k);
+
+    // Chunks the RAM phase left on the remote read path, most distant
+    // first (RAM options are distance prefixes, so this is a suffix —
+    // but membership is checked explicitly for robustness).
+    let remaining: Vec<(u8, Duration)> = used
+        .iter()
+        .filter(|(chunk, _)| !ram_chunks.contains(chunk))
+        .copied()
+        .collect();
+    if remaining.is_empty() {
+        return None;
+    }
+
+    // Residual latency of the RAM allocation alone: the slowest
+    // remaining site, floored by the cache read when RAM participates.
+    let slowest_remaining = remaining[0].1;
+    let ram_residual = if ram_chunks.is_empty() {
+        slowest_remaining
+    } else {
+        slowest_remaining.max(cache_read)
+    };
+
+    let mut options = Vec::with_capacity(remaining.len());
+    for w in 1..=remaining.len() {
+        let chunks: Vec<u8> = remaining[..w].iter().map(|&(c, _)| c).collect();
+        let next_site = remaining.get(w).map(|&(_, l)| l).unwrap_or(Duration::ZERO);
+        let mut residual = next_site.max(disk_read);
+        if !ram_chunks.is_empty() {
+            residual = residual.max(cache_read);
+        }
+        let improvement_ms = ram_residual.saturating_sub(residual).as_secs_f64() * 1_000.0;
+        options.push(CachingOption {
+            object: manifest.object(),
+            chunks,
+            value: popularity * improvement_ms,
+            expected_latency: residual,
+        });
+    }
+    Some(ObjectOptions {
+        object: manifest.object(),
+        options,
+        baseline_latency: ram_residual,
+    })
+}
+
 /// Convenience wrapper: the region order implied by a latency estimate
 /// vector, nearest first (what the read planner wants).
 pub fn region_order_by_estimates(latencies: &[Duration]) -> Vec<RegionId> {
@@ -348,6 +437,88 @@ mod tests {
         assert!(options.by_weight(0).is_none());
         assert!(options.by_weight(9).is_some());
         assert!(options.by_weight(10).is_none());
+    }
+
+    #[test]
+    fn disk_options_price_the_second_budget_after_ram() {
+        // RAM phase cached Tokyo's data chunk (#4); the disk tier now
+        // prices the remaining eight used chunks at disk_read = 150 ms.
+        let manifest = paper_manifest();
+        let options = generate_disk_options(
+            &manifest,
+            &table1_latencies(),
+            Duration::from_millis(40),
+            Duration::from_millis(150),
+            &[4],
+            10.0,
+        )
+        .unwrap();
+        // Residual with only RAM in effect: São Paulo at 1400 ms.
+        assert_eq!(options.baseline_latency(), Duration::from_millis(1400));
+        // One São Paulo chunk on disk leaves the other remote: no gain.
+        assert_eq!(options.by_weight(1).unwrap().value(), 0.0);
+        // Both São Paulo chunks on disk: residual drops to NVA's 600 ms.
+        let w2 = options.by_weight(2).unwrap();
+        assert_eq!(w2.value(), 10.0 * (1400.0 - 600.0));
+        assert_eq!(w2.expected_latency(), Duration::from_millis(600));
+        // All eight remaining chunks on disk: the disk itself dominates.
+        let w8 = options.by_weight(8).unwrap();
+        assert_eq!(w8.expected_latency(), Duration::from_millis(150));
+        assert_eq!(w8.value(), 10.0 * (1400.0 - 150.0));
+        assert!(options.by_weight(9).is_none(), "only 8 chunks remain");
+        // Disk chunks never overlap the RAM allocation.
+        assert!(options.iter().all(|o| !o.chunks().contains(&4)));
+    }
+
+    #[test]
+    fn disk_options_without_ram_allocation_start_from_the_cold_baseline() {
+        let manifest = paper_manifest();
+        let options = generate_disk_options(
+            &manifest,
+            &table1_latencies(),
+            Duration::from_millis(40),
+            Duration::from_millis(150),
+            &[],
+            1.0,
+        )
+        .unwrap();
+        // No RAM chunks: the baseline is the cold read's 3400 ms.
+        assert_eq!(options.baseline_latency(), Duration::from_millis(3400));
+        // Full disk replica bottoms out at the disk read, not the cache.
+        let w9 = options.by_weight(9).unwrap();
+        assert_eq!(w9.expected_latency(), Duration::from_millis(150));
+        assert_eq!(w9.chunks().len(), 9);
+    }
+
+    #[test]
+    fn full_ram_allocation_leaves_no_disk_options() {
+        let manifest = paper_manifest();
+        let full_ram: Vec<u8> = vec![4, 9, 3, 8, 2, 7, 1, 6, 0];
+        assert!(generate_disk_options(
+            &manifest,
+            &table1_latencies(),
+            Duration::from_millis(40),
+            Duration::from_millis(150),
+            &full_ram,
+            1.0,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn slow_disk_yields_worthless_options() {
+        // A disk slower than every remote site can never improve a read.
+        let manifest = paper_manifest();
+        let options = generate_disk_options(
+            &manifest,
+            &table1_latencies(),
+            Duration::from_millis(40),
+            Duration::from_millis(5_000),
+            &[4],
+            10.0,
+        )
+        .unwrap();
+        assert!(options.iter().all(|o| o.value() == 0.0));
     }
 
     #[test]

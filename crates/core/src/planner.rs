@@ -17,7 +17,7 @@
 
 use crate::config::CacheConfiguration;
 use crate::error::AgarError;
-use agar_cache::ShardedChunkCache;
+use agar_cache::{CacheTier, TieredChunkCache};
 use agar_ec::ChunkId;
 use agar_net::RegionId;
 use agar_store::{plan_backend_fetch_with_estimates, Backend, ObjectManifest, StoreError};
@@ -44,6 +44,38 @@ pub struct RemoteChunk {
 // here so planner call sites and the public API are unchanged.
 pub use agar_ec::ChunkSet;
 
+/// The version-checked local cache hits feeding one read plan, split by
+/// tier: RAM hits are free and always bound into the plan; disk hits
+/// carry the configured disk-read latency and *compete* with remote and
+/// backend sources for their chunk.
+#[derive(Clone, Debug, Default)]
+pub struct LocalHits {
+    /// RAM-tier hits (`(index, payload)`), cost one parallel cache read.
+    pub ram: Vec<(u8, Bytes)>,
+    /// Disk-tier hits, cost one parallel disk read each.
+    pub disk: Vec<(u8, Bytes)>,
+}
+
+impl LocalHits {
+    /// Hits from a RAM-only lookup (no disk tier involved).
+    pub fn ram_only(ram: Vec<(u8, Bytes)>) -> Self {
+        LocalHits {
+            ram,
+            disk: Vec::new(),
+        }
+    }
+
+    /// Total hits across both tiers.
+    pub fn len(&self) -> usize {
+        self.ram.len() + self.disk.len()
+    }
+
+    /// Whether no tier produced a hit.
+    pub fn is_empty(&self) -> bool {
+        self.ram.is_empty() && self.disk.is_empty()
+    }
+}
+
 /// One way of obtaining a chunk, with everything needed to execute it.
 #[derive(Clone, Debug)]
 pub enum ChunkSource {
@@ -51,6 +83,14 @@ pub enum ChunkSource {
     /// read, which runs in parallel with every other source.
     Local {
         /// The cached payload.
+        data: Bytes,
+    },
+    /// Already in the local disk tier (version-checked); costs one disk
+    /// read, which runs in parallel with every other source. Chosen
+    /// only when the disk read is priced no worse than the chunk's
+    /// remote and backend alternatives.
+    LocalDisk {
+        /// The disk-resident payload.
         data: Bytes,
     },
     /// Served out of a collaborating neighbour's cache.
@@ -145,19 +185,20 @@ impl<'a> ReadPlanner<'a> {
     }
 
     /// Stage 1 of the pipeline: looks the hinted chunks up in the local
-    /// cache, version-checked (stale chunks are dropped — write-path
-    /// coherence), and returns the hits. Each lookup locks only the
-    /// chunk's cache shard.
+    /// tiered cache, version-checked (stale chunks are dropped — from
+    /// **both** tiers, write-path coherence), and returns the hits
+    /// split by serving tier. Each RAM lookup locks only the chunk's
+    /// cache shard; a disk hit additionally promotes the chunk.
     ///
     /// `record_stats` controls whether the lookups count toward the
-    /// cache's chunk-level hit/miss statistics and recency metadata;
-    /// a version-race *retry* of the same logical read passes `false`
-    /// so one read never double-counts.
-    pub fn lookup_local(&self, cache: &ShardedChunkCache, record_stats: bool) -> Vec<(u8, Bytes)> {
+    /// cache's chunk-level hit/miss statistics, tier traffic and
+    /// recency metadata; a version-race *retry* of the same logical
+    /// read passes `false` so one read never double-counts.
+    pub fn lookup_local(&self, cache: &TieredChunkCache, record_stats: bool) -> LocalHits {
         let object = self.manifest.object();
         let version = self.manifest.version();
         let hinted = self.hinted();
-        let mut have = Vec::with_capacity(hinted.len());
+        let mut have = LocalHits::default();
         for &index in hinted {
             let id = ChunkId::new(object, index);
             let found = if record_stats {
@@ -166,9 +207,10 @@ impl<'a> ReadPlanner<'a> {
                 cache.peek(&id)
             };
             match found {
-                Some(chunk) if chunk.version() == version => {
-                    have.push((index, chunk.data().clone()));
-                }
+                Some((chunk, tier)) if chunk.version() == version => match tier {
+                    CacheTier::Ram => have.ram.push((index, chunk.data().clone())),
+                    CacheTier::Disk => have.disk.push((index, chunk.data().clone())),
+                },
                 Some(_) => {
                     cache.remove(&id);
                 }
@@ -184,10 +226,12 @@ impl<'a> ReadPlanner<'a> {
     /// `hits` are the local cache hits from
     /// [`ReadPlanner::lookup_local`]; `remote` lists chunks offered by
     /// collaborating neighbours; `estimates` are the caller's live
-    /// per-region latency estimates. A chunk obtainable both remotely
-    /// and from the backend goes to whichever is cheaper (strictly — at
-    /// equal price the backend wins, keeping plain reads byte-identical
-    /// to the pre-collaboration behaviour).
+    /// per-region latency estimates; `disk_read` prices the local disk
+    /// tier's hits. RAM hits are always bound. For every other chunk
+    /// the cheapest source wins: a disk hit beats remote and backend at
+    /// equal price (it is local), while between remote and backend the
+    /// backend wins ties (keeping plain reads byte-identical to the
+    /// pre-collaboration behaviour).
     ///
     /// # Errors
     ///
@@ -196,12 +240,20 @@ impl<'a> ReadPlanner<'a> {
     /// combined.
     pub fn plan(
         &self,
-        hits: Vec<(u8, Bytes)>,
+        hits: LocalHits,
         remote: &[RemoteChunk],
         backend: &Backend,
         estimates: &[Duration],
+        disk_read: Duration,
     ) -> Result<ReadPlan, AgarError> {
-        self.plan_hedged(hits, remote, backend, estimates, HedgePolicy::disabled())
+        self.plan_hedged(
+            hits,
+            remote,
+            backend,
+            estimates,
+            disk_read,
+            HedgePolicy::disabled(),
+        )
     }
 
     /// [`ReadPlanner::plan`] with speculative over-provisioning: after
@@ -218,18 +270,20 @@ impl<'a> ReadPlanner<'a> {
     /// plan feasibility.
     pub fn plan_hedged(
         &self,
-        hits: Vec<(u8, Bytes)>,
+        hits: LocalHits,
         remote: &[RemoteChunk],
         backend: &Backend,
         estimates: &[Duration],
+        disk_read: Duration,
         hedging: HedgePolicy<'_>,
     ) -> Result<ReadPlan, AgarError> {
         let object = self.manifest.object();
         let k = self.manifest.params().data_chunks();
         let total = self.manifest.params().total_chunks();
-        let cache_hits = hits.len();
-        let held: ChunkSet = hits.iter().map(|&(index, _)| index).collect();
+        let cache_hits = hits.ram.len();
+        let held: ChunkSet = hits.ram.iter().map(|&(index, _)| index).collect();
         let mut sources: Vec<(u8, ChunkSource)> = hits
+            .ram
             .into_iter()
             .map(|(index, data)| (index, ChunkSource::Local { data }))
             .collect();
@@ -240,6 +294,16 @@ impl<'a> ReadPlanner<'a> {
                 cache_hits,
                 hedges: 0,
             });
+        }
+
+        // Disk-tier hits by chunk index: candidates priced at the disk
+        // read latency, not automatic wins (a nearby backend region can
+        // legitimately beat a slow disk).
+        let mut disk_at: Vec<Option<&Bytes>> = vec![None; total];
+        for (index, data) in &hits.disk {
+            if let Some(slot) = disk_at.get_mut(*index as usize) {
+                *slot = Some(data);
+            }
         }
 
         // Cheapest remote offer per chunk index, O(1) lookup. Offers
@@ -273,24 +337,35 @@ impl<'a> ReadPlanner<'a> {
             if held.contains(index) {
                 continue;
             }
-            let source = match (remote_at[index as usize], backend_at[index as usize]) {
-                (Some((data, latency)), Some((_, estimate))) if latency < estimate => {
+            let networked = match (remote_at[index as usize], backend_at[index as usize]) {
+                (Some((data, latency)), Some((_, estimate))) if latency < estimate => Some((
                     ChunkSource::Remote {
                         data: data.clone(),
                         latency,
-                    }
-                }
-                (Some((data, latency)), None) => ChunkSource::Remote {
-                    data: data.clone(),
+                    },
                     latency,
-                },
-                (_, Some((region, estimate))) => ChunkSource::Backend { region, estimate },
-                (None, None) => continue,
+                )),
+                (Some((data, latency)), None) => Some((
+                    ChunkSource::Remote {
+                        data: data.clone(),
+                        latency,
+                    },
+                    latency,
+                )),
+                (_, Some((region, estimate))) => {
+                    Some((ChunkSource::Backend { region, estimate }, estimate))
+                }
+                (None, None) => None,
             };
-            let price = match &source {
-                ChunkSource::Remote { latency, .. } => *latency,
-                ChunkSource::Backend { estimate, .. } => *estimate,
-                ChunkSource::Local { .. } => unreachable!("local hits are pre-filtered"),
+            // A disk hit wins ties against any networked source: equal
+            // modelled latency, but no round trip to lose.
+            let (source, price) = match (disk_at[index as usize], networked) {
+                (Some(data), Some((_, best))) if disk_read <= best => {
+                    (ChunkSource::LocalDisk { data: data.clone() }, disk_read)
+                }
+                (Some(data), None) => (ChunkSource::LocalDisk { data: data.clone() }, disk_read),
+                (_, Some((source, price))) => (source, price),
+                (None, None) => continue,
             };
             candidates.push((price, index, source));
         }
@@ -360,6 +435,10 @@ mod tests {
     use rand::SeedableRng;
     use std::sync::Arc;
 
+    /// Disk-read price used across the planner tests (slower than the
+    /// local region, faster than anything overseas).
+    const DISK_READ: Duration = Duration::from_millis(150);
+
     fn setup() -> (Arc<Backend>, Vec<Duration>) {
         let preset = aws_six_regions();
         let backend = Backend::new(
@@ -404,7 +483,9 @@ mod tests {
         let manifest = backend.manifest(ObjectId::new(0)).unwrap();
         let config = CacheConfiguration::empty();
         let planner = ReadPlanner::new(&manifest, &config);
-        let plan = planner.plan(Vec::new(), &[], &backend, &estimates).unwrap();
+        let plan = planner
+            .plan(LocalHits::default(), &[], &backend, &estimates, DISK_READ)
+            .unwrap();
         assert_eq!(plan.sources.len(), 9);
         assert_eq!(plan.cache_hits, 0);
         // The furthest region (Sydney) is never planned when healthy.
@@ -426,7 +507,15 @@ mod tests {
             (4u8, Bytes::from(vec![0u8; 100])),
             (9u8, Bytes::from(vec![0u8; 100])),
         ];
-        let plan = planner.plan(hits, &[], &backend, &estimates).unwrap();
+        let plan = planner
+            .plan(
+                LocalHits::ram_only(hits),
+                &[],
+                &backend,
+                &estimates,
+                DISK_READ,
+            )
+            .unwrap();
         assert_eq!(plan.sources.len(), 9);
         assert_eq!(plan.cache_hits, 2);
         let fetched: Vec<u8> = plan
@@ -456,14 +545,26 @@ mod tests {
         };
         let remote = vec![offer(4, vec![7u8; 100], Duration::from_millis(1), 1)];
         let plan = planner
-            .plan(Vec::new(), &remote, &backend, &estimates)
+            .plan(
+                LocalHits::default(),
+                &remote,
+                &backend,
+                &estimates,
+                DISK_READ,
+            )
             .unwrap();
         let chunk4 = plan.sources.iter().find(|&&(i, _)| i == 4).unwrap();
         assert!(matches!(chunk4.1, ChunkSource::Remote { .. }));
         // An expensive remote offer loses to the local region.
         let remote = vec![offer(0, vec![1u8; 100], Duration::from_secs(10), 1)];
         let plan = planner
-            .plan(Vec::new(), &remote, &backend, &estimates)
+            .plan(
+                LocalHits::default(),
+                &remote,
+                &backend,
+                &estimates,
+                DISK_READ,
+            )
             .unwrap();
         let chunk0 = plan.sources.iter().find(|&&(i, _)| i == 0).unwrap();
         assert!(matches!(chunk0.1, ChunkSource::Backend { .. }));
@@ -471,7 +572,13 @@ mod tests {
         // it is by far the cheapest source.
         let remote = vec![offer(4, vec![7u8; 100], Duration::from_millis(1), 99)];
         let plan = planner
-            .plan(Vec::new(), &remote, &backend, &estimates)
+            .plan(
+                LocalHits::default(),
+                &remote,
+                &backend,
+                &estimates,
+                DISK_READ,
+            )
             .unwrap();
         let chunk4 = plan.sources.iter().find(|&&(i, _)| i == 4).unwrap();
         assert!(matches!(chunk4.1, ChunkSource::Backend { .. }));
@@ -493,13 +600,122 @@ mod tests {
             version: 1,
         }];
         let plan = planner
-            .plan(Vec::new(), &remote, &backend, &estimates)
+            .plan(
+                LocalHits::default(),
+                &remote,
+                &backend,
+                &estimates,
+                DISK_READ,
+            )
             .unwrap();
         assert_eq!(plan.sources.len(), 9);
         assert!(plan
             .sources
             .iter()
             .all(|(_, s)| matches!(s, ChunkSource::Backend { .. })));
+    }
+
+    #[test]
+    fn disk_hits_beat_distant_sources_but_lose_to_the_local_region() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        let planner = ReadPlanner::new(&manifest, &config);
+        // Chunk 4 lives in Tokyo (expensive); chunk 0 in Frankfurt
+        // (cheaper than the 150 ms disk). Both sit in the disk tier.
+        let hits = LocalHits {
+            ram: Vec::new(),
+            disk: vec![
+                (4u8, Bytes::from(vec![4u8; 100])),
+                (0u8, Bytes::from(vec![0u8; 100])),
+            ],
+        };
+        let plan = planner
+            .plan(hits, &[], &backend, &estimates, DISK_READ)
+            .unwrap();
+        assert_eq!(plan.sources.len(), 9);
+        assert_eq!(plan.cache_hits, 0, "disk hits are not RAM cache hits");
+        let source_of = |i: u8| &plan.sources.iter().find(|&&(x, _)| x == i).unwrap().1;
+        assert!(
+            matches!(source_of(4), ChunkSource::LocalDisk { .. }),
+            "disk must beat Tokyo"
+        );
+        assert!(
+            matches!(source_of(0), ChunkSource::Backend { .. }),
+            "the local region must beat a slower disk"
+        );
+    }
+
+    #[test]
+    fn disk_hits_outrank_equally_priced_remote_offers() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        let planner = ReadPlanner::new(&manifest, &config);
+        let hits = LocalHits {
+            ram: Vec::new(),
+            disk: vec![(4u8, Bytes::from(vec![4u8; 100]))],
+        };
+        // A neighbour offers the same chunk at exactly the disk price:
+        // the tie goes to the disk (no network round trip).
+        let remote = vec![RemoteChunk {
+            index: 4,
+            data: Bytes::from(vec![9u8; 100]),
+            latency: DISK_READ,
+            version: 1,
+        }];
+        let plan = planner
+            .plan(hits, &remote, &backend, &estimates, DISK_READ)
+            .unwrap();
+        let chunk4 = plan.sources.iter().find(|&&(i, _)| i == 4).unwrap();
+        assert!(matches!(chunk4.1, ChunkSource::LocalDisk { .. }));
+        // A strictly cheaper offer wins.
+        let hits = LocalHits {
+            ram: Vec::new(),
+            disk: vec![(4u8, Bytes::from(vec![4u8; 100]))],
+        };
+        let remote = vec![RemoteChunk {
+            index: 4,
+            data: Bytes::from(vec![9u8; 100]),
+            latency: DISK_READ - Duration::from_millis(1),
+            version: 1,
+        }];
+        let plan = planner
+            .plan(hits, &remote, &backend, &estimates, DISK_READ)
+            .unwrap();
+        let chunk4 = plan.sources.iter().find(|&&(i, _)| i == 4).unwrap();
+        assert!(matches!(chunk4.1, ChunkSource::Remote { .. }));
+    }
+
+    #[test]
+    fn ram_and_disk_hits_compose_into_one_plan() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        let planner = ReadPlanner::new(&manifest, &config);
+        let hits = LocalHits {
+            ram: vec![(9u8, Bytes::from(vec![9u8; 100]))],
+            disk: vec![(4u8, Bytes::from(vec![4u8; 100]))],
+        };
+        assert_eq!(hits.len(), 2);
+        assert!(!hits.is_empty());
+        let plan = planner
+            .plan(hits, &[], &backend, &estimates, DISK_READ)
+            .unwrap();
+        assert_eq!(plan.sources.len(), 9);
+        assert_eq!(plan.cache_hits, 1);
+        let disk_sourced = plan
+            .sources
+            .iter()
+            .filter(|(_, s)| matches!(s, ChunkSource::LocalDisk { .. }))
+            .count();
+        assert_eq!(disk_sourced, 1);
+        let backend_sourced = plan
+            .sources
+            .iter()
+            .filter(|(_, s)| matches!(s, ChunkSource::Backend { .. }))
+            .count();
+        assert_eq!(backend_sourced, 7);
     }
 
     #[test]
@@ -515,7 +731,14 @@ mod tests {
             deviations: &deviations,
         };
         let plan = planner
-            .plan_hedged(Vec::new(), &[], &backend, &estimates, policy)
+            .plan_hedged(
+                LocalHits::default(),
+                &[],
+                &backend,
+                &estimates,
+                DISK_READ,
+                policy,
+            )
             .unwrap();
         assert_eq!(plan.hedges, 2);
         assert_eq!(plan.sources.len(), 11, "k=9 primaries + 2 hedges");
@@ -542,7 +765,14 @@ mod tests {
             deviations: &deviations,
         };
         let plan = planner
-            .plan_hedged(Vec::new(), &[], &backend, &estimates, policy)
+            .plan_hedged(
+                LocalHits::default(),
+                &[],
+                &backend,
+                &estimates,
+                DISK_READ,
+                policy,
+            )
             .unwrap();
         assert_eq!(plan.hedges, 0);
         assert_eq!(plan.sources.len(), 9);
@@ -554,13 +784,16 @@ mod tests {
         let manifest = backend.manifest(ObjectId::new(0)).unwrap();
         let config = CacheConfiguration::empty();
         let planner = ReadPlanner::new(&manifest, &config);
-        let plain = planner.plan(Vec::new(), &[], &backend, &estimates).unwrap();
+        let plain = planner
+            .plan(LocalHits::default(), &[], &backend, &estimates, DISK_READ)
+            .unwrap();
         let hedged = planner
             .plan_hedged(
-                Vec::new(),
+                LocalHits::default(),
                 &[],
                 &backend,
                 &estimates,
+                DISK_READ,
                 HedgePolicy::disabled(),
             )
             .unwrap();
@@ -580,7 +813,7 @@ mod tests {
         }
         let planner = ReadPlanner::new(&manifest, &config);
         let err = planner
-            .plan(Vec::new(), &[], &backend, &estimates)
+            .plan(LocalHits::default(), &[], &backend, &estimates, DISK_READ)
             .unwrap_err();
         assert!(matches!(
             err,

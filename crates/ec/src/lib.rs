@@ -47,6 +47,7 @@ pub mod chunk;
 pub mod error;
 pub mod gf256;
 pub mod matrix;
+mod parallel;
 pub mod rs;
 
 pub use chunk::{Chunk, ChunkId, ChunkIndex, ChunkSet, CodingParams, ObjectId};

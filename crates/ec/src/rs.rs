@@ -37,10 +37,12 @@ use crate::chunk::{ChunkSet, CodingParams};
 use crate::error::EcError;
 use crate::gf256::mul_add_slice;
 use crate::matrix::Matrix;
+use crate::parallel::for_each_job;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Which matrix construction backs the encoder.
@@ -235,12 +237,18 @@ impl ReedSolomon {
         let len = Self::check_shard_sizes(data)?;
         let m = self.params.parity_chunks();
         let mut parity = vec![vec![0u8; len]; m];
-        for (p, out) in parity.iter_mut().enumerate() {
+        // Each parity shard is an independent dot product over the data
+        // shards; fan the m jobs out across scoped threads (sequential
+        // below the size threshold or on a single-CPU host — see the
+        // `parallel` module for why the output is identical either way).
+        let data: Vec<&[u8]> = data.iter().map(AsRef::as_ref).collect();
+        let jobs: Vec<(usize, &mut Vec<u8>)> = parity.iter_mut().enumerate().collect();
+        for_each_job(jobs, len, |(p, out)| {
             let row = self.encoding.row(k + p);
-            for (c, shard) in data.iter().enumerate() {
-                mul_add_slice(out, shard.as_ref(), row[c]);
+            for (c, &shard) in data.iter().enumerate() {
+                mul_add_slice(out, shard, row[c]);
             }
-        }
+        });
         Ok(parity)
     }
 
@@ -267,12 +275,18 @@ impl ReedSolomon {
         let mut padded = vec![0u8; k * chunk_size];
         padded[..object.len()].copy_from_slice(object);
         let mut parity = vec![0u8; m * chunk_size];
-        for (p, out) in parity.chunks_exact_mut(chunk_size).enumerate() {
+        // Parity shards write disjoint slices of one buffer over the
+        // same read-only data: shard-parallel across scoped threads
+        // (inline on small chunks or a single-CPU host, byte-identical).
+        let padded_ref = padded.as_slice();
+        let jobs: Vec<(usize, &mut [u8])> =
+            parity.chunks_exact_mut(chunk_size).enumerate().collect();
+        for_each_job(jobs, chunk_size, |(p, out)| {
             let row = self.encoding.row(k + p);
-            for (c, shard) in padded.chunks_exact(chunk_size).enumerate() {
+            for (c, shard) in padded_ref.chunks_exact(chunk_size).enumerate() {
                 mul_add_slice(out, shard, row[c]);
             }
-        }
+        });
         let data_buf = Bytes::from(padded);
         let parity_buf = Bytes::from(parity);
         Ok((0..k)
@@ -377,30 +391,31 @@ impl ReedSolomon {
         report.plan_cache_hit = cache_hit;
         let mut object = vec![0u8; out_len];
         report.allocations = 1;
-        for target in 0..k {
-            let start = (target * shard_len).min(out_len);
-            let end = ((target + 1) * shard_len).min(out_len);
-            if start >= end {
-                break; // remaining shards are entirely padding
-            }
-            let out = &mut object[start..end];
+        // Each data-shard slot owns a disjoint chunk-sized slice of the
+        // object buffer: present shards memcpy into place, missing ones
+        // decode just the bytes the object needs, straight into place
+        // (the buffer starts zeroed, so the mul-accumulate needs no
+        // scratch shard). The slots are independent, so they fan out
+        // shard-parallel across scoped threads (see `parallel`); slices
+        // past `out_len` are entirely padding and never materialise.
+        let gf_bytes = AtomicU64::new(0);
+        let jobs: Vec<(usize, &mut [u8])> = object.chunks_mut(shard_len).enumerate().collect();
+        for_each_job(jobs, shard_len, |(target, out)| {
             match shards[target].as_ref() {
-                Some(shard) => out.copy_from_slice(&shard[..end - start]),
+                Some(shard) => out.copy_from_slice(&shard[..out.len()]),
                 None => {
-                    // Decode just the bytes the object needs, straight
-                    // into place (the buffer starts zeroed, so the
-                    // mul-accumulate needs no scratch shard).
                     let row = plan.decode.row(target);
                     for (j, &src) in plan.chosen.iter().enumerate() {
                         let shard = shards[src].as_ref().expect("chosen shard present");
-                        mul_add_slice(out, &shard[..end - start], row[j]);
+                        mul_add_slice(out, &shard[..out.len()], row[j]);
                         if row[j] >= 2 {
-                            report.gf_multiply_bytes += (end - start) as u64;
+                            gf_bytes.fetch_add(out.len() as u64, Ordering::Relaxed);
                         }
                     }
                 }
             }
-        }
+        });
+        report.gf_multiply_bytes = gf_bytes.load(Ordering::Relaxed);
         Ok((Bytes::from(object), report))
     }
 
@@ -473,15 +488,24 @@ impl ReedSolomon {
         // plan (inverted matrix) for this erasure pattern if one exists.
         let (plan, _) = self.decode_plan(&present)?;
         let missing_data: Vec<usize> = (0..k).filter(|&i| shards[i].is_none()).collect();
-        for &target in &missing_data {
-            // Row `target` of the decode matrix maps the chosen shards
-            // back to data shard `target`.
-            let mut out = vec![0u8; shard_len];
-            let row = plan.decode.row(target);
-            for (j, &src) in plan.chosen.iter().enumerate() {
-                let shard = shards[src].as_ref().expect("chosen shard present");
-                mul_add_slice(&mut out, shard, row[j]);
-            }
+        // Row `target` of the decode matrix maps the chosen shards back
+        // to data shard `target`; each target decodes independently, so
+        // the jobs fan out shard-parallel and land by index afterwards
+        // (push order varies across threads, the final slots do not).
+        let decoded = Mutex::new(Vec::with_capacity(missing_data.len()));
+        {
+            let shards_ref: &[Option<Vec<u8>>] = shards;
+            for_each_job(missing_data, shard_len, |target| {
+                let mut out = vec![0u8; shard_len];
+                let row = plan.decode.row(target);
+                for (j, &src) in plan.chosen.iter().enumerate() {
+                    let shard = shards_ref[src].as_ref().expect("chosen shard present");
+                    mul_add_slice(&mut out, shard, row[j]);
+                }
+                decoded.lock().push((target, out));
+            });
+        }
+        for (target, out) in decoded.into_inner() {
             shards[target] = Some(out);
         }
         Ok(())
@@ -817,6 +841,50 @@ mod tests {
         let rs = ReedSolomon::new(CodingParams::new(6, 2).unwrap()).unwrap();
         let data = sample_data(6, 100);
         assert_eq!(rs.encode(&data).unwrap(), rs.encode(&data).unwrap());
+    }
+
+    /// Above [`crate::parallel::PARALLEL_MIN_JOB_BYTES`] the encode
+    /// fans out across scoped threads; the naive sequential dot product
+    /// here is the reference it must match byte for byte.
+    #[test]
+    fn shard_parallel_encode_matches_naive_reference() {
+        let rs = ReedSolomon::new(CodingParams::new(4, 2).unwrap()).unwrap();
+        let object: Vec<u8> = (0..4 * 64 * 1024).map(|i| (i * 31 % 256) as u8).collect();
+        let shards = rs.encode_object(&object).unwrap();
+        let chunk = shards[0].len();
+        assert!(chunk >= crate::parallel::PARALLEL_MIN_JOB_BYTES);
+        for p in 0..2 {
+            let row = rs.encoding_matrix().row(4 + p);
+            let mut expect = vec![0u8; chunk];
+            for c in 0..4 {
+                mul_add_slice(&mut expect, &shards[c], row[c]);
+            }
+            assert_eq!(shards[4 + p].as_ref(), expect.as_slice(), "parity {p}");
+        }
+    }
+
+    /// Multiple missing data shards at a chunk size past the parallel
+    /// threshold: exercises the fanned-out `reconstruct_data` path.
+    #[test]
+    fn shard_parallel_reconstruct_recovers_large_shards() {
+        let rs = ReedSolomon::new(CodingParams::new(4, 3).unwrap()).unwrap();
+        let data: Vec<Vec<u8>> = (0..4)
+            .map(|i| {
+                (0..64 * 1024)
+                    .map(|j| ((i * 131 + j * 17) % 256) as u8)
+                    .collect()
+            })
+            .collect();
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[2] = None;
+        shards[3] = None;
+        rs.reconstruct(&mut shards).unwrap();
+        for (i, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.as_ref().unwrap(), &full[i], "shard {i}");
+        }
     }
 
     #[test]

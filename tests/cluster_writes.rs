@@ -55,6 +55,16 @@ fn cluster(backend: &Arc<Backend>, members: usize) -> Arc<ClusterRouter> {
     Arc::new(router)
 }
 
+/// A member with a two-tier cache: RAM fits roughly one object, the
+/// disk tier holds the rest of the catalogue.
+fn tiered_node(backend: &Arc<Backend>, seed: u64) -> Arc<AgarNode> {
+    let mut settings = AgarSettings::paper_default(SIZE);
+    settings.disk_capacity_bytes = 16 * SIZE;
+    settings.disk_read = Duration::from_millis(45);
+    settings.disk_write = Duration::from_millis(60);
+    Arc::new(AgarNode::new(FRANKFURT, Arc::clone(backend), settings, seed).unwrap())
+}
+
 /// Concurrent readers racing a stream of writes must always decode a
 /// *whole* version: either the pristine populate payload or one of
 /// the written constant-fill payloads — never a mix of chunk
@@ -258,6 +268,100 @@ fn distinct_object_writers_proceed_in_parallel() {
     assert_eq!(stats.lease_grants(), (writers * rounds) as u64);
     assert_eq!(stats.lease_contentions(), 0);
     assert_eq!(router.lease_manager().active_leases(), 0);
+}
+
+/// The mixed-version invariant must hold when members cache through a
+/// two-tier hierarchy: a write invalidates BOTH tiers on every member,
+/// so no reader ever decodes a stale disk-resident chunk alongside
+/// fresh RAM ones. Tiny RAM budgets push most planned chunks to disk,
+/// which keeps the disk tier on the read path throughout the race.
+#[test]
+fn tiered_members_never_serve_stale_disk_chunks() {
+    const OBJECTS: u64 = 6;
+    let backend = backend(OBJECTS);
+    let members: Vec<Arc<AgarNode>> = (0..3).map(|i| tiered_node(&backend, i)).collect();
+    let router = {
+        let router =
+            ClusterRouter::new(Arc::clone(&backend), ClusterSettings::default(), 7).unwrap();
+        for member in &members {
+            router.add_node(Arc::clone(member));
+        }
+        Arc::new(router)
+    };
+    // Warm every object into the hierarchy; the knapsack's second
+    // budget lands the long tail on disk.
+    for round in 0..3 {
+        for i in 0..OBJECTS {
+            router.read(ObjectId::new(i)).unwrap();
+        }
+        if round == 0 {
+            router.force_reconfigure_all();
+        }
+    }
+
+    // Racing readers assert every decode is a whole version: the
+    // pristine populate payload or a registered constant fill.
+    let valid_fills: Vec<Mutex<Vec<u8>>> = (0..OBJECTS).map(|_| Mutex::new(Vec::new())).collect();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let router = Arc::clone(&router);
+            let valid_fills = &valid_fills;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut sweeps = 0u64;
+                while !stop.load(Ordering::Relaxed) || sweeps == 0 {
+                    for i in 0..OBJECTS {
+                        match router.read(ObjectId::new(i)) {
+                            Ok(metrics) => {
+                                let data = metrics.metrics().data.as_ref();
+                                let pristine = data == expected_payload(i, SIZE).as_slice();
+                                let whole_write = data.first().is_some_and(|&first| {
+                                    data.iter().all(|&b| b == first)
+                                        && valid_fills[i as usize].lock().unwrap().contains(&first)
+                                });
+                                assert!(
+                                    pristine || whole_write,
+                                    "stale or mixed payload for object {i}"
+                                );
+                            }
+                            Err(AgarError::ReadContention { .. }) => {}
+                            Err(e) => panic!("racing read failed: {e}"),
+                        }
+                    }
+                    sweeps += 1;
+                }
+            });
+        }
+        for round in 0..5u8 {
+            for i in 0..OBJECTS {
+                let fill = 0x20 + round * OBJECTS as u8 + i as u8;
+                valid_fills[i as usize].lock().unwrap().push(fill);
+                router.write(ObjectId::new(i), &vec![fill; SIZE]).unwrap();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // After the dust settles every object reads back its LAST write —
+    // twice, so the second pass decodes from the refilled hierarchy.
+    for pass in 0..2 {
+        for i in 0..OBJECTS {
+            let metrics = router.read(ObjectId::new(i)).unwrap();
+            let fill = 0x20 + 4 * OBJECTS as u8 + i as u8;
+            assert_eq!(
+                metrics.metrics().data.as_ref(),
+                vec![fill; SIZE].as_slice(),
+                "object {i} pass {pass}"
+            );
+        }
+    }
+    let disk_hits: u64 = {
+        use agar::CachingClient;
+        members.iter().map(|m| m.cache_stats().disk_hits()).sum()
+    };
+    assert!(disk_hits > 0, "the disk tier never served a chunk");
+    assert_eq!(router.lease_manager().active_leases(), 0, "leaked lease");
 }
 
 /// A removed member is fully detached: it drops its cached chunks of
