@@ -23,10 +23,14 @@
 //! --ops N       operations per run (default 1000, paper value)
 //! --out DIR     also write CSVs under DIR (default results/)
 //! --json FILE   also write every table (and tail percentiles) as JSON
+//! --metrics FILE  also write the metrics registry (every counter and
+//!                 stage histogram the tail/tiers/mixed cells bound)
+//!                 as a JSON snapshot
 //! ```
 
 use agar_bench::experiments::{self, ExperimentParams};
 use agar_bench::{Deployment, Table, TailParams, TailResult, TiersParams, TiersResult};
+use agar_obs::MetricsRegistry;
 use std::path::PathBuf;
 
 fn main() {
@@ -35,6 +39,7 @@ fn main() {
     let mut params = ExperimentParams::paper();
     let mut out_dir = PathBuf::from("results");
     let mut json_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
     let mut profile = agar_bench::LatencyProfile::Calibrated;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -76,6 +81,13 @@ fn main() {
                         .unwrap_or_else(|| usage("--json needs a file path")),
                 );
             }
+            "--metrics" => {
+                metrics_path = Some(
+                    iter.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| usage("--metrics needs a file path")),
+                );
+            }
             "--help" | "-h" => usage(""),
             id if !id.starts_with('-') => ids.push(id.to_string()),
             other => usage(&format!("unknown flag {other}")),
@@ -97,6 +109,10 @@ fn main() {
     let deployment = Deployment::build_with_profile(params.scale, profile);
     eprintln!("populated backend in {:.1?}\n", start.elapsed());
 
+    let registry = MetricsRegistry::new();
+    // Only wire the registry through when a dump was requested:
+    // registration is cheap but pointless otherwise.
+    let metrics = metrics_path.as_ref().map(|_| &registry);
     let mut emitted: Vec<Table> = Vec::new();
     let mut tail_cells: Vec<TailResult> = Vec::new();
     let mut tiers_cells: Vec<TiersResult> = Vec::new();
@@ -129,16 +145,17 @@ fn main() {
                 &deployment,
                 params.operations,
             )],
-            "mixed" => vec![agar_bench::mixed::mixed_table(
+            "mixed" => vec![agar_bench::mixed::mixed_table_with(
                 &deployment,
                 params.operations,
+                metrics,
             )],
             "ec" => vec![agar_bench::ec::ec_table()],
             "tail" => {
                 let mut tail_params = TailParams::paper();
                 tail_params.scale = params.scale;
                 tail_params.operations = params.operations;
-                let results = agar_bench::tail_results(&tail_params);
+                let results = agar_bench::tail::tail_results_with(&tail_params, metrics);
                 let table = agar_bench::tail_table(&results);
                 tail_cells = results;
                 vec![table]
@@ -147,7 +164,8 @@ fn main() {
                 let mut tiers_params = TiersParams::paper();
                 tiers_params.scale = params.scale;
                 tiers_params.operations = params.operations;
-                let results = agar_bench::tiers_results(&deployment, &tiers_params);
+                let results =
+                    agar_bench::tiers::tiers_results_with(&deployment, &tiers_params, metrics);
                 let table = agar_bench::tiers_table(&results);
                 tiers_cells = results;
                 vec![table]
@@ -163,6 +181,15 @@ fn main() {
             emitted.push(table);
         }
         eprintln!("[{id}] done in {:.1?}\n", start.elapsed());
+    }
+    if let Some(path) = &metrics_path {
+        match std::fs::write(path, registry.render_json()) {
+            Ok(()) => eprintln!("wrote metrics snapshot to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(path) = &json_path {
         match std::fs::write(path, results_json(&emitted, &tail_cells, &tiers_cells)) {
@@ -216,7 +243,9 @@ fn results_json(tables: &[Table], tail: &[TailResult], tiers: &[TiersResult]) ->
              \"operations\": {}, \"errors\": {}, \"mean_ms\": {:.3}, \
              \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
              \"p999_ms\": {:.3}, \"max_ms\": {:.3}, \"backend_fetches\": {}, \
-             \"hedged_requests\": {}, \"hedge_wins\": {}, \"hedges_cancelled\": {}}}",
+             \"hedged_requests\": {}, \"hedge_wins\": {}, \"hedges_cancelled\": {}, \
+             \"plan_p99_ms\": {:.3}, \"lookup_p99_ms\": {:.3}, \"fetch_p99_ms\": {:.3}, \
+             \"bind_p99_ms\": {:.3}, \"decode_p99_ms\": {:.3}}}",
             json_string(&cell.scenario),
             json_string(&cell.policy),
             cell.max_hedges,
@@ -232,6 +261,11 @@ fn results_json(tables: &[Table], tail: &[TailResult], tiers: &[TiersResult]) ->
             cell.hedged_requests,
             cell.hedge_wins,
             cell.hedges_cancelled,
+            cell.stages.plan.p99_ms,
+            cell.stages.lookup.p99_ms,
+            cell.stages.fetch.p99_ms,
+            cell.stages.bind.p99_ms,
+            cell.stages.decode.p99_ms,
         ));
     }
     for (i, cell) in tiers.iter().enumerate() {
@@ -245,7 +279,9 @@ fn results_json(tables: &[Table], tail: &[TailResult], tiers: &[TiersResult]) ->
              \"p999_ms\": {:.3}, \"max_ms\": {:.3}, \"ram_hits\": {}, \
              \"disk_hits\": {}, \"chunk_lookups\": {}, \"ram_hit_ratio\": {:.4}, \
              \"disk_hit_ratio\": {:.4}, \"ram_chunks\": {}, \"disk_chunks\": {}, \
-             \"tier_promotions\": {}, \"disk_evictions\": {}}}",
+             \"tier_promotions\": {}, \"disk_evictions\": {}, \
+             \"plan_p99_ms\": {:.3}, \"lookup_p99_ms\": {:.3}, \"fetch_p99_ms\": {:.3}, \
+             \"bind_p99_ms\": {:.3}, \"decode_p99_ms\": {:.3}}}",
             json_string(&cell.scenario),
             json_string(&cell.policy),
             cell.catalogue_multiple,
@@ -266,6 +302,11 @@ fn results_json(tables: &[Table], tail: &[TailResult], tiers: &[TiersResult]) ->
             cell.disk_chunks,
             cell.tier_promotions,
             cell.disk_evictions,
+            cell.stages.plan.p99_ms,
+            cell.stages.lookup.p99_ms,
+            cell.stages.fetch.p99_ms,
+            cell.stages.bind.p99_ms,
+            cell.stages.decode.p99_ms,
         ));
     }
     out.push_str("\n  ]\n}\n");
@@ -307,7 +348,7 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|cluster|mixed|ec|tail|tiers|all]... \
-         [--tiny] [--runs N] [--ops N] [--out DIR] [--json FILE]"
+         [--tiny] [--runs N] [--ops N] [--out DIR] [--json FILE] [--metrics FILE]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

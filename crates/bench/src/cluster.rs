@@ -57,12 +57,45 @@ pub fn build_warm_hedged_cluster(
     max_hedges: usize,
     seed: u64,
 ) -> Arc<ClusterRouter> {
+    build_warm_cluster_with(
+        deployment,
+        region,
+        members,
+        cache_mb,
+        hot_objects,
+        max_hedges,
+        false,
+        seed,
+    )
+}
+
+/// [`build_warm_hedged_cluster`] with read tracing optionally enabled
+/// on every member (`trace` samples every read). The throughput
+/// harnesses leave it off — they measure wall-clock ops/s and tracing,
+/// while cheap, is not free; the mixed experiment turns it on for its
+/// per-stage breakdown columns.
+///
+/// # Panics
+///
+/// Same as [`build_warm_cluster`].
+#[allow(clippy::too_many_arguments)]
+pub fn build_warm_cluster_with(
+    deployment: &Deployment,
+    region: RegionId,
+    members: usize,
+    cache_mb: f64,
+    hot_objects: u64,
+    max_hedges: usize,
+    trace: bool,
+    seed: u64,
+) -> Arc<ClusterRouter> {
     assert!(members > 0, "need at least one member");
     assert!(hot_objects > 0, "need at least one hot object");
     let mut settings = AgarSettings::paper_default(deployment.scale.cache_bytes(cache_mb));
     settings.cache_read = deployment.preset.cache_read;
     settings.client_overhead = deployment.preset.client_overhead;
     settings.max_hedges = max_hedges;
+    settings.trace_sample_every = u64::from(trace);
     let router = Arc::new(
         ClusterRouter::new(
             Arc::clone(&deployment.backend),

@@ -33,14 +33,20 @@ pub mod throughput;
 pub mod tiers;
 
 pub use cluster::{
-    build_warm_cluster, build_warm_hedged_cluster, cluster_scaling, run_cluster_threads,
+    build_warm_cluster, build_warm_cluster_with, build_warm_hedged_cluster, cluster_scaling,
+    run_cluster_threads,
 };
 pub use ec::ec_table;
 pub use harness::{
     run_averaged, run_once, Deployment, LatencyProfile, PolicySpec, RunConfig, RunResult, Scale,
 };
-pub use mixed::{mixed_table, run_mixed_cluster, MixedRun};
+pub use mixed::{mixed_table, mixed_table_with, run_mixed_cluster, MixedRun};
 pub use table::{LatencyHistogram, LatencySummary, Table};
-pub use tail::{tail_results, tail_run, tail_table, TailParams, TailResult};
+pub use tail::{
+    tail_results, tail_results_with, tail_run, tail_run_with, tail_table, TailParams, TailResult,
+};
 pub use throughput::{build_warm_node, run_threads, throughput_scaling, ThroughputRun};
-pub use tiers::{tiers_results, tiers_run, tiers_table, TiersParams, TiersResult};
+pub use tiers::{
+    tiers_results, tiers_results_with, tiers_run, tiers_run_with, tiers_table, TiersParams,
+    TiersResult,
+};

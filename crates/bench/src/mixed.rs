@@ -30,6 +30,7 @@ use crate::table::{LatencyHistogram, LatencySummary};
 use agar_cluster::ClusterRouter;
 use agar_ec::ObjectId;
 use agar_net::RegionId;
+use agar_obs::{Labels, MetricsRegistry, ReadTrace, StageSummaries};
 use agar_store::expected_payload;
 use agar_workload::{Distribution, MixedOp, ReadWriteMix, WorkloadSpec, WriteSizeDist};
 use std::sync::{Arc, Mutex};
@@ -197,6 +198,10 @@ pub struct MixedRun {
     pub elapsed: Duration,
     /// Aggregate operations per second (host wall clock).
     pub ops_per_sec: f64,
+    /// Per-stage latency breakdown (plan/lookup/fetch/bind/decode) of
+    /// the measured reads' traces, aggregated across members. Empty
+    /// when the cluster was built without tracing.
+    pub stages: StageSummaries,
 }
 
 impl MixedRun {
@@ -259,6 +264,20 @@ pub fn run_mixed_cluster(
         lease_contentions: u64,
         invalidations: u64,
     }
+    // Trace scoping: the warm-up and catalogue-reset reads above were
+    // traced too (when tracing is on), so remember how many traces
+    // each member has recorded so far and keep only the younger ones.
+    let trace_marks: Vec<(u64, u64)> = router
+        .member_ids()
+        .iter()
+        .map(|&id| {
+            let node = router.member(id).expect("member listed but missing");
+            (
+                id,
+                node.trace_snapshot().len() as u64 + node.traces_dropped(),
+            )
+        })
+        .collect();
     let start = Instant::now();
     let mut totals = ThreadTotals::default();
     std::thread::scope(|scope| {
@@ -327,6 +346,14 @@ pub fn run_mixed_cluster(
         }
     });
     let elapsed = start.elapsed();
+    let mut measured_traces: Vec<ReadTrace> = Vec::new();
+    for &(id, before) in &trace_marks {
+        let node = router.member(id).expect("member listed but missing");
+        let traces = node.trace_snapshot();
+        let recorded = traces.len() as u64 + node.traces_dropped();
+        let fresh = (recorded - before).min(traces.len() as u64) as usize;
+        measured_traces.extend_from_slice(&traces[traces.len() - fresh..]);
+    }
     let total_ops = totals.reads + totals.writes + totals.contended_reads;
     MixedRun {
         threads,
@@ -348,12 +375,25 @@ pub fn run_mixed_cluster(
         invalidations: totals.invalidations,
         elapsed,
         ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        stages: StageSummaries::from_traces(&measured_traces),
     }
 }
 
 /// The `mixed` experiment: `M` threads × `K` nodes at several write
 /// ratios, with uniform write sizes around the catalogue object size.
 pub fn mixed_table(deployment: &Deployment, ops_per_thread: usize) -> crate::table::Table {
+    mixed_table_with(deployment, ops_per_thread, None)
+}
+
+/// [`mixed_table`] with an optional metrics registry: when given,
+/// every ratio's cluster binds its counters and stage histograms into
+/// it under `{scenario}` labels so a `--metrics` dump carries the
+/// whole grid.
+pub fn mixed_table_with(
+    deployment: &Deployment,
+    ops_per_thread: usize,
+    registry: Option<&MetricsRegistry>,
+) -> crate::table::Table {
     mixed_table_at(
         deployment,
         deployment.region("Frankfurt"),
@@ -361,10 +401,12 @@ pub fn mixed_table(deployment: &Deployment, ops_per_thread: usize) -> crate::tab
         4,
         ops_per_thread,
         &[0.05, 0.2, 0.5],
+        registry,
     )
 }
 
 /// [`mixed_table`] with explicit grid parameters.
+#[allow(clippy::too_many_arguments)]
 pub fn mixed_table_at(
     deployment: &Deployment,
     region: RegionId,
@@ -372,6 +414,7 @@ pub fn mixed_table_at(
     threads: usize,
     ops_per_thread: usize,
     write_ratios: &[f64],
+    registry: Option<&MetricsRegistry>,
 ) -> crate::table::Table {
     let mut table = crate::table::Table::new(
         "Mixed — M client threads x K ring-routed nodes under a read/write mix \
@@ -387,6 +430,7 @@ pub fn mixed_table_at(
                 "read ms".into(),
             ];
             headers.extend(LatencySummary::percentile_headers());
+            headers.extend(StageSummaries::p99_headers());
             headers.extend([
                 "write ms".into(),
                 "lease waits".into(),
@@ -401,14 +445,22 @@ pub fn mixed_table_at(
     for &ratio in write_ratios {
         // A fresh warm cluster per ratio (the run itself resets the
         // shared backend's catalogue contents before measuring).
-        let router = crate::cluster::build_warm_cluster(
+        let router = crate::cluster::build_warm_cluster_with(
             deployment,
             region,
             members,
             10.0,
             hot_objects,
+            0,
+            true,
             0xF00D ^ (ratio * 1000.0) as u64,
         );
+        if let Some(registry) = registry {
+            let labels = Labels::new()
+                .with("scenario", format!("write {:.0}%", ratio * 100.0))
+                .with("policy", "mixed");
+            router.register_metrics(registry, &labels);
+        }
         let mix = ReadWriteMix {
             write_ratio: ratio,
             write_size: WriteSizeDist::UniformBytes {
@@ -448,6 +500,7 @@ pub fn mixed_table_at(
             format!("{:.1}", run.read_latency_mean.as_secs_f64() * 1e3),
         ];
         row.extend(run.read_latency.percentile_cells());
+        row.extend(run.stages.p99_cells());
         row.extend([
             format!("{:.1}", run.write_latency_mean.as_secs_f64() * 1e3),
             run.lease_contentions.to_string(),
@@ -480,6 +533,31 @@ mod tests {
         assert!(run.read_latency.p50_ms <= run.read_latency.p999_ms);
         assert!(run.write_latency_mean > Duration::ZERO);
         assert!(run.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn traced_cluster_yields_a_measured_stage_breakdown() {
+        let deployment = Deployment::build(Scale::tiny());
+        let region = deployment.region("Frankfurt");
+        let router =
+            crate::cluster::build_warm_cluster_with(&deployment, region, 2, 10.0, 4, 0, true, 3);
+        let mix = ReadWriteMix::with_ratio(0.25);
+        let run = run_mixed_cluster(&router, 2, 40, 4, deployment.scale.object_size, mix, 11);
+        // Only the measured reads are summarised — warm-up and
+        // catalogue-reset traffic is scoped out by the trace marks.
+        assert_eq!(run.stages.samples() as u64, run.reads);
+        // An untraced cluster reports an empty breakdown.
+        let untraced = build_warm_cluster(&deployment, region, 2, 10.0, 4, 3);
+        let bare = run_mixed_cluster(
+            &untraced,
+            2,
+            20,
+            4,
+            deployment.scale.object_size,
+            ReadWriteMix::with_ratio(0.0),
+            5,
+        );
+        assert_eq!(bare.stages.samples(), 0);
     }
 
     #[test]

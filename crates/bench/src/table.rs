@@ -1,121 +1,15 @@
 //! Plain-text result tables and CSV emission for the experiment
-//! harness, plus the shared latency histogram every experiment reports
-//! its percentile columns from.
+//! harness. The latency histogram every experiment reports its
+//! percentile columns from lives in `agar_obs::percentile` (one
+//! nearest-rank implementation shared with the registry's bucketed
+//! histogram); it is re-exported here so harness code keeps its
+//! historical import path.
 
 use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
-use std::time::Duration;
 
-/// Percentile summary of a latency sample set, in milliseconds. The
-/// shared shape every experiment's P50/P95/P99/P999 columns and the
-/// JSON bench output are built from.
-#[derive(Clone, Copy, PartialEq, Debug, Default)]
-pub struct LatencySummary {
-    /// Arithmetic mean.
-    pub mean_ms: f64,
-    /// Median (nearest rank).
-    pub p50_ms: f64,
-    /// 95th percentile (nearest rank).
-    pub p95_ms: f64,
-    /// 99th percentile (nearest rank).
-    pub p99_ms: f64,
-    /// 99.9th percentile (nearest rank).
-    pub p999_ms: f64,
-    /// Largest sample.
-    pub max_ms: f64,
-    /// Number of samples summarised.
-    pub samples: usize,
-}
-
-impl LatencySummary {
-    /// The four percentile columns as formatted table cells
-    /// (`P50 P95 P99 P999`, whole milliseconds).
-    pub fn percentile_cells(&self) -> Vec<String> {
-        [self.p50_ms, self.p95_ms, self.p99_ms, self.p999_ms]
-            .iter()
-            .map(|ms| format!("{ms:.0}"))
-            .collect()
-    }
-
-    /// The matching headers for [`LatencySummary::percentile_cells`].
-    pub fn percentile_headers() -> Vec<String> {
-        ["P50 (ms)", "P95 (ms)", "P99 (ms)", "P999 (ms)"]
-            .map(String::from)
-            .to_vec()
-    }
-}
-
-/// An exact latency histogram: collects every sample and answers
-/// nearest-rank percentile queries. Experiment runs are at most a few
-/// hundred thousand operations, so exactness costs nothing and the
-/// P999 column never suffers bucketing error.
-#[derive(Clone, Debug, Default)]
-pub struct LatencyHistogram {
-    samples: Vec<Duration>,
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram::default()
-    }
-
-    /// Records one latency sample.
-    pub fn record(&mut self, latency: Duration) {
-        self.samples.push(latency);
-    }
-
-    /// Absorbs every sample of `other`.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        self.samples.extend_from_slice(&other.samples);
-    }
-
-    /// Number of recorded samples.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// Whether no samples were recorded.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// Nearest-rank percentile; `Duration::ZERO` when empty.
-    pub fn percentile(&self, quantile: f64) -> Duration {
-        if self.samples.is_empty() {
-            return Duration::ZERO;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = (quantile * sorted.len() as f64).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
-    }
-
-    /// Summarises the histogram (single sort, all percentiles).
-    pub fn summary(&self) -> LatencySummary {
-        if self.samples.is_empty() {
-            return LatencySummary::default();
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let n = sorted.len();
-        let at = |quantile: f64| {
-            let rank = (quantile * n as f64).ceil() as usize;
-            sorted[rank.clamp(1, n) - 1].as_secs_f64() * 1e3
-        };
-        let total: Duration = sorted.iter().sum();
-        LatencySummary {
-            mean_ms: total.as_secs_f64() * 1e3 / n as f64,
-            p50_ms: at(0.50),
-            p95_ms: at(0.95),
-            p99_ms: at(0.99),
-            p999_ms: at(0.999),
-            max_ms: sorted[n - 1].as_secs_f64() * 1e3,
-            samples: n,
-        }
-    }
-}
+pub use agar_obs::{LatencyHistogram, LatencySummary};
 
 /// A printable experiment result table.
 #[derive(Clone, Debug)]
@@ -238,6 +132,7 @@ impl fmt::Display for Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn sample() -> Table {
         let mut t = Table::new("Demo", vec!["policy".into(), "latency".into()]);

@@ -22,6 +22,7 @@ use agar::{AgarNode, AgarSettings, CachingClient};
 use agar_ec::ObjectId;
 use agar_net::sim::Simulation;
 use agar_net::{RegionId, SimTime};
+use agar_obs::{Labels, MetricsRegistry, StageSummaries};
 use agar_store::Backend;
 use agar_workload::{FlakyRegion, Op, StragglerScenario, WorkloadSpec};
 use std::collections::VecDeque;
@@ -92,6 +93,10 @@ pub struct TailResult {
     pub hedge_wins: u64,
     /// Straggler responses discarded after the decode was satisfied.
     pub hedges_cancelled: u64,
+    /// Per-stage latency breakdown (plan/lookup/fetch/bind/decode)
+    /// from the node's read traces — every read is sampled, so the
+    /// stage histograms cover the whole run.
+    pub stages: StageSummaries,
 }
 
 struct TailState {
@@ -110,6 +115,8 @@ fn tail_client_loop(state: &mut TailState, sched: &mut agar_net::Scheduler<TailS
         state.in_flight -= 1;
         return;
     };
+    // Stamp the trace layer's clock so spans carry simulated time.
+    state.node.set_sim_now(sched.now());
     let latency = match state.node.read(ObjectId::new(op.key())) {
         Ok(metrics) => {
             state.backend_fetches += metrics.backend_fetches as u64;
@@ -141,6 +148,7 @@ fn fault_tick(state: &mut TailState, sched: &mut agar_net::Scheduler<TailState>)
             state.backend.heal_region(RegionId::new(flaky.region));
         }
     }
+    state.node.set_sim_now(sched.now());
     state.node.maybe_reconfigure(sched.now());
     if state.in_flight > 0 {
         sched.schedule_in(Duration::from_secs(1), fault_tick);
@@ -158,6 +166,19 @@ pub fn tail_run(
     scenario: &StragglerScenario,
     max_hedges: usize,
 ) -> TailResult {
+    tail_run_with(params, scenario, max_hedges, None)
+}
+
+/// [`tail_run`] with an optional metrics registry: when given, the
+/// cell's node binds its counters and stage histograms into it under
+/// `{scenario, policy}` labels so a `--metrics` dump carries every
+/// cell of the experiment.
+pub fn tail_run_with(
+    params: &TailParams,
+    scenario: &StragglerScenario,
+    max_hedges: usize,
+    registry: Option<&MetricsRegistry>,
+) -> TailResult {
     // A fresh deployment per cell: the spike counters inside the
     // latency model are run-local state, and sharing them across cells
     // would shift the straggler phase between the engines under test.
@@ -167,6 +188,10 @@ pub fn tail_run(
     settings.cache_read = preset.cache_read;
     settings.client_overhead = preset.client_overhead;
     settings.max_hedges = max_hedges;
+    // Trace every read: the per-stage breakdown columns and the
+    // chrome://tracing dump both come from this. Sampling is a
+    // deterministic counter, so it never perturbs the engine.
+    settings.trace_sample_every = 1;
     let capacity_chunks =
         deployment.scale.cache_bytes(params.cache_mb) / deployment.scale.chunk_size().max(1);
     if capacity_chunks >= 200 {
@@ -210,16 +235,24 @@ pub fn tail_run(
     sim.run();
     let state = sim.into_world();
 
+    let policy = if max_hedges == 0 {
+        "unhedged".to_string()
+    } else {
+        format!("hedged d={max_hedges}")
+    };
+    if let Some(registry) = registry {
+        let labels = Labels::new()
+            .with("scenario", scenario.name)
+            .with("policy", policy.clone());
+        node.register_metrics(registry, &labels);
+    }
     let mut histogram = LatencyHistogram::new();
     state.latencies.iter().for_each(|&l| histogram.record(l));
     let stats = node.cache_stats();
+    let stages = StageSummaries::from_traces(&node.trace_snapshot());
     TailResult {
         scenario: scenario.name.to_string(),
-        policy: if max_hedges == 0 {
-            "unhedged".to_string()
-        } else {
-            format!("hedged d={max_hedges}")
-        },
+        policy,
         max_hedges,
         operations: state.latencies.len(),
         errors: state.errors,
@@ -228,15 +261,25 @@ pub fn tail_run(
         hedged_requests: stats.hedged_requests(),
         hedge_wins: stats.hedge_wins(),
         hedges_cancelled: stats.hedges_cancelled(),
+        stages,
     }
 }
 
 /// Runs the full scenario family, unhedged and hedged per scenario.
 pub fn tail_results(params: &TailParams) -> Vec<TailResult> {
+    tail_results_with(params, None)
+}
+
+/// [`tail_results`] with an optional metrics registry (see
+/// [`tail_run_with`]).
+pub fn tail_results_with(
+    params: &TailParams,
+    registry: Option<&MetricsRegistry>,
+) -> Vec<TailResult> {
     let mut results = Vec::new();
     for scenario in StragglerScenario::all() {
         for delta in [0, params.max_hedges] {
-            let result = tail_run(params, &scenario, delta);
+            let result = tail_run_with(params, &scenario, delta, registry);
             eprintln!(
                 "  [tail] {:<13} {:<10} P99 {:6.0} ms (P50 {:4.0}, mean {:5.0}), \
                  {} fetches, {} hedges ({} wins, {} cancelled)",
@@ -260,6 +303,7 @@ pub fn tail_results(params: &TailParams) -> Vec<TailResult> {
 pub fn tail_table(results: &[TailResult]) -> Table {
     let mut headers: Vec<String> = vec!["scenario".into(), "engine".into(), "mean (ms)".into()];
     headers.extend(LatencySummary::percentile_headers());
+    headers.extend(StageSummaries::p99_headers());
     headers.extend([
         "max (ms)".into(),
         "fetches".into(),
@@ -279,6 +323,7 @@ pub fn tail_table(results: &[TailResult]) -> Table {
             format!("{:.0}", r.latency.mean_ms),
         ];
         row.extend(r.latency.percentile_cells());
+        row.extend(r.stages.p99_cells());
         row.extend([
             format!("{:.0}", r.latency.max_ms),
             r.backend_fetches.to_string(),
@@ -354,6 +399,25 @@ mod tests {
         assert_eq!(a.latency, b.latency);
         assert_eq!(a.backend_fetches, b.backend_fetches);
         assert_eq!(a.hedged_requests, b.hedged_requests);
+    }
+
+    #[test]
+    fn stage_breakdown_covers_every_read_and_lands_in_the_registry() {
+        let mut params = quick_params();
+        params.operations = 60;
+        let registry = MetricsRegistry::new();
+        let scenario = StragglerScenario::slow_spikes();
+        let result = tail_run_with(&params, &scenario, 2, Some(&registry));
+        // Every read is traced (sample_every = 1), so the per-stage
+        // summaries cover the full run.
+        assert_eq!(result.stages.samples(), result.operations);
+        // Fetch dominates a cold straggler run; the P99 must be real.
+        assert!(result.stages.fetch.p99_ms > 0.0);
+        assert!(result.stages.fetch.p99_ms <= result.latency.max_ms);
+        let text = registry.render_prometheus();
+        assert!(text.contains("agar_read_stage_seconds_bucket"));
+        assert!(text.contains("scenario=\"slow-spikes\""));
+        assert!(text.contains("policy=\"hedged d=2\""));
     }
 
     #[test]

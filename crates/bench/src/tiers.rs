@@ -29,6 +29,7 @@ use agar::{AgarNode, AgarSettings, CachingClient};
 use agar_ec::ObjectId;
 use agar_net::sim::Simulation;
 use agar_net::SimTime;
+use agar_obs::{Labels, MetricsRegistry, StageSummaries};
 use agar_workload::{Op, WorkloadSpec};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -109,6 +110,9 @@ pub struct TiersResult {
     pub tier_promotions: u64,
     /// Chunks dropped off the end of the disk log over the run.
     pub disk_evictions: u64,
+    /// Per-stage latency breakdown (plan/lookup/fetch/bind/decode) of
+    /// the measured window's read traces.
+    pub stages: StageSummaries,
 }
 
 impl TiersResult {
@@ -144,6 +148,8 @@ fn tiers_client_loop(state: &mut TiersState, sched: &mut agar_net::Scheduler<Tie
         state.in_flight -= 1;
         return;
     };
+    // Stamp the trace layer's clock so spans carry simulated time.
+    state.node.set_sim_now(sched.now());
     let latency = match state.node.read(ObjectId::new(op.key())) {
         Ok(metrics) => metrics.latency,
         Err(_) => {
@@ -158,6 +164,7 @@ fn tiers_client_loop(state: &mut TiersState, sched: &mut agar_net::Scheduler<Tie
 }
 
 fn reconfigure_tick(state: &mut TiersState, sched: &mut agar_net::Scheduler<TiersState>) {
+    state.node.set_sim_now(sched.now());
     state.node.maybe_reconfigure(sched.now());
     if state.in_flight > 0 {
         sched.schedule_in(Duration::from_secs(1), reconfigure_tick);
@@ -177,6 +184,20 @@ pub fn tiers_run(
     multiple: usize,
     tiered: bool,
 ) -> TiersResult {
+    tiers_run_with(deployment, params, multiple, tiered, None)
+}
+
+/// [`tiers_run`] with an optional metrics registry: when given, the
+/// cell's node binds its counters and stage histograms into it under
+/// `{scenario, policy}` labels so a `--metrics` dump carries every
+/// cell of the experiment.
+pub fn tiers_run_with(
+    deployment: &Deployment,
+    params: &TiersParams,
+    multiple: usize,
+    tiered: bool,
+    registry: Option<&MetricsRegistry>,
+) -> TiersResult {
     assert!(multiple > 0, "catalogue multiple must be positive");
     let scale = deployment.scale;
     let catalogue_bytes = scale.object_count as usize * scale.object_size;
@@ -190,6 +211,10 @@ pub fn tiers_run(
         settings.disk_read = params.disk_read;
         settings.disk_write = params.disk_write;
     }
+    // Trace every read: the per-stage breakdown columns come from the
+    // measured window's traces. Sampling is a deterministic counter,
+    // so it never perturbs the engine.
+    settings.trace_sample_every = 1;
     // Same large-capacity guard as the main harness: with the catalogue
     // (or a sizeable slice of it) as the budget, the exact DP would
     // dominate the experiment's wall clock.
@@ -251,15 +276,28 @@ pub fn tiers_run(
     sim.run();
     let state = sim.into_world();
 
+    let scenario = format!("catalogue {multiple}x");
+    let policy = if tiered { "tiered" } else { "ram-only" }.to_string();
+    if let Some(registry) = registry {
+        let labels = Labels::new()
+            .with("scenario", scenario.clone())
+            .with("policy", policy.clone());
+        node.register_metrics(registry, &labels);
+    }
     let mut histogram = LatencyHistogram::new();
     state.latencies.iter().for_each(|&l| histogram.record(l));
     // Counters scoped to the measured window: the warm-up's cold
-    // misses are methodology, not results.
+    // misses are methodology, not results. The trace ring is scoped
+    // the same way — warm-up reads were traced too, so keep only the
+    // youngest `operations` traces (the measured closed loop).
     let stats = node.cache_stats().delta_since(&warm_stats);
+    let traces = node.trace_snapshot();
+    let measured = &traces[traces.len().saturating_sub(state.latencies.len())..];
+    let stages = StageSummaries::from_traces(measured);
     let config = node.current_config();
     TiersResult {
-        scenario: format!("catalogue {multiple}x"),
-        policy: if tiered { "tiered" } else { "ram-only" }.to_string(),
+        scenario,
+        policy,
         catalogue_multiple: multiple,
         operations: state.latencies.len(),
         errors: state.errors,
@@ -271,16 +309,27 @@ pub fn tiers_run(
         disk_chunks: config.disk_chunks(),
         tier_promotions: stats.tier_promotions(),
         disk_evictions: stats.disk_evictions(),
+        stages,
     }
 }
 
 /// Runs the full sweep: RAM-only and tiered at every catalogue
 /// multiple.
 pub fn tiers_results(deployment: &Deployment, params: &TiersParams) -> Vec<TiersResult> {
+    tiers_results_with(deployment, params, None)
+}
+
+/// [`tiers_results`] with an optional metrics registry (see
+/// [`tiers_run_with`]).
+pub fn tiers_results_with(
+    deployment: &Deployment,
+    params: &TiersParams,
+    registry: Option<&MetricsRegistry>,
+) -> Vec<TiersResult> {
     let mut results = Vec::new();
     for multiple in CATALOGUE_MULTIPLES {
         for tiered in [false, true] {
-            let result = tiers_run(deployment, params, multiple, tiered);
+            let result = tiers_run_with(deployment, params, multiple, tiered, registry);
             eprintln!(
                 "  [tiers] {:<13} {:<8} mean {:5.0} ms (P50 {:4.0}, P99 {:6.0}), \
                  hits RAM {:4.1}% disk {:4.1}%, split {}+{} chunks",
@@ -304,6 +353,7 @@ pub fn tiers_results(deployment: &Deployment, params: &TiersParams) -> Vec<Tiers
 pub fn tiers_table(results: &[TiersResult]) -> Table {
     let mut headers: Vec<String> = vec!["scenario".into(), "engine".into(), "mean (ms)".into()];
     headers.extend(LatencySummary::percentile_headers());
+    headers.extend(StageSummaries::p99_headers());
     headers.extend([
         "max (ms)".into(),
         "RAM hit %".into(),
@@ -324,6 +374,7 @@ pub fn tiers_table(results: &[TiersResult]) -> Table {
             format!("{:.0}", r.latency.mean_ms),
         ];
         row.extend(r.latency.percentile_cells());
+        row.extend(r.stages.p99_cells());
         row.extend([
             format!("{:.0}", r.latency.max_ms),
             format!("{:.1}", r.ram_hit_ratio() * 100.0),
@@ -390,6 +441,20 @@ mod tests {
         assert_eq!(a.disk_hits, b.disk_hits);
         assert_eq!(a.ram_chunks, b.ram_chunks);
         assert_eq!(a.disk_chunks, b.disk_chunks);
+    }
+
+    #[test]
+    fn stage_breakdown_is_scoped_to_the_measured_window() {
+        let params = quick_params();
+        let deployment = Deployment::build(params.scale);
+        let registry = MetricsRegistry::new();
+        let result = tiers_run_with(&deployment, &params, 4, true, Some(&registry));
+        // Only the measured closed loop is summarised, not the warm-up.
+        assert_eq!(result.stages.samples(), result.operations);
+        assert!(result.stages.lookup.p99_ms >= 0.0);
+        let text = registry.render_prometheus();
+        assert!(text.contains("scenario=\"catalogue 4x\""));
+        assert!(text.contains("policy=\"tiered\""));
     }
 
     #[test]

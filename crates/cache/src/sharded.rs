@@ -279,6 +279,12 @@ impl ShardedChunkCache {
         self.stats.snapshot()
     }
 
+    /// Late-binds the cache's counters into a metrics registry; see
+    /// [`AtomicCacheStats::register_with`].
+    pub fn register_metrics(&self, registry: &agar_obs::MetricsRegistry, base: &agar_obs::Labels) {
+        self.stats.register_with(registry, base);
+    }
+
     /// Records an object-level read outcome (lock-free); see
     /// [`CacheStats::record_object_read`].
     pub fn record_object_read(&self, cached_chunks: usize, needed_chunks: usize) {

@@ -9,9 +9,9 @@
 //!   *partial hit* if at least one did), recorded by whoever assembles
 //!   whole objects via [`CacheStats::record_object_read`].
 
+use agar_obs::{Counter, Labels, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters describing cache effectiveness.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -384,35 +384,63 @@ impl CacheStats {
 
 /// Lock-free cache counters for concurrently shared caches.
 ///
-/// Mirrors [`CacheStats`] field for field, but every counter is an
-/// [`AtomicU64`] so many reader threads can record outcomes without any
-/// lock (the sharded cache records hits, misses and object-level reads
-/// here). [`AtomicCacheStats::snapshot`] materialises a plain
-/// [`CacheStats`] for reporting.
+/// Mirrors [`CacheStats`] field for field, but every counter is a
+/// registry [`Counter`] (a shared relaxed atomic) so many reader
+/// threads can record outcomes without any lock (the sharded cache
+/// records hits, misses and object-level reads here), and so the same
+/// cells can be late-bound into a [`MetricsRegistry`] via
+/// [`AtomicCacheStats::register_with`] — the scrape endpoint and this
+/// struct observe the same memory. [`AtomicCacheStats::snapshot`]
+/// materialises a plain [`CacheStats`] for reporting.
+///
+/// # Snapshot semantics (non-atomic; fields may drift)
+///
+/// [`AtomicCacheStats::snapshot`] loads each field independently with
+/// `Ordering::Relaxed` — there is no global lock and no seqlock, so
+/// the copy is **not** a consistent cut of all 22 counters. While
+/// writers are running, a snapshot may see counter A's increment from
+/// an event but not counter B's from the *same* event (e.g. a chunk
+/// hit recorded but the enclosing object read not yet classified).
+///
+/// What relaxed per-field loads *do* guarantee:
+///
+/// - each field individually is monotonic across snapshots (counters
+///   only increase), so deltas via [`CacheStats::delta_since`] are
+///   never negative;
+/// - a field can never over-count: a snapshot observes at most the
+///   increments that were actually issued before the load. In
+///   particular `chunk_hits + chunk_misses` never exceeds the number
+///   of lookups initiated (each lookup increments exactly one of the
+///   two, after the lookup began) — pinned by the
+///   `snapshot_never_overcounts_lookups_mid_hammer` test.
+///
+/// Reporting paths in this workspace only read quiescent stats or
+/// tolerate cross-field drift of a few in-flight operations; anything
+/// needing an exact cut must stop the writers first.
 #[derive(Debug, Default)]
 pub struct AtomicCacheStats {
-    chunk_hits: AtomicU64,
-    chunk_misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
-    rejected_inserts: AtomicU64,
-    object_total_hits: AtomicU64,
-    object_partial_hits: AtomicU64,
-    object_misses: AtomicU64,
-    coalesced_fetches: AtomicU64,
-    batched_requests: AtomicU64,
-    lease_grants: AtomicU64,
-    lease_contentions: AtomicU64,
-    targeted_invalidations: AtomicU64,
-    decode_plan_hits: AtomicU64,
-    systematic_fast_reads: AtomicU64,
-    hedged_requests: AtomicU64,
-    hedge_wins: AtomicU64,
-    hedges_cancelled: AtomicU64,
-    disk_hits: AtomicU64,
-    tier_promotions: AtomicU64,
-    tier_demotions: AtomicU64,
-    disk_evictions: AtomicU64,
+    chunk_hits: Counter,
+    chunk_misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
+    rejected_inserts: Counter,
+    object_total_hits: Counter,
+    object_partial_hits: Counter,
+    object_misses: Counter,
+    coalesced_fetches: Counter,
+    batched_requests: Counter,
+    lease_grants: Counter,
+    lease_contentions: Counter,
+    targeted_invalidations: Counter,
+    decode_plan_hits: Counter,
+    systematic_fast_reads: Counter,
+    hedged_requests: Counter,
+    hedge_wins: Counter,
+    hedges_cancelled: Counter,
+    disk_hits: Counter,
+    tier_promotions: Counter,
+    tier_demotions: Counter,
+    disk_evictions: Counter,
 }
 
 impl AtomicCacheStats {
@@ -423,137 +451,298 @@ impl AtomicCacheStats {
 
     /// Records one chunk-level cache hit.
     pub fn record_chunk_hit(&self) {
-        self.chunk_hits.fetch_add(1, Ordering::Relaxed);
+        self.chunk_hits.inc();
     }
 
     /// Records one chunk-level cache miss.
     pub fn record_chunk_miss(&self) {
-        self.chunk_misses.fetch_add(1, Ordering::Relaxed);
+        self.chunk_misses.inc();
     }
 
     /// Records one successful insertion.
     pub fn record_insertion(&self) {
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.inc();
     }
 
     /// Records one eviction.
     pub fn record_eviction(&self) {
-        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.inc();
     }
 
     /// Records one rejected insertion.
     pub fn record_rejected_insert(&self) {
-        self.rejected_inserts.fetch_add(1, Ordering::Relaxed);
+        self.rejected_inserts.inc();
     }
 
     /// Records an object-level read outcome; same classification as
     /// [`CacheStats::record_object_read`].
     pub fn record_object_read(&self, cached_chunks: usize, needed_chunks: usize) {
         if needed_chunks > 0 && cached_chunks >= needed_chunks {
-            self.object_total_hits.fetch_add(1, Ordering::Relaxed);
+            self.object_total_hits.inc();
         } else if cached_chunks > 0 {
-            self.object_partial_hits.fetch_add(1, Ordering::Relaxed);
+            self.object_partial_hits.inc();
         } else {
-            self.object_misses.fetch_add(1, Ordering::Relaxed);
+            self.object_misses.inc();
         }
     }
 
     /// Records one single-flight-coalesced backend fetch.
     pub fn record_coalesced_fetch(&self) {
-        self.coalesced_fetches.fetch_add(1, Ordering::Relaxed);
+        self.coalesced_fetches.inc();
     }
 
     /// Records `n` batched (region-grouped) backend round trips.
     pub fn record_batched_requests(&self, n: u64) {
-        self.batched_requests.fetch_add(n, Ordering::Relaxed);
+        self.batched_requests.add(n);
     }
 
     /// Records one granted per-object write lease.
     pub fn record_lease_grant(&self) {
-        self.lease_grants.fetch_add(1, Ordering::Relaxed);
+        self.lease_grants.inc();
     }
 
     /// Records one write that waited behind another writer's lease.
     pub fn record_lease_contention(&self) {
-        self.lease_contentions.fetch_add(1, Ordering::Relaxed);
+        self.lease_contentions.inc();
     }
 
     /// Records `n` targeted cache invalidations.
     pub fn record_targeted_invalidations(&self, n: u64) {
-        self.targeted_invalidations.fetch_add(n, Ordering::Relaxed);
+        self.targeted_invalidations.add(n);
     }
 
     /// Records one degraded decode that reused a cached decode plan.
     pub fn record_decode_plan_hit(&self) {
-        self.decode_plan_hits.fetch_add(1, Ordering::Relaxed);
+        self.decode_plan_hits.inc();
     }
 
     /// Records one object read served by the systematic fast path.
     pub fn record_systematic_fast_read(&self) {
-        self.systematic_fast_reads.fetch_add(1, Ordering::Relaxed);
+        self.systematic_fast_reads.inc();
     }
 
     /// Records `n` hedge (speculative duplicate) backend requests.
     pub fn record_hedged_requests(&self, n: u64) {
-        self.hedged_requests.fetch_add(n, Ordering::Relaxed);
+        self.hedged_requests.add(n);
     }
 
     /// Records one hedge bound into the decode's first-k set.
     pub fn record_hedge_win(&self) {
-        self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+        self.hedge_wins.inc();
     }
 
     /// Records `n` straggler responses discarded after the read was
     /// already satisfied.
     pub fn record_hedges_cancelled(&self, n: u64) {
-        self.hedges_cancelled.fetch_add(n, Ordering::Relaxed);
+        self.hedges_cancelled.add(n);
     }
 
     /// Records one chunk lookup served by the disk tier.
     pub fn record_disk_hit(&self) {
-        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        self.disk_hits.inc();
     }
 
     /// Records one chunk promoted disk → RAM.
     pub fn record_tier_promotion(&self) {
-        self.tier_promotions.fetch_add(1, Ordering::Relaxed);
+        self.tier_promotions.inc();
     }
 
     /// Records one RAM eviction victim demoted to the disk tier.
     pub fn record_tier_demotion(&self) {
-        self.tier_demotions.fetch_add(1, Ordering::Relaxed);
+        self.tier_demotions.inc();
     }
 
     /// Records `n` disk-tier capacity evictions.
     pub fn record_disk_evictions(&self, n: u64) {
-        self.disk_evictions.fetch_add(n, Ordering::Relaxed);
+        self.disk_evictions.add(n);
     }
 
     /// A point-in-time copy of the counters as plain [`CacheStats`].
     pub fn snapshot(&self) -> CacheStats {
         CacheStats {
-            chunk_hits: self.chunk_hits.load(Ordering::Relaxed),
-            chunk_misses: self.chunk_misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            rejected_inserts: self.rejected_inserts.load(Ordering::Relaxed),
-            object_total_hits: self.object_total_hits.load(Ordering::Relaxed),
-            object_partial_hits: self.object_partial_hits.load(Ordering::Relaxed),
-            object_misses: self.object_misses.load(Ordering::Relaxed),
-            coalesced_fetches: self.coalesced_fetches.load(Ordering::Relaxed),
-            batched_requests: self.batched_requests.load(Ordering::Relaxed),
-            lease_grants: self.lease_grants.load(Ordering::Relaxed),
-            lease_contentions: self.lease_contentions.load(Ordering::Relaxed),
-            targeted_invalidations: self.targeted_invalidations.load(Ordering::Relaxed),
-            decode_plan_hits: self.decode_plan_hits.load(Ordering::Relaxed),
-            systematic_fast_reads: self.systematic_fast_reads.load(Ordering::Relaxed),
-            hedged_requests: self.hedged_requests.load(Ordering::Relaxed),
-            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
-            hedges_cancelled: self.hedges_cancelled.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            tier_promotions: self.tier_promotions.load(Ordering::Relaxed),
-            tier_demotions: self.tier_demotions.load(Ordering::Relaxed),
-            disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
+            chunk_hits: self.chunk_hits.get(),
+            chunk_misses: self.chunk_misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
+            rejected_inserts: self.rejected_inserts.get(),
+            object_total_hits: self.object_total_hits.get(),
+            object_partial_hits: self.object_partial_hits.get(),
+            object_misses: self.object_misses.get(),
+            coalesced_fetches: self.coalesced_fetches.get(),
+            batched_requests: self.batched_requests.get(),
+            lease_grants: self.lease_grants.get(),
+            lease_contentions: self.lease_contentions.get(),
+            targeted_invalidations: self.targeted_invalidations.get(),
+            decode_plan_hits: self.decode_plan_hits.get(),
+            systematic_fast_reads: self.systematic_fast_reads.get(),
+            hedged_requests: self.hedged_requests.get(),
+            hedge_wins: self.hedge_wins.get(),
+            hedges_cancelled: self.hedges_cancelled.get(),
+            disk_hits: self.disk_hits.get(),
+            tier_promotions: self.tier_promotions.get(),
+            tier_demotions: self.tier_demotions.get(),
+            disk_evictions: self.disk_evictions.get(),
+        }
+    }
+
+    /// Late-binds every counter into `registry` under stable
+    /// `agar_*` metric names, with `base` labels (typically region,
+    /// scenario, policy) on each cell and semantic labels (`tier`,
+    /// `result`) distinguishing sibling counters within a family.
+    ///
+    /// The registry holds clones of the *same* cells this struct
+    /// records into, so counts accumulated before registration are
+    /// kept and a scrape always reflects the live values.
+    pub fn register_with(&self, registry: &MetricsRegistry, base: &Labels) {
+        let with = |extra: &[(&'static str, &str)]| {
+            let mut labels = base.clone();
+            for (name, value) in extra {
+                labels = labels.with(name, *value);
+            }
+            labels
+        };
+        type CellRow<'a> = (
+            &'static str,
+            &'static str,
+            &'a [(&'static str, &'a str)],
+            &'a Counter,
+        );
+        let cells: [CellRow<'_>; 22] = [
+            (
+                "agar_cache_chunk_hits_total",
+                "Chunk lookups served from a cache tier.",
+                &[("tier", "ram")],
+                &self.chunk_hits,
+            ),
+            (
+                "agar_cache_chunk_hits_total",
+                "Chunk lookups served from a cache tier.",
+                &[("tier", "disk")],
+                &self.disk_hits,
+            ),
+            (
+                "agar_cache_chunk_misses_total",
+                "Chunk lookups that missed every cache tier.",
+                &[],
+                &self.chunk_misses,
+            ),
+            (
+                "agar_cache_insertions_total",
+                "Chunks admitted into the RAM tier.",
+                &[],
+                &self.insertions,
+            ),
+            (
+                "agar_cache_evictions_total",
+                "Chunks evicted from a cache tier for capacity.",
+                &[("tier", "ram")],
+                &self.evictions,
+            ),
+            (
+                "agar_cache_evictions_total",
+                "Chunks evicted from a cache tier for capacity.",
+                &[("tier", "disk")],
+                &self.disk_evictions,
+            ),
+            (
+                "agar_cache_rejected_inserts_total",
+                "Insertions vetoed by capacity or admission policy.",
+                &[],
+                &self.rejected_inserts,
+            ),
+            (
+                "agar_object_reads_total",
+                "Object reads classified by cache outcome (paper Fig. 7).",
+                &[("result", "total_hit")],
+                &self.object_total_hits,
+            ),
+            (
+                "agar_object_reads_total",
+                "Object reads classified by cache outcome (paper Fig. 7).",
+                &[("result", "partial_hit")],
+                &self.object_partial_hits,
+            ),
+            (
+                "agar_object_reads_total",
+                "Object reads classified by cache outcome (paper Fig. 7).",
+                &[("result", "miss")],
+                &self.object_misses,
+            ),
+            (
+                "agar_fetch_coalesced_total",
+                "Backend fetches served by an in-flight duplicate (single-flight).",
+                &[],
+                &self.coalesced_fetches,
+            ),
+            (
+                "agar_fetch_batched_round_trips_total",
+                "Region-grouped backend round trips issued.",
+                &[],
+                &self.batched_requests,
+            ),
+            (
+                "agar_lease_grants_total",
+                "Per-object write leases granted.",
+                &[],
+                &self.lease_grants,
+            ),
+            (
+                "agar_lease_contentions_total",
+                "Writes that waited behind another writer's lease.",
+                &[],
+                &self.lease_contentions,
+            ),
+            (
+                "agar_invalidations_targeted_total",
+                "Targeted cache invalidations sent on lease release.",
+                &[],
+                &self.targeted_invalidations,
+            ),
+            (
+                "agar_decode_plan_hits_total",
+                "Degraded decodes that reused a cached decode plan.",
+                &[],
+                &self.decode_plan_hits,
+            ),
+            (
+                "agar_decode_systematic_fast_total",
+                "Object reads decoded via the zero-GF systematic fast path.",
+                &[],
+                &self.systematic_fast_reads,
+            ),
+            (
+                "agar_hedge_requests_total",
+                "Speculative duplicate chunk requests issued.",
+                &[],
+                &self.hedged_requests,
+            ),
+            (
+                "agar_hedge_wins_total",
+                "Hedges that bound into the first-k decode set.",
+                &[],
+                &self.hedge_wins,
+            ),
+            (
+                "agar_hedge_cancelled_total",
+                "Straggler responses discarded after k arrivals.",
+                &[],
+                &self.hedges_cancelled,
+            ),
+            (
+                "agar_tier_promotions_total",
+                "Chunks promoted disk → RAM on a disk-tier hit.",
+                &[],
+                &self.tier_promotions,
+            ),
+            (
+                "agar_tier_demotions_total",
+                "RAM eviction victims demoted to the disk tier.",
+                &[],
+                &self.tier_demotions,
+            ),
+        ];
+        for (name, help, extra, cell) in cells {
+            registry.register_counter(name, help, with(extra), cell);
         }
     }
 }
@@ -761,6 +950,87 @@ mod tests {
         assert_eq!(delta.tier_promotions(), 1);
         assert_eq!(delta.tier_demotions(), 1);
         assert_eq!(delta.disk_evictions(), 2);
+    }
+
+    #[test]
+    fn register_with_exposes_live_cells() {
+        let atomic = AtomicCacheStats::new();
+        atomic.record_chunk_hit(); // before registration: kept
+        let registry = MetricsRegistry::new();
+        atomic.register_with(&registry, &Labels::new().with("region", "Frankfurt"));
+        atomic.record_chunk_hit(); // after registration: same cell
+        atomic.record_disk_hit();
+        atomic.record_object_read(9, 9);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("agar_cache_chunk_hits_total{region=\"Frankfurt\",tier=\"ram\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("agar_cache_chunk_hits_total{region=\"Frankfurt\",tier=\"disk\"} 1"));
+        assert!(
+            text.contains("agar_object_reads_total{region=\"Frankfurt\",result=\"total_hit\"} 1")
+        );
+        // Re-registration with the same labels is idempotent.
+        atomic.register_with(&registry, &Labels::new().with("region", "Frankfurt"));
+        assert_eq!(registry.len(), 22);
+    }
+
+    /// Pins the documented snapshot invariant: because each lookup
+    /// increments exactly one of `chunk_hits`/`chunk_misses` *after*
+    /// the lookup was counted as initiated, a concurrent snapshot may
+    /// lag but can never observe `hits + misses` exceeding the
+    /// initiated-lookup count, despite every load being `Relaxed` and
+    /// per-field.
+    #[test]
+    fn snapshot_never_overcounts_lookups_mid_hammer() {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+        let stats = AtomicCacheStats::new();
+        let lookups = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let stats = &stats;
+                let lookups = &lookups;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut i = worker;
+                    while !stop.load(Ordering::Relaxed) {
+                        // A lookup is "initiated" strictly before its
+                        // outcome is recorded.
+                        lookups.fetch_add(1, Ordering::SeqCst);
+                        if i % 3 == 0 {
+                            stats.record_chunk_miss();
+                        } else {
+                            stats.record_chunk_hit();
+                        }
+                        i += 1;
+                    }
+                });
+            }
+            for _ in 0..200 {
+                let snap = stats.snapshot();
+                // Load the floor *after* the snapshot (fence keeps the
+                // relaxed snapshot loads from sinking past it): every
+                // outcome the snapshot saw had already bumped
+                // `lookups`.
+                std::sync::atomic::fence(Ordering::SeqCst);
+                let initiated = lookups.load(Ordering::SeqCst);
+                assert!(
+                    snap.chunk_hits() + snap.chunk_misses() <= initiated,
+                    "snapshot overcounted: {} + {} > {initiated}",
+                    snap.chunk_hits(),
+                    snap.chunk_misses()
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        // Quiescent: the counts reconcile exactly.
+        let final_snap = stats.snapshot();
+        assert_eq!(
+            final_snap.chunk_hits() + final_snap.chunk_misses(),
+            lookups.load(Ordering::SeqCst)
+        );
     }
 
     #[test]

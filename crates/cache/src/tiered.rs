@@ -283,6 +283,13 @@ impl TieredChunkCache {
         self.ram.stats()
     }
 
+    /// Late-binds the shared tier counters into a metrics registry
+    /// (both tiers record into the RAM cache's `AtomicCacheStats`);
+    /// see `AtomicCacheStats::register_with`.
+    pub fn register_metrics(&self, registry: &agar_obs::MetricsRegistry, base: &agar_obs::Labels) {
+        self.ram.register_metrics(registry, base);
+    }
+
     /// Records an object-level read outcome; see
     /// [`CacheStats::record_object_read`].
     pub fn record_object_read(&self, cached_chunks: usize, needed_chunks: usize) {

@@ -35,11 +35,11 @@ use agar::fetcher::{ChunkFetcher, FetchRequest};
 use agar_cache::{AtomicCacheStats, CacheStats};
 use agar_ec::ChunkId;
 use agar_net::RegionId;
+use agar_obs::{Counter, Labels, MetricsRegistry};
 use agar_store::{Backend, ChunkFetch, StoreError};
 use rand::RngCore;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -90,7 +90,7 @@ pub struct FetchCoordinator {
     /// physically wide enough to exercise coalescing.
     wall_delay: Option<Duration>,
     stats: AtomicCacheStats,
-    primary_fetches: AtomicU64,
+    primary_fetches: Counter,
 }
 
 impl FetchCoordinator {
@@ -101,7 +101,7 @@ impl FetchCoordinator {
             inflight: Mutex::new(HashMap::new()),
             wall_delay: None,
             stats: AtomicCacheStats::new(),
-            primary_fetches: AtomicU64::new(0),
+            primary_fetches: Counter::new(),
         }
     }
 
@@ -115,7 +115,7 @@ impl FetchCoordinator {
 
     /// Chunk fetches that actually hit the backend (flight leaders).
     pub fn primary_fetches(&self) -> u64 {
-        self.primary_fetches.load(Ordering::Relaxed)
+        self.primary_fetches.get()
     }
 
     /// Chunk fetches served by piggybacking on another reader's
@@ -146,6 +146,19 @@ impl FetchCoordinator {
     /// routers merge this into their aggregated cache statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats.snapshot()
+    }
+
+    /// Late-binds the coordination counters (plus the primary-fetch
+    /// count) into a metrics registry under `base` labels.
+    pub fn register_metrics(&self, registry: &MetricsRegistry, base: &Labels) {
+        self.stats
+            .register_with(registry, &base.clone().with("source", "coordinator"));
+        registry.register_counter(
+            "agar_fetch_primary_total",
+            "Chunk fetches that actually hit the backend (flight leaders).",
+            base.clone(),
+            &self.primary_fetches,
+        );
     }
 }
 
@@ -225,8 +238,7 @@ impl ChunkFetcher for FetchCoordinator {
             let chunks: Vec<ChunkId> = lead.iter().map(|&i| requests[i].chunk).collect();
             let outcome = self.backend.fetch_chunks(client_region, &chunks, rng);
             self.stats.record_batched_requests(outcome.batches() as u64);
-            self.primary_fetches
-                .fetch_add(lead.len() as u64, Ordering::Relaxed);
+            self.primary_fetches.add(lead.len() as u64);
             if let Some(delay) = self.wall_delay {
                 std::thread::sleep(delay);
             }

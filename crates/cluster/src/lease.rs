@@ -209,6 +209,15 @@ impl WriteLeaseManager {
         self.stats.snapshot()
     }
 
+    /// Late-binds the lease counters into a metrics registry. The
+    /// cells are labelled `source="leases"` so they never collide with
+    /// the coordinator's or a member cache's cells, which register the
+    /// same metric families under the shared `base` labels.
+    pub fn register_metrics(&self, registry: &agar_obs::MetricsRegistry, base: &agar_obs::Labels) {
+        self.stats
+            .register_with(registry, &base.clone().with("source", "leases"));
+    }
+
     /// Invalidates `object` on every registered holder except `skip`
     /// (the writer, which already invalidated locally); returns how
     /// many members were invalidated. The registry entry is consumed —

@@ -28,6 +28,7 @@ use agar::{AgarError, AgarNode, DirectFetcher, ReadMetrics};
 use agar_cache::{CacheStats, CacheTier};
 use agar_ec::{ChunkId, ObjectId};
 use agar_net::SimTime;
+use agar_obs::{Counter, Labels, MetricsRegistry};
 use agar_store::Backend;
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -162,8 +163,8 @@ pub struct ClusterRouter {
     seed: u64,
     ops: AtomicU64,
     next_id: AtomicU64,
-    remote_hits: AtomicU64,
-    routed_reads: AtomicU64,
+    remote_hits: Counter,
+    routed_reads: Counter,
 }
 
 impl ClusterRouter {
@@ -209,8 +210,8 @@ impl ClusterRouter {
             seed,
             ops: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
-            remote_hits: AtomicU64::new(0),
-            routed_reads: AtomicU64::new(0),
+            remote_hits: Counter::new(),
+            routed_reads: Counter::new(),
         })
     }
 
@@ -238,12 +239,12 @@ impl ClusterRouter {
 
     /// Chunk lookups served from a sibling member's cache.
     pub fn remote_hits(&self) -> u64 {
-        self.remote_hits.load(Ordering::Relaxed)
+        self.remote_hits.get()
     }
 
     /// Reads routed through [`ClusterRouter::read`].
     pub fn routed_reads(&self) -> u64 {
-        self.routed_reads.load(Ordering::Relaxed)
+        self.routed_reads.get()
     }
 
     /// A snapshot of the current ring (diagnostics and tests).
@@ -346,7 +347,7 @@ impl ClusterRouter {
     /// [`AgarError::InvalidSetting`] on an empty cluster; otherwise
     /// the owner node's read errors.
     pub fn read(&self, object: ObjectId) -> Result<ClusterReadMetrics, AgarError> {
-        self.routed_reads.fetch_add(1, Ordering::Relaxed);
+        self.routed_reads.inc();
         let (home_id, home, probes) = {
             let state = self.state.read();
             let prefs = state.ring.preference_of_object(
@@ -455,8 +456,7 @@ impl ClusterRouter {
         }
         let metrics = home.read_with_remote_chunks(object, &remote)?;
         if metrics.remote_hits > 0 {
-            self.remote_hits
-                .fetch_add(metrics.remote_hits as u64, Ordering::Relaxed);
+            self.remote_hits.add(metrics.remote_hits as u64);
         }
         let remote_hits = metrics.remote_hits;
         Ok(ClusterReadMetrics {
@@ -550,6 +550,32 @@ impl ClusterRouter {
         merged.merge(&self.coordinator.stats());
         merged.merge(&self.leases.stats());
         merged
+    }
+
+    /// Late-binds the whole cluster's telemetry into `registry`:
+    /// router-level routing counters, the shared coordinator and lease
+    /// manager, and every member node (labelled by member id on top of
+    /// the caller's base labels).
+    pub fn register_metrics(&self, registry: &MetricsRegistry, base: &Labels) {
+        registry.register_counter(
+            "agar_cluster_routed_reads_total",
+            "Reads routed through the cluster router.",
+            base.clone(),
+            &self.routed_reads,
+        );
+        registry.register_counter(
+            "agar_cluster_remote_hits_total",
+            "Chunk lookups served from a sibling member's cache.",
+            base.clone(),
+            &self.remote_hits,
+        );
+        self.coordinator.register_metrics(registry, base);
+        self.leases.register_metrics(registry, base);
+        let state = self.state.read();
+        for member in &state.members {
+            let labels = base.clone().with("member", member.id.to_string());
+            member.node.register_metrics(registry, &labels);
+        }
     }
 }
 
@@ -914,5 +940,32 @@ mod tests {
         // Cold reads batch their backend fetches by region.
         assert!(stats.batched_requests() > 0);
         assert!(format!("{router:?}").contains("ClusterRouter"));
+    }
+
+    #[test]
+    fn register_metrics_exposes_live_cluster_cells() {
+        let (_, router) = frankfurt_cluster(3, 2);
+        let registry = MetricsRegistry::new();
+        // Register BEFORE any traffic: late binding means the cells go
+        // live immediately and every later read shows up in the scrape.
+        router.register_metrics(&registry, &Labels::new().with("cluster", "test"));
+        for i in 0..3u64 {
+            router.read(ObjectId::new(i)).unwrap();
+        }
+        let text = registry.render_prometheus();
+        assert!(text.contains("agar_cluster_routed_reads_total{cluster=\"test\"} 3"));
+        // Coordinator, lease manager, and per-member cells all land in
+        // the same registry under disjoint label sets.
+        assert!(text.contains("source=\"coordinator\""));
+        assert!(text.contains("source=\"leases\""));
+        assert!(text.contains("member=\"0\""));
+        assert!(text.contains("member=\"1\""));
+        assert!(text.contains("agar_fetch_primary_total{cluster=\"test\"}"));
+        // Registration is idempotent: a second scrape pass registers
+        // nothing new and renders identically.
+        let before = registry.len();
+        router.register_metrics(&registry, &Labels::new().with("cluster", "test"));
+        assert_eq!(registry.len(), before);
+        assert_eq!(registry.render_prometheus(), text);
     }
 }

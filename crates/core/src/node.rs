@@ -40,6 +40,10 @@ use agar_cache::{
 };
 use agar_ec::{ChunkId, ObjectId};
 use agar_net::{RegionId, SimTime};
+use agar_obs::{
+    chrome_trace_json, Counter, DecodeKind, Labels, MetricsRegistry, ReadTrace, ReadTraceBuilder,
+    StageHistograms, TraceBuffer,
+};
 use agar_store::{Backend, StoreError};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -161,6 +165,13 @@ pub struct AgarSettings {
     pub disk_write: Duration,
     /// Knapsack solver configuration.
     pub solver: KnapsackSolver,
+    /// Per-request trace sampling: record a [`ReadTrace`] for every
+    /// Nth read. `0` (the default) disables tracing entirely — the
+    /// read path carries no builder, allocates nothing for telemetry
+    /// and stays byte-identical to the untraced engine. Sampling is a
+    /// deterministic counter, never a random draw, so traced runs
+    /// remain reproducible per seed.
+    pub trace_sample_every: u64,
 }
 
 impl AgarSettings {
@@ -181,6 +192,7 @@ impl AgarSettings {
             disk_read: Duration::from_millis(150),
             disk_write: Duration::from_millis(250),
             solver: KnapsackSolver::new(),
+            trace_sample_every: 0,
         }
     }
 
@@ -216,6 +228,64 @@ impl AgarSettings {
             });
         }
         Ok(())
+    }
+}
+
+/// Retained traces per node when sampling is on. A ring: the newest
+/// traces win, and [`TraceBuffer::dropped`] records what scrolled out.
+const TRACE_BUFFER_CAPACITY: usize = 4096;
+
+/// Per-node tracing state, present only when
+/// [`AgarSettings::trace_sample_every`] is non-zero — an absent layer
+/// is the zero-cost path (one `Option` check per read).
+///
+/// Timestamps come from [`AgarNode::set_sim_now`], which harnesses
+/// call as their simulated clock advances; the engine itself never
+/// reads a wall clock, so trace dumps are byte-identical per seed.
+#[derive(Debug)]
+struct TraceLayer {
+    /// Sample every Nth read (≥ 1).
+    every: u64,
+    /// Read sequence counter driving the deterministic sampler.
+    seq: AtomicU64,
+    /// Latest harness-provided sim-clock instant, in microseconds.
+    now_micros: AtomicU64,
+    /// Ring of completed traces.
+    buffer: TraceBuffer,
+    /// Per-stage latency histograms fed by every completed trace.
+    stages: StageHistograms,
+}
+
+impl TraceLayer {
+    fn new(every: u64) -> Self {
+        TraceLayer {
+            every: every.max(1),
+            seq: AtomicU64::new(0),
+            now_micros: AtomicU64::new(0),
+            buffer: TraceBuffer::new(TRACE_BUFFER_CAPACITY),
+            stages: StageHistograms::new(),
+        }
+    }
+
+    /// Starts a builder if this read is sampled (every Nth, starting
+    /// with the first).
+    fn begin(&self, object: ObjectId, region: RegionId) -> Option<ReadTraceBuilder> {
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        n.is_multiple_of(self.every).then(|| {
+            ReadTraceBuilder::begin(
+                object.index(),
+                region.index() as u64,
+                SimTime::from_micros(self.now_micros.load(Ordering::Relaxed)),
+            )
+        })
+    }
+
+    /// Seals a completed read's builder into the ring and the stage
+    /// histograms.
+    fn commit(&self, builder: ReadTraceBuilder) {
+        let trace = builder.finish();
+        self.stages.observe(&trace);
+        self.buffer.record(trace);
     }
 }
 
@@ -256,8 +326,8 @@ pub struct AgarNode {
     /// not interleave their purge/fill phases. Readers never take it.
     reconfigure_serial: Mutex<()>,
     reconfig: Mutex<ReconfigClock>,
-    reconfigurations: AtomicU64,
-    fill_fetches: AtomicU64,
+    reconfigurations: Counter,
+    fill_fetches: Counter,
     /// Strategy executing the plan's backend fetches. Defaults to
     /// per-chunk [`DirectFetcher`] calls; a cluster deployment swaps in
     /// its coordinator (single-flight + batching) via
@@ -267,6 +337,10 @@ pub struct AgarNode {
     /// ([`CacheEventSink`]), reported so a cluster's holder registry
     /// can invalidate writes *targetedly*. `None` outside a cluster.
     events: RwLock<Option<Arc<dyn CacheEventSink>>>,
+    /// Per-request trace sampling state; `None` when
+    /// [`AgarSettings::trace_sample_every`] is zero (the default) —
+    /// the zero-cost path.
+    trace: Option<TraceLayer>,
 }
 
 impl AgarNode {
@@ -314,8 +388,10 @@ impl AgarNode {
             config: RwLock::new(Arc::new(CacheConfiguration::empty())),
             reconfigure_serial: Mutex::new(()),
             reconfig: Mutex::new(ReconfigClock::default()),
-            reconfigurations: AtomicU64::new(0),
-            fill_fetches: AtomicU64::new(0),
+            reconfigurations: Counter::new(),
+            fill_fetches: Counter::new(),
+            trace: (settings.trace_sample_every > 0)
+                .then(|| TraceLayer::new(settings.trace_sample_every)),
             settings,
         })
     }
@@ -344,7 +420,7 @@ impl AgarNode {
 
     /// Number of reconfigurations performed.
     pub fn reconfigurations(&self) -> u64 {
-        self.reconfigurations.load(Ordering::Relaxed)
+        self.reconfigurations.get()
     }
 
     /// Snapshot of the popularity table (diagnostics).
@@ -424,7 +500,65 @@ impl AgarNode {
 
     /// Total off-critical-path fill fetches.
     pub fn fill_fetches(&self) -> u64 {
-        self.fill_fetches.load(Ordering::Relaxed)
+        self.fill_fetches.get()
+    }
+
+    /// Advances the node's notion of the simulated clock, used to
+    /// timestamp sampled [`ReadTrace`]s. Harnesses call this as their
+    /// discrete-event clock ticks; with tracing off it is a no-op.
+    pub fn set_sim_now(&self, now: SimTime) {
+        if let Some(trace) = &self.trace {
+            trace.now_micros.store(now.as_micros(), Ordering::Relaxed);
+        }
+    }
+
+    /// The sampled traces currently retained in the node's ring
+    /// buffer, oldest first (empty with tracing off).
+    pub fn trace_snapshot(&self) -> Vec<ReadTrace> {
+        self.trace
+            .as_ref()
+            .map_or_else(Vec::new, |trace| trace.buffer.snapshot())
+    }
+
+    /// Traces evicted from the ring since the node was built (0 with
+    /// tracing off).
+    pub fn traces_dropped(&self) -> u64 {
+        self.trace
+            .as_ref()
+            .map_or(0, |trace| trace.buffer.dropped())
+    }
+
+    /// The retained traces rendered as a chrome://tracing JSON
+    /// document (load in `chrome://tracing` or Perfetto); `None` with
+    /// tracing off.
+    pub fn trace_chrome_json(&self) -> Option<String> {
+        self.trace
+            .as_ref()
+            .map(|trace| chrome_trace_json(&trace.buffer.snapshot()))
+    }
+
+    /// Late-binds this node's telemetry into `registry` under `base`
+    /// labels: the tiered cache's counters (see
+    /// `AtomicCacheStats::register_with`), the node-level fetch
+    /// gauges, and — when tracing is on — the per-stage read latency
+    /// histograms (`agar_read_stage_seconds{stage=...}`).
+    pub fn register_metrics(&self, registry: &MetricsRegistry, base: &Labels) {
+        self.cache.register_metrics(registry, base);
+        registry.register_counter(
+            "agar_reconfigurations_total",
+            "Knapsack reconfigurations performed by this node.",
+            base.clone(),
+            &self.reconfigurations,
+        );
+        registry.register_counter(
+            "agar_fill_fetches_total",
+            "Off-critical-path cache fill fetches issued by this node.",
+            base.clone(),
+            &self.fill_fetches,
+        );
+        if let Some(trace) = &self.trace {
+            trace.stages.register_with(registry, base);
+        }
     }
 
     /// Looks a chunk up in the local cache (either tier) without
@@ -481,9 +615,27 @@ impl AgarNode {
         // Stage 0: record popularity (one short-lived monitor lock),
         // once per logical read regardless of version-race retries.
         self.monitor.lock().record_read(object);
+        // Tracing is passive: the builder is plain scratch the read
+        // fills in (no RNG draws, no locks, no shared counters), so a
+        // traced run's engine behaviour is byte-identical to an
+        // untraced one.
+        let mut trace = self
+            .trace
+            .as_ref()
+            .and_then(|layer| layer.begin(object, self.region));
         for attempt in 0..3 {
-            if let Some(metrics) = self.read_attempt(object, remote, attempt == 0)? {
+            if let Some(metrics) =
+                self.read_attempt(object, remote, attempt == 0, trace.as_mut())?
+            {
+                if let (Some(layer), Some(builder)) = (&self.trace, trace) {
+                    layer.commit(builder);
+                }
                 return Ok(metrics);
+            }
+            // A version race restarts the read on a fresh manifest;
+            // the trace spans the whole logical read, races included.
+            if let Some(builder) = trace.as_mut() {
+                builder.outcome.version_races += 1;
             }
         }
         Err(AgarError::ReadContention { object })
@@ -501,6 +653,7 @@ impl AgarNode {
         object: ObjectId,
         remote: &[RemoteChunk],
         first_attempt: bool,
+        mut trace: Option<&mut ReadTraceBuilder>,
     ) -> Result<Option<CollabReadMetrics>, AgarError> {
         let manifest = self.backend.manifest(object)?;
         let k = manifest.params().data_chunks();
@@ -616,6 +769,9 @@ impl AgarNode {
             // displace a bound chunk.
             let needed = requests.len() - hedges;
             self.cache.record_hedged_requests(hedges as u64);
+            if let Some(builder) = trace.as_deref_mut() {
+                builder.outcome.hedges_issued += hedges as u32;
+            }
             let mut arrivals: Vec<(usize, Duration, FetchRequest, Bytes)> = Vec::new();
             let mut failed_region = None;
             for (position, (request, result)) in fetcher
@@ -659,19 +815,30 @@ impl AgarNode {
             // ties in favour of primaries (stable, deterministic).
             arrivals.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
             let mut cancelled = 0u64;
+            let mut wins = 0u32;
+            let mut straggler_worst = Duration::ZERO;
             for (slot, (position, latency, request, data)) in arrivals.into_iter().enumerate() {
                 if slot < needed {
                     worst = worst.max(latency);
                     shards[request.chunk.index().value() as usize] = Some(data);
                     if position >= needed {
                         self.cache.record_hedge_win();
+                        wins += 1;
                     }
                 } else {
                     cancelled += 1;
+                    straggler_worst = straggler_worst.max(latency);
                 }
             }
             if cancelled > 0 {
                 self.cache.record_hedges_cancelled(cancelled);
+            }
+            if let Some(builder) = trace.as_deref_mut() {
+                builder.outcome.hedge_wins += wins;
+                builder.outcome.hedges_cancelled += cancelled as u32;
+                // Bind overhang: how far the slowest cancelled
+                // straggler kept flying past the k-th arrival.
+                builder.bind = builder.bind.max(straggler_worst.saturating_sub(worst));
             }
             break (worst, remote_hits, disk_hits, backend_fetches);
         };
@@ -689,6 +856,17 @@ impl AgarNode {
             cache_component = cache_component.max(self.settings.disk_read);
         }
         let latency = self.settings.client_overhead + cache_component.max(worst);
+        if let Some(builder) = trace.as_deref_mut() {
+            let outcome = &mut builder.outcome;
+            outcome.replans += attempts - 1;
+            outcome.ram_hits += ram_hits as u32;
+            outcome.disk_hits += disk_hits as u32;
+            outcome.remote_hits += remote_hits as u32;
+            outcome.backend_fetches += backend_fetches as u32;
+            outcome.total = latency;
+            builder.lookup = cache_component;
+            builder.fetch = worst;
+        }
 
         // Stage 5: reconstruct. With all k data shards in hand the
         // codec takes its systematic fast path — no GF arithmetic, at
@@ -705,6 +883,15 @@ impl AgarNode {
             self.cache.record_systematic_fast_read();
         } else if decode_report.plan_cache_hit {
             self.cache.record_decode_plan_hit();
+        }
+        if let Some(builder) = trace.as_mut() {
+            builder.outcome.decode = if decode_report.systematic_fast_path {
+                DecodeKind::Systematic
+            } else if decode_report.plan_cache_hit {
+                DecodeKind::PlanCacheHit
+            } else {
+                DecodeKind::Inversion
+            };
         }
 
         // Stage 6: fill the cache toward the hinted configuration, off
@@ -764,7 +951,7 @@ impl AgarNode {
                 }
             }
         }
-        self.fill_fetches.fetch_add(fill_fetches, Ordering::Relaxed);
+        self.fill_fetches.add(fill_fetches);
         if filled_any {
             if let Some(sink) = self.event_sink() {
                 sink.object_filled(object);
@@ -843,7 +1030,7 @@ impl AgarNode {
                 };
                 if let Some((_, Ok(fetch))) = fetcher.fetch(self.region, &[request], &mut rng).pop()
                 {
-                    self.fill_fetches.fetch_add(1, Ordering::Relaxed);
+                    self.fill_fetches.inc();
                     let tier = new_config.tier_for(id).unwrap_or(CacheTier::Ram);
                     if fetch.version == version
                         && self.cache.insert_to_tier(
@@ -872,7 +1059,7 @@ impl AgarNode {
                 sink.object_filled(object);
             }
         }
-        self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        self.reconfigurations.inc();
     }
 }
 
@@ -1176,6 +1363,93 @@ mod tests {
         assert_eq!(default_latencies, disabled_latencies);
         assert_eq!(default_stats, disabled_stats);
         assert_eq!(default_stats.hedged_requests(), 0);
+    }
+
+    #[test]
+    fn tracing_is_passive_and_byte_identical_to_the_untraced_engine() {
+        // Two fresh nodes, same seed: one untraced (defaults) and one
+        // tracing every read. Tracing is passive scratch — no RNG
+        // draws, no counters — so latencies and stats must match
+        // exactly, and only the traced node retains traces.
+        let run = |settings: AgarSettings| {
+            let backend = test_backend(4, 900);
+            let node = AgarNode::new(FRANKFURT, backend, settings, 7).unwrap();
+            let mut latencies = Vec::new();
+            for round in 0..12 {
+                node.set_sim_now(SimTime::from_millis(round * 250));
+                let metrics = node.read(ObjectId::new(round % 4)).unwrap();
+                latencies.push(metrics.latency);
+            }
+            node.force_reconfigure();
+            for round in 0..12 {
+                let metrics = node.read(ObjectId::new(round % 4)).unwrap();
+                latencies.push(metrics.latency);
+            }
+            (latencies, node.cache_stats(), node.trace_snapshot())
+        };
+        let (untraced_latencies, untraced_stats, untraced_traces) =
+            run(AgarSettings::paper_default(1_800));
+        let mut traced = AgarSettings::paper_default(1_800);
+        traced.trace_sample_every = 1;
+        let (traced_latencies, traced_stats, traces) = run(traced);
+        assert_eq!(untraced_latencies, traced_latencies);
+        assert_eq!(untraced_stats, traced_stats);
+        assert!(untraced_traces.is_empty(), "tracing off retains nothing");
+        assert_eq!(traces.len(), 24, "every read sampled");
+        // Traces carry the modelled stage decomposition: the end of
+        // the fetch span never exceeds the total read latency.
+        for (trace, latency) in traces.iter().zip(&traced_latencies) {
+            assert_eq!(trace.outcome.total, *latency);
+            assert!(trace.spans.iter().all(|s| s.duration <= *latency));
+        }
+        // Timestamps follow the harness-set sim clock.
+        assert_eq!(traces[3].start, SimTime::from_millis(750));
+    }
+
+    #[test]
+    fn trace_sampling_knob_is_deterministic() {
+        let backend = test_backend(4, 900);
+        let mut settings = AgarSettings::paper_default(1_800);
+        settings.trace_sample_every = 3;
+        let node = AgarNode::new(FRANKFURT, backend, settings, 7).unwrap();
+        for round in 0..9 {
+            node.read(ObjectId::new(round % 4)).unwrap();
+        }
+        // Reads 0, 3 and 6 are sampled: a counter, not a random draw.
+        assert_eq!(node.trace_snapshot().len(), 3);
+        assert_eq!(node.traces_dropped(), 0);
+        let json = node.trace_chrome_json().expect("tracing is on");
+        assert!(json.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn node_metrics_registration_exposes_live_counters() {
+        let backend = test_backend(2, 900);
+        let mut settings = AgarSettings::paper_default(1_800);
+        settings.trace_sample_every = 1;
+        let node = AgarNode::new(FRANKFURT, backend, settings, 7).unwrap();
+        let registry = MetricsRegistry::new();
+        node.register_metrics(&registry, &Labels::new().with("region", "Frankfurt"));
+        for _ in 0..5 {
+            node.read(ObjectId::new(0)).unwrap();
+        }
+        node.force_reconfigure();
+        node.read(ObjectId::new(0)).unwrap();
+        let text = registry.render_prometheus();
+        assert!(text.contains("agar_object_reads_total{region=\"Frankfurt\",result=\"miss\"}"));
+        assert!(text.contains("agar_reconfigurations_total{region=\"Frankfurt\"} 1"));
+        assert!(
+            text.contains("agar_read_stage_seconds_bucket{region=\"Frankfurt\",stage=\"fetch\""),
+            "stage histograms registered: {text}"
+        );
+        // The registry scrapes the live cells: counts recorded after
+        // registration are visible.
+        let snap = node.cache_stats();
+        assert!(snap.object_reads() >= 6);
+        assert!(text.contains(&format!(
+            "agar_decode_systematic_fast_total{{region=\"Frankfurt\"}} {}",
+            snap.systematic_fast_reads()
+        )));
     }
 
     #[test]
