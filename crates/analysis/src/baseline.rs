@@ -1,0 +1,281 @@
+//! The committed lint baseline (`ci/lint_baseline.json`): waived
+//! finding fingerprints plus the per-file `unwrap`/`expect` ratchet.
+//!
+//! The vendored `serde` is a no-op stub, so the (tiny, fixed-shape)
+//! JSON is read and written by hand. The format:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "waived": ["pass|file|key", "..."],
+//!   "unwrap_ratchet": {
+//!     "crates/cache/src/disk.rs": { "unwrap": 3, "expect": 10 }
+//!   }
+//! }
+//! ```
+//!
+//! The gate is an *exact match*: new findings fail, but so do stale
+//! waivers and a ratchet count that went down without the baseline
+//! being refreshed (`agar-lint --write-baseline`) — the count can only
+//! be ratcheted down deliberately, never silently drift.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Per-file `unwrap()` / `expect()` counts in non-test library code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RatchetCounts {
+    pub unwrap: u32,
+    pub expect: u32,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub waived: BTreeSet<String>,
+    pub ratchet: BTreeMap<String, RatchetCounts>,
+}
+
+impl Baseline {
+    /// Renders the baseline as stable, diff-friendly JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"version\": 1,\n  \"waived\": [");
+        let mut first = true;
+        for fp in &self.waived {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\"", escape(fp));
+        }
+        if !self.waived.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"unwrap_ratchet\": {");
+        let mut first = true;
+        for (file, counts) in &self.ratchet {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{ \"unwrap\": {}, \"expect\": {} }}",
+                escape(file),
+                counts.unwrap,
+                counts.expect
+            );
+        }
+        if !self.ratchet.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses baseline JSON. Returns `Err` with a description on any
+    /// shape the writer would not produce.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            i: 0,
+        };
+        let mut baseline = Baseline::default();
+        p.expect_byte(b'{')?;
+        loop {
+            p.skip_ws();
+            if p.peek() == Some(b'}') {
+                break; // end of the top-level object
+            }
+            let field = p.string()?;
+            p.expect_byte(b':')?;
+            match field.as_str() {
+                "version" => {
+                    let v = p.number()?;
+                    if v != 1 {
+                        return Err(format!("unsupported baseline version {v}"));
+                    }
+                }
+                "waived" => {
+                    p.expect_byte(b'[')?;
+                    loop {
+                        p.skip_ws();
+                        if p.peek() == Some(b']') {
+                            p.i += 1;
+                            break;
+                        }
+                        baseline.waived.insert(p.string()?);
+                        p.skip_ws();
+                        if p.peek() == Some(b',') {
+                            p.i += 1;
+                        }
+                    }
+                }
+                "unwrap_ratchet" => {
+                    p.expect_byte(b'{')?;
+                    loop {
+                        p.skip_ws();
+                        if p.peek() == Some(b'}') {
+                            p.i += 1;
+                            break;
+                        }
+                        let file = p.string()?;
+                        p.expect_byte(b':')?;
+                        p.expect_byte(b'{')?;
+                        let mut counts = RatchetCounts::default();
+                        loop {
+                            p.skip_ws();
+                            if p.peek() == Some(b'}') {
+                                p.i += 1;
+                                break;
+                            }
+                            let key = p.string()?;
+                            p.expect_byte(b':')?;
+                            let value = p.number()?;
+                            match key.as_str() {
+                                "unwrap" => counts.unwrap = value as u32,
+                                "expect" => counts.expect = value as u32,
+                                other => return Err(format!("unknown ratchet field {other:?}")),
+                            }
+                            p.skip_ws();
+                            if p.peek() == Some(b',') {
+                                p.i += 1;
+                            }
+                        }
+                        baseline.ratchet.insert(file, counts);
+                        p.skip_ws();
+                        if p.peek() == Some(b',') {
+                            p.i += 1;
+                        }
+                    }
+                }
+                other => return Err(format!("unknown baseline field {other:?}")),
+            }
+            p.skip_ws();
+            if p.peek() == Some(b',') {
+                p.i += 1;
+            }
+        }
+        Ok(baseline)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.i)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {} of baseline",
+                b as char, self.i
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        while let Some(b) = self.peek() {
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or("truncated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    }
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string in baseline".to_string())
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!("expected a number at byte {start} of baseline"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "bad number in baseline".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::default();
+        b.waived.insert("determinism|crates/a.rs|key".to_string());
+        b.waived
+            .insert("unsafe-hygiene|crates/b.rs|other#2".to_string());
+        b.ratchet.insert(
+            "crates/cache/src/disk.rs".to_string(),
+            RatchetCounts {
+                unwrap: 3,
+                expect: 10,
+            },
+        );
+        let json = b.to_json();
+        let parsed = Baseline::from_json(&json).expect("round trip parses");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        let b = Baseline::default();
+        assert_eq!(Baseline::from_json(&b.to_json()).expect("parses"), b);
+    }
+
+    #[test]
+    fn rejects_unknown_fields() {
+        assert!(Baseline::from_json("{ \"bogus\": [] }").is_err());
+    }
+}

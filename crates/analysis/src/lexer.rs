@@ -1,0 +1,428 @@
+//! A lightweight Rust lexer — just enough fidelity for the lint
+//! passes: identifiers, punctuation, literals and comments, each tagged
+//! with a 1-based line number.
+//!
+//! This is deliberately *not* a full Rust grammar. The passes only
+//! need to see code shape (who calls what, where braces open and
+//! close, what a comment says), so the lexer's job is to make sure
+//! that string literals, char literals, lifetimes and comments never
+//! masquerade as code. Multi-character operators are kept as single
+//! tokens only where the passes need the disambiguation (`::`, `->`,
+//! `=>`, `..`, `..=`); everything else is one punctuation character
+//! per token.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `self`, `lock`, …).
+    Ident,
+    /// Punctuation; multi-character only for `::`, `->`, `=>`, `..`, `..=`.
+    Punct,
+    /// A string literal (`"…"`, `r#"…"#`, `b"…"`), content dropped.
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    /// The token text; empty for string literals (their content is
+    /// never code and keeping it would invite accidental matches).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True if this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// A comment, kept out of the token stream (the unsafe-hygiene pass
+/// and the `agar-lint: allow(...)` directives read these).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Raw comment text including the delimiters.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`, splitting code tokens from comments.
+///
+/// The lexer never fails: malformed trailing input degenerates into
+/// punctuation tokens, which at worst makes a pass miss a match in a
+/// file that would not compile anyway.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: source[start..i].to_string(),
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: source[start..i].to_string(),
+                });
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
+                let start_line = line;
+                let kind = if c == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+                    TokKind::Char
+                } else {
+                    TokKind::Str
+                };
+                i = skip_prefixed_literal(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident
+                // NOT followed by a closing `'`.
+                if is_lifetime(bytes, i) {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: source[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    i = skip_char_literal(bytes, i, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (is_ident_byte(bytes[i])) {
+                    i += 1;
+                }
+                // One decimal point, only if followed by a digit
+                // (keeps `0..n` as three tokens).
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    i += 1;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                let text = match (c, bytes.get(i + 1), bytes.get(i + 2)) {
+                    (b':', Some(b':'), _) => "::",
+                    (b'-', Some(b'>'), _) => "->",
+                    (b'=', Some(b'>'), _) => "=>",
+                    (b'.', Some(b'.'), Some(b'=')) => "..=",
+                    (b'.', Some(b'.'), _) => "..",
+                    _ => {
+                        out.tokens.push(Token {
+                            kind: TokKind::Punct,
+                            text: (c as char).to_string(),
+                            line,
+                        });
+                        i += 1;
+                        continue;
+                    }
+                };
+                i += text.len();
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: text.to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// True at a `r"`, `r#`, `b"`, `b'`, `br` literal start — but not at
+/// a plain identifier that merely begins with `r`/`b`.
+fn starts_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(bytes.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a plain `"…"` string starting at `i`; returns the index past
+/// the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#` starting at `i`.
+fn skip_prefixed_literal(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'r' {
+        raw = true;
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'\'' {
+        return skip_char_literal(bytes, i, line);
+    }
+    let mut hashes = 0usize;
+    while raw && i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return i; // not actually a literal; treat consumed prefix as done
+    }
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if !raw => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while seen < hashes && j < bytes.len() && bytes[j] == b'#' {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return j;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a `'…'` char literal starting at the opening quote.
+fn skip_char_literal(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// `'` starts a lifetime iff it is followed by an identifier that is
+/// not closed by another `'` (that would be a char literal like `'a'`).
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let Some(&next) = bytes.get(i + 1) else {
+        return false;
+    };
+    if !is_ident_start(next) {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && is_ident_byte(bytes[j]) {
+        j += 1;
+    }
+    !(j < bytes.len() && bytes[j] == b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r##"
+            // self.lock() in a comment
+            /* nested /* block */ self.read() */
+            let s = "self.lock()";
+            let r = r#"self.write()"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"lock".to_string()));
+        assert!(!ids.contains(&"read".to_string()));
+        assert!(!ids.contains(&"write".to_string()));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc").tokens;
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn multi_char_puncts_are_merged() {
+        let toks = lex("a::b -> c => 0..n ..=").tokens;
+        let puncts: Vec<String> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(puncts, vec!["::", "->", "=>", "..", "..="]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = lex("0..shards.len()").tokens;
+        assert!(toks[0].kind == TokKind::Num && toks[0].text == "0");
+        assert!(toks[1].is_punct(".."));
+        assert!(toks[2].is_ident("shards"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_literals() {
+        let toks = lex(r##"let a = b"bytes"; let b = br#"raw"# ; let c = b'x';"##).tokens;
+        let strs = toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(strs, 2);
+        assert_eq!(chars, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Fixture-driven pass tests plus the live-workspace gate.
+//!
+//! Each pass has a `firing.rs` fixture that must produce findings and a
+//! `passing.rs` fixture that must stay silent; the final test runs the
+//! analyzer over this repository itself and requires an exact match
+//! against the committed `ci/lint_baseline.json` — the same check CI
+//! runs, so `cargo test` catches drift before the pipeline does.
+
+use agar_analysis::baseline::Baseline;
+use agar_analysis::diag::Finding;
+use agar_analysis::model::FileModel;
+use agar_analysis::{analyze, analyze_models, gate};
+use std::path::Path;
+
+/// Parses a fixture under a virtual in-workspace path so no pass
+/// exemption (bench, obs, the analyzer itself) applies to it.
+fn fixture(dir: &str, name: &str) -> FileModel {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(dir)
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    FileModel::parse(&format!("crates/fixture/src/{dir}.rs"), &source)
+}
+
+fn findings_for(pass: &str, model: FileModel) -> Vec<Finding> {
+    let mut findings = analyze_models(vec![model]).findings;
+    findings.retain(|f| f.pass == pass);
+    findings
+}
+
+/// Asserts the firing fixture produces exactly `expect` findings for
+/// `pass` and the passing fixture produces none.
+fn check_pass(pass: &str, dir: &str, expect: usize) {
+    let firing = findings_for(pass, fixture(dir, "firing.rs"));
+    assert_eq!(
+        firing.len(),
+        expect,
+        "{pass}: firing fixture should produce {expect} findings, got {:#?}",
+        firing
+    );
+    let passing = findings_for(pass, fixture(dir, "passing.rs"));
+    assert!(
+        passing.is_empty(),
+        "{pass}: passing fixture should be silent, got {passing:#?}"
+    );
+}
+
+#[test]
+fn lock_blocking_fixtures() {
+    check_pass("lock-across-blocking", "lock_blocking", 2);
+}
+
+#[test]
+fn lock_order_fixtures() {
+    // One deadlock cycle plus one condvar wait with a second guard.
+    check_pass("lock-order", "lock_order", 2);
+}
+
+#[test]
+fn determinism_fixtures() {
+    // Instant::now, thread_rng, and one order-carrying iteration.
+    check_pass("determinism", "determinism", 3);
+}
+
+#[test]
+fn metrics_fixtures() {
+    check_pass("metrics-discipline", "metrics", 1);
+}
+
+#[test]
+fn unsafe_hygiene_fixtures() {
+    // One bare unsafe block, one bare unsafe fn.
+    check_pass("unsafe-hygiene", "unsafe_hygiene", 2);
+}
+
+#[test]
+fn firing_fixtures_name_the_right_sites() {
+    let lock = findings_for(
+        "lock-across-blocking",
+        fixture("lock_blocking", "firing.rs"),
+    );
+    assert!(lock.iter().any(|f| f.message.contains("fetch_chunk")));
+    assert!(lock.iter().any(|f| f.message.contains("reconstruct_data")));
+
+    let order = findings_for("lock-order", fixture("lock_order", "firing.rs"));
+    assert!(order.iter().any(|f| f.key.starts_with("cycle ")));
+    assert!(order.iter().any(|f| f.message.contains("wait")));
+
+    let det = findings_for("determinism", fixture("determinism", "firing.rs"));
+    assert!(det.iter().any(|f| f.message.contains("Instant::now")));
+    assert!(det.iter().any(|f| f.message.contains("thread_rng")));
+    assert!(det.iter().any(|f| f.message.contains("counts")));
+
+    let metrics = findings_for("metrics-discipline", fixture("metrics", "firing.rs"));
+    assert!(metrics.iter().any(|f| f.message.contains("misses")));
+}
+
+/// The analyzer over this repository must match the committed baseline
+/// exactly: no new findings, no stale waivers, no ratchet drift.
+#[test]
+fn live_workspace_matches_committed_baseline_exactly() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analysis sits two levels below the workspace root");
+    let report = analyze(root).expect("analyzing the live workspace");
+    let baseline_path = root.join("ci/lint_baseline.json");
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", baseline_path.display()));
+    let baseline = Baseline::from_json(&text).expect("parsing ci/lint_baseline.json");
+    let violations = gate(&report, &baseline);
+    assert!(
+        violations.is_empty(),
+        "the live workspace deviates from ci/lint_baseline.json:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n\n")
+    );
+}

@@ -1,0 +1,22 @@
+//! Firing fixture: wall-clock reads, OS-seeded RNG, and unordered
+//! iteration feeding order-carrying output in a sim-clock crate.
+
+struct Tracker {
+    counts: HashMap<ObjectId, u64>,
+}
+
+impl Tracker {
+    fn sample(&mut self) -> Duration {
+        let start = Instant::now();
+        self.jitter = thread_rng().gen_range(0..10);
+        start.elapsed()
+    }
+
+    fn dump(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (_, v) in self.counts.iter() {
+            out.push(*v);
+        }
+        out
+    }
+}

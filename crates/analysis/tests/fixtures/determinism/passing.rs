@@ -1,0 +1,31 @@
+//! Passing fixture: seeded RNG, simulated clock, and every unordered
+//! iteration is either reduced, sorted, or routed through a BTree
+//! collection before its order can escape.
+
+struct Tracker {
+    counts: HashMap<ObjectId, u64>,
+}
+
+impl Tracker {
+    fn sample(&mut self, clock: &SimClock, rng: &mut StdRng) -> Duration {
+        self.jitter = rng.gen_range(0..10);
+        clock.now()
+    }
+
+    /// A reduction is order-insensitive.
+    fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The collect-then-sort idiom: order never escapes unsorted.
+    fn dump(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.counts.values().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Collecting into an ordered set neutralises in one statement.
+    fn ids(&self) -> BTreeSet<ObjectId> {
+        self.counts.keys().copied().collect::<BTreeSet<ObjectId>>()
+    }
+}

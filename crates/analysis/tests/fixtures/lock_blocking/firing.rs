@@ -1,0 +1,19 @@
+//! Firing fixture: backend and disk work under live lock guards.
+
+impl Node {
+    /// Named guard held across a backend fetch.
+    fn read_through(&self, id: ChunkId) -> Option<Chunk> {
+        let state = self.state.lock();
+        let chunk = self.backend.fetch_chunk(id);
+        state.note(id);
+        chunk
+    }
+
+    /// Temporary guard (dies at the semicolon) is fine, but this one
+    /// wraps the blocking call itself inside the guard expression.
+    fn decode_under_lock(&self) {
+        let guard = self.table.write();
+        self.codec.reconstruct_data(&mut self.shards);
+        drop(guard);
+    }
+}

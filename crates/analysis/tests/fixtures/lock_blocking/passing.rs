@@ -1,0 +1,31 @@
+//! Passing fixture: guards are dropped (or scoped out) before any
+//! backend/codec/disk call.
+
+impl Node {
+    /// The guard's scope ends before the fetch.
+    fn read_through(&self, id: ChunkId) -> Option<Chunk> {
+        {
+            let state = self.state.lock();
+            state.note(id);
+        }
+        self.backend.fetch_chunk(id)
+    }
+
+    /// Explicit drop before the blocking call.
+    fn decode_after_drop(&self) {
+        let guard = self.table.write();
+        let plan = guard.plan();
+        drop(guard);
+        self.codec.reconstruct_data(&mut self.shards);
+        plan.apply();
+    }
+
+    /// A temp guard dies at its semicolon: the fetch is lock-free.
+    fn peek_then_fetch(&self, id: ChunkId) -> Option<Chunk> {
+        let hot = self.state.lock().contains(&id);
+        if hot {
+            return None;
+        }
+        self.backend.fetch_chunk(id)
+    }
+}

@@ -1,0 +1,16 @@
+//! Firing fixture: a metric cell field with no `register_*` binding —
+//! it would tick forever without ever appearing in an exposition page.
+
+pub struct ReadStats {
+    pub hits: Counter,
+    pub misses: Counter,
+    pub depth: Gauge,
+}
+
+impl ReadStats {
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.bind("read_hits", &self.hits);
+        registry.bind("read_depth", &self.depth);
+        // `misses` is never bound: the pass must flag it.
+    }
+}

@@ -1,0 +1,16 @@
+//! Passing fixture: every Counter/Gauge/Histogram field appears in a
+//! `register_*` function in the same file.
+
+pub struct ReadStats {
+    pub hits: Counter,
+    pub misses: Counter,
+    pub latency: Histogram,
+}
+
+impl ReadStats {
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.bind("read_hits", &self.hits);
+        registry.bind("read_misses", &self.misses);
+        registry.bind_histogram("read_latency", &self.latency);
+    }
+}

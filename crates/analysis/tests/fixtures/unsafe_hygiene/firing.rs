@@ -1,0 +1,12 @@
+//! Firing fixture: unsafe sites with no invariant comment at all.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn wide_xor(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}

@@ -1,0 +1,15 @@
+//! Passing fixture: every unsafe site states its invariant.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees at least one byte.
+    unsafe { *bytes.as_ptr() }
+}
+
+// SAFETY: caller must have verified AVX2 support at runtime.
+#[target_feature(enable = "avx2")]
+pub unsafe fn wide_xor(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}

@@ -234,6 +234,9 @@ where
     /// removed. Used by the coherence protocol to invalidate an object's
     /// chunks.
     pub fn remove_matching(&mut self, mut pred: impl FnMut(&K) -> bool) -> usize {
+        // Victim order does not escape: each removal is independent and
+        // the final cache and policy state are order-insensitive.
+        // agar-lint: allow(determinism)
         let victims: Vec<K> = self.entries.keys().filter(|k| pred(k)).cloned().collect();
         let n = victims.len();
         for key in victims {
@@ -279,6 +282,8 @@ where
 
     /// Drops every entry (statistics are kept).
     pub fn clear(&mut self) {
+        // Removal order is immaterial: the loop empties the map.
+        // agar-lint: allow(determinism)
         let keys: Vec<K> = self.entries.keys().cloned().collect();
         for key in keys {
             self.remove(&key);

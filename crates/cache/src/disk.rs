@@ -157,12 +157,16 @@ impl DiskStore {
     /// Bytes currently held in segment files (including dead frames
     /// left behind by overwrites).
     pub fn used_bytes(&self) -> usize {
-        self.inner.lock().unwrap().used as usize
+        self.inner.lock().expect("disk store mutex poisoned").used as usize
     }
 
     /// Number of live (indexed) chunks.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().index.len()
+        self.inner
+            .lock()
+            .expect("disk store mutex poisoned")
+            .index
+            .len()
     }
 
     /// Whether no live chunks are indexed.
@@ -172,17 +176,35 @@ impl DiskStore {
 
     /// Whether a live entry exists for `id`.
     pub fn contains(&self, id: &ChunkId) -> bool {
-        self.inner.lock().unwrap().index.contains_key(id)
+        self.inner
+            .lock()
+            .expect("disk store mutex poisoned")
+            .index
+            .contains_key(id)
     }
 
     /// The version of the live entry for `id`, if any.
     pub fn version_of(&self, id: &ChunkId) -> Option<u64> {
-        self.inner.lock().unwrap().index.get(id).map(|l| l.version)
+        self.inner
+            .lock()
+            .expect("disk store mutex poisoned")
+            .index
+            .get(id)
+            .map(|l| l.version)
     }
 
-    /// All live chunk ids (unordered).
+    /// All live chunk ids, in sorted order.
     pub fn keys(&self) -> Vec<ChunkId> {
-        self.inner.lock().unwrap().index.keys().copied().collect()
+        let mut keys: Vec<ChunkId> = self
+            .inner
+            .lock()
+            .expect("disk store mutex poisoned")
+            .index
+            .keys()
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 
     /// Paths of the current segment files, oldest first. Exposed for
@@ -191,7 +213,7 @@ impl DiskStore {
     pub fn segment_paths(&self) -> Vec<PathBuf> {
         self.inner
             .lock()
-            .unwrap()
+            .expect("disk store mutex poisoned")
             .segments
             .iter()
             .map(|s| s.path.clone())
@@ -219,8 +241,12 @@ impl DiskStore {
         frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
         frame.extend_from_slice(payload);
 
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().expect("disk store mutex poisoned");
         let inner = &mut *inner;
+        // The disk tier is a single-writer log: the frame write and the
+        // index update must be atomic with respect to concurrent gets,
+        // so the I/O happens under the store mutex by design.
+        // agar-lint: allow(lock-across-blocking)
         let (segment, offset) = match Self::append_frame(inner, self.segment_target, &frame) {
             Ok(at) => at,
             Err(_) => {
@@ -254,9 +280,12 @@ impl DiskStore {
     /// payload, I/O error) drops the index entry and returns `None` —
     /// a miss, never unverified bytes.
     pub fn get(&self, id: &ChunkId) -> Option<CachedChunk> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().expect("disk store mutex poisoned");
         let inner = &mut *inner;
         let loc = *inner.index.get(id)?;
+        // Reads verify against the index entry they resolved, so the
+        // frame read stays under the store mutex (single-writer log).
+        // agar-lint: allow(lock-across-blocking)
         match Self::read_frame(inner, id, loc) {
             Some(chunk) => Some(chunk),
             None => {
@@ -269,13 +298,18 @@ impl DiskStore {
     /// Drops the live entry for `id` (dead space remains until its
     /// segment is evicted). Returns whether an entry existed.
     pub fn remove(&self, id: &ChunkId) -> bool {
-        self.inner.lock().unwrap().index.remove(id).is_some()
+        self.inner
+            .lock()
+            .expect("disk store mutex poisoned")
+            .index
+            .remove(id)
+            .is_some()
     }
 
     /// Drops every live entry whose id matches `pred`; returns how many
     /// were dropped.
     pub fn remove_matching(&self, mut pred: impl FnMut(&ChunkId) -> bool) -> usize {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().expect("disk store mutex poisoned");
         let before = inner.index.len();
         inner.index.retain(|id, _| !pred(id));
         before - inner.index.len()
@@ -308,12 +342,12 @@ impl DiskStore {
         file.seek(SeekFrom::Start(loc.offset)).ok()?;
         let mut header = [0u8; HEADER_LEN];
         file.read_exact(&mut header).ok()?;
-        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
-        let object = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4-byte header field"));
+        let object = u64::from_le_bytes(header[4..12].try_into().expect("8-byte header field"));
         let index = header[12];
-        let version = u64::from_le_bytes(header[13..21].try_into().unwrap());
-        let len = u32::from_le_bytes(header[21..25].try_into().unwrap());
-        let checksum = u64::from_le_bytes(header[25..33].try_into().unwrap());
+        let version = u64::from_le_bytes(header[13..21].try_into().expect("8-byte header field"));
+        let len = u32::from_le_bytes(header[21..25].try_into().expect("4-byte header field"));
+        let checksum = u64::from_le_bytes(header[25..33].try_into().expect("8-byte header field"));
         if magic != FRAME_MAGIC
             || object != id.object().index()
             || index != id.index().value()

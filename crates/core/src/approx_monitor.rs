@@ -13,7 +13,7 @@
 
 use agar_cache::CountMinSketch;
 use agar_ec::ObjectId;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// A bounded-memory popularity tracker: Count-Min sketch for counting,
 /// a top-K candidate set for reporting, EWMA across epochs like the
@@ -92,10 +92,13 @@ impl ApproxRequestMonitor {
     /// Closes the epoch: candidate counts fold into EWMA popularity,
     /// the sketch ages, and the candidate set resets.
     pub fn end_epoch(&mut self) {
-        let mut touched: Vec<ObjectId> = self.candidates.keys().copied().collect();
-        touched.extend(self.popularity.keys().copied());
-        touched.sort_unstable();
-        touched.dedup();
+        // BTreeSet: dedup plus a deterministic fold order in one shot.
+        let touched: BTreeSet<ObjectId> = self
+            .candidates
+            .keys()
+            .chain(self.popularity.keys())
+            .copied()
+            .collect();
         for object in touched {
             let freq = self.candidates.get(&object).copied().unwrap_or(0) as f64;
             let prev = self.popularity.get(&object).copied().unwrap_or(0.0);

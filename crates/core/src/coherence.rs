@@ -63,7 +63,11 @@ impl WriteCoordinator {
     ) -> Result<(u64, Duration), AgarError> {
         let (version, latency) = {
             let mut rng = self.rng.lock();
+            // The backend put is a simulated write that draws its
+            // latency sample from this RNG; holding the coordinator's
+            // RNG lock across it is what serialises writers.
             self.backend
+                // agar-lint: allow(lock-across-blocking)
                 .put_object(writer_region, object, data, &mut *rng)?
         };
         for node in &self.nodes {

@@ -11,7 +11,7 @@
 //! with α = 0.8 in the paper's experiments.
 
 use agar_ec::ObjectId;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Per-object popularity tracking with epoch-based EWMA.
 #[derive(Clone, Debug)]
@@ -68,10 +68,13 @@ impl RequestMonitor {
     /// Objects whose popularity decays below the prune threshold are
     /// forgotten, keeping memory proportional to the working set.
     pub fn end_epoch(&mut self) {
-        let mut touched: Vec<ObjectId> = self.current_epoch_freq.keys().copied().collect();
-        touched.extend(self.popularity.keys().copied());
-        touched.sort_unstable();
-        touched.dedup();
+        // BTreeSet: dedup plus a deterministic fold order in one shot.
+        let touched: BTreeSet<ObjectId> = self
+            .current_epoch_freq
+            .keys()
+            .chain(self.popularity.keys())
+            .copied()
+            .collect();
 
         for object in touched {
             let freq = self.current_epoch_freq.get(&object).copied().unwrap_or(0) as f64;

@@ -1028,6 +1028,10 @@ impl AgarNode {
                     region: manifest.location(index as usize),
                     version,
                 };
+                // `reconfigure_serial` exists only to serialise whole
+                // reconfigurations; readers never take it, so holding
+                // it across the a-priori fill downloads is the point.
+                // agar-lint: allow(lock-across-blocking)
                 if let Some((_, Ok(fetch))) = fetcher.fetch(self.region, &[request], &mut rng).pop()
                 {
                     self.fill_fetches.inc();

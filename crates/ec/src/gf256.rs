@@ -204,6 +204,7 @@ mod x86 {
     use std::arch::x86_64::*;
 
     /// `dst ^= matrix * src` (GFNI): one affine op per 32-byte block.
+    // SAFETY: caller must have verified GFNI+AVX2 (via `simd_level`).
     #[target_feature(enable = "gfni,avx2")]
     pub unsafe fn mul_add_gfni(dst: &mut [u8], src: &[u8], matrix: u64) -> usize {
         let m = _mm256_set1_epi64x(matrix as i64);
@@ -217,6 +218,7 @@ mod x86 {
     }
 
     /// `dst = matrix * src` (GFNI).
+    // SAFETY: caller must have verified GFNI+AVX2 (via `simd_level`).
     #[target_feature(enable = "gfni,avx2")]
     pub unsafe fn mul_gfni(dst: &mut [u8], src: &[u8], matrix: u64) -> usize {
         let m = _mm256_set1_epi64x(matrix as i64);
@@ -229,6 +231,7 @@ mod x86 {
     }
 
     /// Split-nibble product of one 32-byte block via two `PSHUFB`s.
+    // SAFETY: caller must have verified AVX2 (via `simd_level`).
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn nibble_product_avx2(s: __m256i, lo: __m256i, hi: __m256i) -> __m256i {
@@ -239,6 +242,7 @@ mod x86 {
     }
 
     /// `dst ^= c * src` (AVX2): split-nibble `PSHUFB` over 32 bytes.
+    // SAFETY: caller must have verified AVX2 (via `simd_level`).
     #[target_feature(enable = "avx2")]
     pub unsafe fn mul_add_avx2(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) -> usize {
         let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
@@ -253,6 +257,7 @@ mod x86 {
     }
 
     /// `dst = c * src` (AVX2).
+    // SAFETY: caller must have verified AVX2 (via `simd_level`).
     #[target_feature(enable = "avx2")]
     pub unsafe fn mul_avx2(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) -> usize {
         let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
@@ -266,6 +271,7 @@ mod x86 {
     }
 
     /// Split-nibble product of one 16-byte block (SSSE3).
+    // SAFETY: caller must have verified SSSE3 (via `simd_level`).
     #[inline]
     #[target_feature(enable = "ssse3")]
     unsafe fn nibble_product_ssse3(s: __m128i, lo: __m128i, hi: __m128i) -> __m128i {
@@ -276,6 +282,7 @@ mod x86 {
     }
 
     /// `dst ^= c * src` (SSSE3): split-nibble `PSHUFB` over 16 bytes.
+    // SAFETY: caller must have verified SSSE3 (via `simd_level`).
     #[target_feature(enable = "ssse3")]
     pub unsafe fn mul_add_ssse3(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) -> usize {
         let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
@@ -290,6 +297,7 @@ mod x86 {
     }
 
     /// `dst = c * src` (SSSE3).
+    // SAFETY: caller must have verified SSSE3 (via `simd_level`).
     #[target_feature(enable = "ssse3")]
     pub unsafe fn mul_ssse3(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) -> usize {
         let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
@@ -624,13 +632,15 @@ pub fn mul_add_slice(dst: &mut [u8], src: &[u8], coefficient: u8) {
     }
     let lo = &NIB_LO[coefficient as usize];
     let hi = &NIB_HI[coefficient as usize];
-    // SAFETY: simd_level() has verified the required CPU features.
     #[cfg(target_arch = "x86_64")]
     let done = match simd_level() {
+        // SAFETY: simd_level() verified GFNI and AVX2 at runtime.
         SimdLevel::Gfni => unsafe {
             x86::mul_add_gfni(dst, src, GFNI_MATRICES[coefficient as usize])
         },
+        // SAFETY: simd_level() verified AVX2 at runtime.
         SimdLevel::Avx2 => unsafe { x86::mul_add_avx2(dst, src, lo, hi) },
+        // SAFETY: simd_level() verified SSSE3 at runtime.
         SimdLevel::Ssse3 => unsafe { x86::mul_add_ssse3(dst, src, lo, hi) },
         SimdLevel::Scalar => 0,
     };
@@ -663,11 +673,13 @@ pub fn mul_slice(dst: &mut [u8], src: &[u8], coefficient: u8) {
     }
     let lo = &NIB_LO[coefficient as usize];
     let hi = &NIB_HI[coefficient as usize];
-    // SAFETY: simd_level() has verified the required CPU features.
     #[cfg(target_arch = "x86_64")]
     let done = match simd_level() {
+        // SAFETY: simd_level() verified GFNI and AVX2 at runtime.
         SimdLevel::Gfni => unsafe { x86::mul_gfni(dst, src, GFNI_MATRICES[coefficient as usize]) },
+        // SAFETY: simd_level() verified AVX2 at runtime.
         SimdLevel::Avx2 => unsafe { x86::mul_avx2(dst, src, lo, hi) },
+        // SAFETY: simd_level() verified SSSE3 at runtime.
         SimdLevel::Ssse3 => unsafe { x86::mul_ssse3(dst, src, lo, hi) },
         SimdLevel::Scalar => 0,
     };

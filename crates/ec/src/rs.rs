@@ -830,6 +830,8 @@ mod tests {
         for (i, shard) in shards.iter().take(4).enumerate() {
             assert_eq!(
                 shard.as_ref().as_ptr(),
+                // SAFETY: `base` points into the shared 400-byte padded
+                // buffer and `i * 100 <= 300` stays within it.
                 unsafe { base.add(i * 100) },
                 "data shard {i} is not a slice of the padded buffer"
             );
