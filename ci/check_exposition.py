@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates Prometheus text exposition format on stdin (or a file).
 
-Usage: check_exposition.py [FILE]
+Usage: check_exposition.py [--require FAMILY [FAMILY ...]] [FILE]
 
 Checks the subset of the exposition format the registry emits:
 
@@ -16,6 +16,10 @@ Checks the subset of the exposition format the registry emits:
   cumulative counts ending in ``le="+Inf"``, plus ``_sum`` and
   ``_count`` series;
 - no duplicate (name, labelset) samples.
+
+With ``--require``, additionally fails unless every named metric
+family is present (declared by a TYPE line) — the CI gate that keeps
+new instrumentation from silently falling out of the scrape body.
 
 Exits nonzero with a line-numbered report on any violation.
 """
@@ -61,11 +65,20 @@ def parse_labels(raw, lineno, errors):
 
 
 def main():
-    if len(sys.argv) > 2:
+    argv = sys.argv[1:]
+    required = []
+    if argv and argv[0] == "--require":
+        argv = argv[1:]
+        while argv and not argv[0].startswith("-") and METRIC_NAME.match(argv[0]):
+            required.append(argv.pop(0))
+        if not required:
+            print("check_exposition: --require needs at least one family", file=sys.stderr)
+            sys.exit(2)
+    if len(argv) > 1:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    if len(sys.argv) == 2:
-        with open(sys.argv[1], encoding="utf-8") as handle:
+    if len(argv) == 1:
+        with open(argv[0], encoding="utf-8") as handle:
             text = handle.read()
     else:
         text = sys.stdin.read()
@@ -174,11 +187,15 @@ def main():
         if missing:
             errors.append(f"{family}: histogram missing series {sorted(missing)}")
 
+    for family in required:
+        if family not in types:
+            errors.append(f"required family {family} absent from exposition")
+
     if errors:
         fail(errors)
     print(
         f"check_exposition: OK — {len(seen_samples)} samples in "
-        f"{len(types)} families"
+        f"{len(types)} families ({len(required)} required present)"
     )
 
 

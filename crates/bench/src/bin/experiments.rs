@@ -18,6 +18,9 @@
 //!      tiers        (RAM-only vs two-tier RAM+disk cache while the
 //!                    catalogue outgrows RAM 1x/4x/16x; simulated clock,
 //!                    CI-gateable like tail)
+//!      chaos        (baseline vs hardened failure handling — retry
+//!                    budgets, circuit breakers — under deterministic
+//!                    injected partitions and fetch errors)
 //! --tiny        run at test scale (fast, same shapes)
 //! --runs N      repetitions to average (default 5, paper value)
 //! --ops N       operations per run (default 1000, paper value)
@@ -169,6 +172,13 @@ fn main() {
                 let table = agar_bench::tiers_table(&results);
                 tiers_cells = results;
                 vec![table]
+            }
+            "chaos" => {
+                let mut chaos_params = agar_bench::ChaosParams::paper();
+                chaos_params.scale = params.scale;
+                chaos_params.operations = params.operations;
+                let results = agar_bench::chaos::chaos_results_with(&chaos_params, metrics);
+                vec![agar_bench::chaos_table(&results)]
             }
             other => usage(&format!("unknown experiment {other}")),
         };
@@ -347,7 +357,7 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|cluster|mixed|ec|tail|tiers|all]... \
+        "usage: experiments [fig2|table1|fig6|fig7|fig8a|fig8b|fig9|fig10|ablation|throughput|cluster|mixed|ec|tail|tiers|chaos|all]... \
          [--tiny] [--runs N] [--ops N] [--out DIR] [--json FILE] [--metrics FILE]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });

@@ -14,6 +14,7 @@
 //! | Figure 10 (cache contents) | [`experiments::fig10`] | `experiments -- fig10` |
 //! | §II-D / §VI solver claims | [`experiments::ablation`] + Criterion benches | `experiments -- ablation`, `cargo bench` |
 //! | Two-tier cache under catalogue pressure | [`tiers::tiers_results`] | `experiments -- tiers` |
+//! | Failure handling under injected faults | [`chaos::chaos_results`] | `experiments -- chaos` |
 //!
 //! The harness drives closed-loop clients on a deterministic simulated
 //! clock ([`harness::run_once`]), exactly mirroring the paper's two
@@ -22,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod ec;
 pub mod experiments;
@@ -32,6 +34,10 @@ pub mod tail;
 pub mod throughput;
 pub mod tiers;
 
+pub use chaos::{
+    chaos_results, chaos_results_with, chaos_run, chaos_run_with, chaos_table, ChaosParams,
+    ChaosPolicy, ChaosResult, ChaosScenario,
+};
 pub use cluster::{
     build_warm_cluster, build_warm_cluster_with, build_warm_hedged_cluster, cluster_scaling,
     run_cluster_threads,

@@ -28,6 +28,7 @@
 
 use crate::cache::CachedChunk;
 use agar_ec::ChunkId;
+use agar_obs::{Counter, Labels, MetricsRegistry};
 use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
@@ -122,6 +123,10 @@ pub struct DiskStore {
     capacity: u64,
     /// Target size after which the active segment seals.
     segment_target: u64,
+    /// Indexed frames that failed verification on read (torn frame,
+    /// identity/length mismatch, checksum failure, I/O error) and were
+    /// served as misses instead.
+    corrupt_frames: Counter,
     inner: Mutex<Inner>,
 }
 
@@ -139,6 +144,7 @@ impl DiskStore {
         Ok(DiskStore {
             capacity,
             segment_target,
+            corrupt_frames: Counter::new(),
             inner: Mutex::new(Inner {
                 dir,
                 segments: VecDeque::new(),
@@ -289,10 +295,31 @@ impl DiskStore {
         match Self::read_frame(inner, id, loc) {
             Some(chunk) => Some(chunk),
             None => {
+                // An index entry existed but its frame failed
+                // verification: that is corruption (or a torn write),
+                // not a clean miss — count it so operators can see the
+                // tier eating bad frames, then fall through.
+                self.corrupt_frames.inc();
                 inner.index.remove(id);
                 None
             }
         }
+    }
+
+    /// Indexed frames that failed verification on read so far.
+    pub fn corrupt_frames(&self) -> u64 {
+        self.corrupt_frames.get()
+    }
+
+    /// Registers the tier's corruption counter under
+    /// `agar_disk_corrupt_frames_total`.
+    pub fn register_metrics(&self, registry: &MetricsRegistry, base: Labels) {
+        registry.register_counter(
+            "agar_disk_corrupt_frames_total",
+            "Disk-tier frames that failed verification and were served as misses.",
+            base,
+            &self.corrupt_frames,
+        );
     }
 
     /// Drops the live entry for `id` (dead space remains until its
@@ -484,6 +511,10 @@ mod tests {
         assert!(store.get(&id(1, 0)).is_none());
         // The index entry is purged: a later lookup stays a clean miss.
         assert!(!store.contains(&id(1, 0)));
+        assert_eq!(store.corrupt_frames(), 1);
+        // The clean miss that followed the purge is not corruption.
+        assert!(store.get(&id(1, 0)).is_none());
+        assert_eq!(store.corrupt_frames(), 1);
     }
 
     #[test]
@@ -505,6 +536,7 @@ mod tests {
         file.write_all(&[b[0] ^ 0xFF]).unwrap();
         assert!(store.get(&id(1, 0)).is_none());
         assert!(!store.contains(&id(1, 0)));
+        assert_eq!(store.corrupt_frames(), 1);
     }
 
     #[test]

@@ -285,9 +285,20 @@ impl TieredChunkCache {
 
     /// Late-binds the shared tier counters into a metrics registry
     /// (both tiers record into the RAM cache's `AtomicCacheStats`);
-    /// see `AtomicCacheStats::register_with`.
+    /// see `AtomicCacheStats::register_with`. With a disk tier attached
+    /// its corruption counter (`agar_disk_corrupt_frames_total`) is
+    /// registered too.
     pub fn register_metrics(&self, registry: &agar_obs::MetricsRegistry, base: &agar_obs::Labels) {
         self.ram.register_metrics(registry, base);
+        if let Some(disk) = &self.disk {
+            disk.register_metrics(registry, base.clone());
+        }
+    }
+
+    /// Disk-tier frames that failed verification so far (0 without a
+    /// disk tier).
+    pub fn disk_corrupt_frames(&self) -> u64 {
+        self.disk.as_ref().map_or(0, |d| d.corrupt_frames())
     }
 
     /// Records an object-level read outcome; see

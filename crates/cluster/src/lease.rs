@@ -32,10 +32,23 @@
 //! panic) releases the slot without invalidating — waiters wake, and
 //! no lease leaks. Statistics (`lease_grants`, `lease_contentions`,
 //! `targeted_invalidations`) surface through [`CacheStats`].
+//!
+//! **Lease failover.** An owner that *crashes* mid-write
+//! ([`WriteLease::crash`], driven by the fault plane) leaves the lease
+//! *poisoned*: the slot is released so waiters wake, but the object is
+//! marked dirty in the manager. The next writer to acquire the lease
+//! **fences** first — every registered holder of the object is
+//! invalidated before the new lease is granted, so no member keeps
+//! serving chunks the dead writer may have half-replaced. Torn backend
+//! state itself is harmless: the manifest is installed before the
+//! chunks, so readers of a half-written object see version mismatches
+//! and retry rather than decode across versions. The fence count
+//! surfaces as `agar_lease_fences_total`.
 
 use agar::{AgarNode, CacheEventSink};
 use agar_cache::{AtomicCacheStats, CacheStats};
 use agar_ec::ObjectId;
+use agar_obs::Counter;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -77,6 +90,13 @@ pub struct WriteLeaseManager {
     holders: Mutex<HashMap<ObjectId, BTreeSet<u64>>>,
     /// Active lease slots by object.
     leases: Mutex<HashMap<ObjectId, SlotEntry>>,
+    /// Objects whose last lease holder crashed mid-write. Kept on the
+    /// manager, not the slot: a crash with no waiters tears the slot
+    /// entry down, and the poison must survive until the next writer
+    /// arrives to fence.
+    poisoned: Mutex<BTreeSet<ObjectId>>,
+    /// Poisoned leases fenced and reclaimed by a subsequent writer.
+    fences: Counter,
     stats: AtomicCacheStats,
 }
 
@@ -87,6 +107,8 @@ impl WriteLeaseManager {
             members: Mutex::new(BTreeMap::new()),
             holders: Mutex::new(HashMap::new()),
             leases: Mutex::new(HashMap::new()),
+            poisoned: Mutex::new(BTreeSet::new()),
+            fences: Counter::new(),
             stats: AtomicCacheStats::new(),
         }
     }
@@ -185,6 +207,19 @@ impl WriteLeaseManager {
             }
             *held = true;
         }
+        // Fence a crashed predecessor before the grant becomes usable:
+        // every registered holder is invalidated (no skip — the dead
+        // writer may have half-replaced the object's chunks anywhere),
+        // so stale chunks cannot outlive the crash.
+        let fenced = self
+            .poisoned
+            .lock()
+            .expect("poison set poisoned")
+            .remove(&object);
+        if fenced {
+            self.fences.inc();
+            self.invalidate_holders(object, u64::MAX);
+        }
         self.stats.record_lease_grant();
         WriteLease {
             manager: self,
@@ -192,7 +227,13 @@ impl WriteLeaseManager {
             owner,
             slot,
             contended,
+            fenced,
         }
+    }
+
+    /// Poisoned leases fenced and reclaimed by a subsequent writer.
+    pub fn fences(&self) -> u64 {
+        self.fences.get()
     }
 
     /// Leases currently held or waited on (diagnostics; the race suite
@@ -216,6 +257,12 @@ impl WriteLeaseManager {
     pub fn register_metrics(&self, registry: &agar_obs::MetricsRegistry, base: &agar_obs::Labels) {
         self.stats
             .register_with(registry, &base.clone().with("source", "leases"));
+        registry.register_counter(
+            "agar_lease_fences_total",
+            "Poisoned leases fenced and reclaimed after an owner crash.",
+            base.clone(),
+            &self.fences,
+        );
     }
 
     /// Invalidates `object` on every registered holder except `skip`
@@ -288,6 +335,7 @@ impl std::fmt::Debug for WriteLeaseManager {
             .field("lease_grants", &stats.lease_grants())
             .field("lease_contentions", &stats.lease_contentions())
             .field("targeted_invalidations", &stats.targeted_invalidations())
+            .field("fences", &self.fences.get())
             .finish()
     }
 }
@@ -305,6 +353,7 @@ pub struct WriteLease<'a> {
     owner: u64,
     slot: Arc<LeaseSlot>,
     contended: bool,
+    fenced: bool,
 }
 
 impl WriteLease<'_> {
@@ -321,6 +370,28 @@ impl WriteLease<'_> {
     /// Whether this acquisition had to wait behind another writer.
     pub fn contended(&self) -> bool {
         self.contended
+    }
+
+    /// Whether this acquisition fenced a crashed predecessor (every
+    /// registered holder was invalidated before the grant).
+    pub fn fenced(&self) -> bool {
+        self.fenced
+    }
+
+    /// Simulates the holder dying mid-write: the lease is *poisoned*
+    /// and released without any invalidation — waiters wake, but the
+    /// next writer to acquire this object's lease fences (invalidates
+    /// all registered holders) before its grant becomes usable. Fault
+    /// injection's crash driver; real code paths release via drop or
+    /// [`WriteLease::release_after_write`].
+    pub fn crash(self) {
+        self.manager
+            .poisoned
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(self.object);
+        // Drop releases the slot without invalidating: waiters wake
+        // and the first of them finds the poison.
     }
 
     /// Completes a successful write: targeted invalidation of every
@@ -444,5 +515,56 @@ mod tests {
     fn debug_output() {
         let manager = WriteLeaseManager::default();
         assert!(format!("{manager:?}").contains("WriteLeaseManager"));
+    }
+
+    #[test]
+    fn crashed_lease_is_fenced_by_the_next_writer() {
+        let manager = WriteLeaseManager::new();
+        let object = ObjectId::new(5);
+        manager.record_fill(3, object);
+        let lease = manager.acquire(object, 0);
+        assert!(!lease.fenced());
+        lease.crash();
+        assert_eq!(manager.active_leases(), 0, "crash released the slot");
+        assert!(
+            !manager.holders_of(object).is_empty(),
+            "the crash itself must not invalidate (no release_after_write ran)"
+        );
+        let next = manager.acquire(object, 1);
+        assert!(next.fenced(), "the reclaiming writer fences");
+        assert_eq!(manager.fences(), 1);
+        assert!(
+            manager.holders_of(object).is_empty(),
+            "fencing purges every registered holder"
+        );
+        drop(next);
+        // The poison is consumed by the fence, not sticky.
+        let third = manager.acquire(object, 2);
+        assert!(!third.fenced());
+        drop(third);
+        assert_eq!(manager.fences(), 1);
+        assert_eq!(manager.active_leases(), 0);
+    }
+
+    #[test]
+    fn crash_poison_reaches_a_parked_waiter() {
+        let manager = Arc::new(WriteLeaseManager::new());
+        let object = ObjectId::new(8);
+        manager.record_fill(4, object);
+        let lease = manager.acquire(object, 0);
+        let handle = {
+            let manager = Arc::clone(&manager);
+            std::thread::spawn(move || {
+                let waiter = manager.acquire(object, 1);
+                assert!(waiter.contended());
+                assert!(waiter.fenced(), "the woken waiter must fence the crash");
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        lease.crash();
+        handle.join().unwrap();
+        assert_eq!(manager.fences(), 1);
+        assert!(manager.holders_of(object).is_empty());
+        assert_eq!(manager.active_leases(), 0);
     }
 }

@@ -340,6 +340,36 @@ impl ClusterRouter {
         })
     }
 
+    /// Removes a member *as a crash*: the ring and holder registry are
+    /// cleaned up exactly like [`ClusterRouter::remove_node`], but the
+    /// departed node gets no graceful cache sweep — its RAM and disk
+    /// keep whatever chunks they held at the instant of the crash, the
+    /// way a real process death would leave them. A lease the crashed
+    /// member held is *not* released here; the write path's poison set
+    /// handles that (see `WriteLease::crash`), and the next writer
+    /// fences it. Returns `None` for an unknown id.
+    pub fn crash_node(&self, id: u64) -> Option<MembershipChange> {
+        let (departing, moved) = {
+            let mut state = self.state.write();
+            let before = state.ring.clone();
+            if !state.ring.remove_node(id) {
+                return None;
+            }
+            let departing = state.member(id).cloned();
+            state.members.retain(|member| member.id != id);
+            (departing, self.moved_objects(&before, &state.ring))
+        };
+        if let Some(node) = departing {
+            node.set_cache_event_sink(None);
+            node.set_chunk_fetcher(Arc::new(DirectFetcher::new(Arc::clone(&self.backend))));
+        }
+        self.leases.unregister_member(id);
+        Some(MembershipChange {
+            node: id,
+            moved_objects: moved,
+        })
+    }
+
     /// Reads an object through its ring owner (see the module docs).
     ///
     /// # Errors

@@ -81,6 +81,7 @@
 
 pub mod approx_monitor;
 pub mod baselines;
+pub mod breaker;
 pub mod cache_manager;
 pub mod coherence;
 pub mod config;
@@ -93,9 +94,11 @@ pub mod node;
 pub mod options;
 pub mod planner;
 pub mod region_manager;
+pub mod retry;
 
 pub use approx_monitor::ApproxRequestMonitor;
 pub use baselines::{BackendOnlyClient, BaselinePolicy, FixedChunksClient};
+pub use breaker::{BreakerPolicy, CircuitBreaker};
 pub use cache_manager::CacheManager;
 pub use coherence::WriteCoordinator;
 pub use config::CacheConfiguration;
@@ -110,3 +113,4 @@ pub use planner::{
     ChunkSet, ChunkSource, HedgePolicy, LocalHits, ReadPlan, ReadPlanner, RemoteChunk,
 };
 pub use region_manager::RegionManager;
+pub use retry::RetryPolicy;

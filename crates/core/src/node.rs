@@ -26,6 +26,7 @@
 //! seed and an atomic operation counter, so single-threaded runs stay
 //! bit-deterministic while concurrent readers never share an RNG lock.
 
+use crate::breaker::{BreakerPolicy, CircuitBreaker};
 use crate::cache_manager::CacheManager;
 use crate::config::CacheConfiguration;
 use crate::error::AgarError;
@@ -35,6 +36,7 @@ use crate::knapsack::KnapsackSolver;
 use crate::monitor::RequestMonitor;
 use crate::planner::{ChunkSource, HedgePolicy, ReadPlanner, RemoteChunk};
 use crate::region_manager::RegionManager;
+use crate::retry::RetryPolicy;
 use agar_cache::{
     CacheStats, CacheTier, CachedChunk, PolicyKind, TieredChunkCache, DEFAULT_CACHE_SHARDS,
 };
@@ -172,6 +174,15 @@ pub struct AgarSettings {
     /// deterministic counter, never a random draw, so traced runs
     /// remain reproducible per seed.
     pub trace_sample_every: u64,
+    /// Retry budget for the read path: attempt cap, capped exponential
+    /// backoff priced on the simulated clock, and a per-read deadline.
+    /// The default reproduces the historical fixed 3-attempt loop
+    /// exactly (zero backoff, no deadline — byte-identical).
+    pub retry: RetryPolicy,
+    /// Per-region circuit breaker policy. The default
+    /// (`failure_threshold = 0`) disables the breaker and keeps the
+    /// read path byte-identical to pre-breaker builds.
+    pub breaker: BreakerPolicy,
 }
 
 impl AgarSettings {
@@ -193,6 +204,8 @@ impl AgarSettings {
             disk_write: Duration::from_millis(250),
             solver: KnapsackSolver::new(),
             trace_sample_every: 0,
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
         }
     }
 
@@ -225,6 +238,16 @@ impl AgarSettings {
         if self.disk_capacity_bytes > 0 && (self.disk_read.is_zero() || self.disk_write.is_zero()) {
             return Err(AgarError::InvalidSetting {
                 what: "disk I/O latencies must be positive when the disk tier is enabled",
+            });
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(AgarError::InvalidSetting {
+                what: "retry policy must allow at least one attempt",
+            });
+        }
+        if self.breaker.failure_threshold > 0 && self.breaker.cooldown.is_zero() {
+            return Err(AgarError::InvalidSetting {
+                what: "breaker cooldown must be positive when the breaker is enabled",
             });
         }
         Ok(())
@@ -328,6 +351,22 @@ pub struct AgarNode {
     reconfig: Mutex<ReconfigClock>,
     reconfigurations: Counter,
     fill_fetches: Counter,
+    /// Re-plans and version-race restarts beyond each read's first
+    /// attempt.
+    retries: Counter,
+    /// Total exponential-backoff time charged to reads, in simulated
+    /// microseconds (zero under the default policy).
+    retry_backoff_micros: Counter,
+    /// Reads that re-planned *ungated* because breaker exclusions left
+    /// fewer than k reachable chunks — degraded but served.
+    degraded_reads: Counter,
+    /// Per-region circuit breaker consulted by the planner. Disabled
+    /// (stateless) under the default policy.
+    breaker: CircuitBreaker,
+    /// Latest harness-provided sim-clock instant in microseconds — the
+    /// breaker's cooldown clock. Unlike the trace layer's copy this
+    /// cell always exists (the breaker may be on with tracing off).
+    sim_now_micros: AtomicU64,
     /// Strategy executing the plan's backend fetches. Defaults to
     /// per-chunk [`DirectFetcher`] calls; a cluster deployment swaps in
     /// its coordinator (single-flight + batching) via
@@ -369,6 +408,7 @@ impl AgarNode {
         let manager = CacheManager::new(settings.cache_capacity_bytes)
             .with_disk_capacity(settings.disk_capacity_bytes)
             .with_solver(settings.solver.clone());
+        let breaker = CircuitBreaker::new(settings.breaker, backend.topology().len());
         Ok(AgarNode {
             region,
             fetcher: RwLock::new(Arc::new(DirectFetcher::new(Arc::clone(&backend)))),
@@ -390,6 +430,11 @@ impl AgarNode {
             reconfig: Mutex::new(ReconfigClock::default()),
             reconfigurations: Counter::new(),
             fill_fetches: Counter::new(),
+            retries: Counter::new(),
+            retry_backoff_micros: Counter::new(),
+            degraded_reads: Counter::new(),
+            breaker,
+            sim_now_micros: AtomicU64::new(0),
             trace: (settings.trace_sample_every > 0)
                 .then(|| TraceLayer::new(settings.trace_sample_every)),
             settings,
@@ -406,6 +451,22 @@ impl AgarNode {
                 ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(0xD1B5_4A32_D192_ED03),
         )
+    }
+
+    /// Decides whether a failed attempt may re-plan under the retry
+    /// policy; when it may, charges the retry's backoff into `backoff`
+    /// (the read's running sim-clock penalty) and counts it.
+    fn charge_retry(&self, attempts: u32, backoff: &mut Duration) -> bool {
+        if !self.settings.retry.allows_retry(attempts, *backoff) {
+            return false;
+        }
+        let step = self.settings.retry.backoff_for(attempts);
+        if !step.is_zero() {
+            *backoff += step;
+            self.retry_backoff_micros.add(step.as_micros() as u64);
+        }
+        self.retries.inc();
+        true
     }
 
     /// The node's home region.
@@ -503,13 +564,38 @@ impl AgarNode {
         self.fill_fetches.get()
     }
 
-    /// Advances the node's notion of the simulated clock, used to
-    /// timestamp sampled [`ReadTrace`]s. Harnesses call this as their
-    /// discrete-event clock ticks; with tracing off it is a no-op.
+    /// Advances the node's notion of the simulated clock: the circuit
+    /// breaker's cooldown clock and — when tracing is on — the
+    /// timestamp for sampled [`ReadTrace`]s. Harnesses call this as
+    /// their discrete-event clock ticks.
     pub fn set_sim_now(&self, now: SimTime) {
+        self.sim_now_micros
+            .store(now.as_micros(), Ordering::Relaxed);
         if let Some(trace) = &self.trace {
             trace.now_micros.store(now.as_micros(), Ordering::Relaxed);
         }
+    }
+
+    /// The per-region circuit breaker (disabled and stateless under
+    /// the default policy).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Re-plans and version-race restarts beyond first attempts.
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Total backoff charged to reads, in simulated microseconds.
+    pub fn retry_backoff_micros(&self) -> u64 {
+        self.retry_backoff_micros.get()
+    }
+
+    /// Reads served by an ungated re-plan after breaker exclusions
+    /// left fewer than k reachable chunks.
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads.get()
     }
 
     /// The sampled traces currently retained in the node's ring
@@ -556,6 +642,25 @@ impl AgarNode {
             base.clone(),
             &self.fill_fetches,
         );
+        registry.register_counter(
+            "agar_read_retries_total",
+            "Read re-plans and version-race restarts beyond first attempts.",
+            base.clone(),
+            &self.retries,
+        );
+        registry.register_counter(
+            "agar_retry_backoff_micros_total",
+            "Exponential-backoff time charged to reads, simulated microseconds.",
+            base.clone(),
+            &self.retry_backoff_micros,
+        );
+        registry.register_counter(
+            "agar_degraded_reads_total",
+            "Reads re-planned ungated because breaker exclusions left under k chunks.",
+            base.clone(),
+            &self.degraded_reads,
+        );
+        self.breaker.register_metrics(registry, base.clone());
         if let Some(trace) = &self.trace {
             trace.stages.register_with(registry, base);
         }
@@ -593,6 +698,12 @@ impl AgarNode {
             .map_or_else(Vec::new, |disk| disk.segment_paths())
     }
 
+    /// Disk-tier frames that failed verification and degraded to
+    /// misses (0 without a disk tier).
+    pub fn disk_corrupt_frames(&self) -> u64 {
+        self.cache.disk_corrupt_frames()
+    }
+
     /// A read that may source chunks from collaborative neighbours:
     /// `remote` lists chunks available from other regions' caches as
     /// [`RemoteChunk`] offers. Each needed chunk comes from the
@@ -623,7 +734,8 @@ impl AgarNode {
             .trace
             .as_ref()
             .and_then(|layer| layer.begin(object, self.region));
-        for attempt in 0..3 {
+        let max_attempts = self.settings.retry.max_attempts.max(1);
+        for attempt in 0..max_attempts {
             if let Some(metrics) =
                 self.read_attempt(object, remote, attempt == 0, trace.as_mut())?
             {
@@ -634,6 +746,9 @@ impl AgarNode {
             }
             // A version race restarts the read on a fresh manifest;
             // the trace spans the whole logical read, races included.
+            if attempt + 1 < max_attempts {
+                self.retries.inc();
+            }
             if let Some(builder) = trace.as_mut() {
                 builder.outcome.version_races += 1;
             }
@@ -678,7 +793,10 @@ impl AgarNode {
         let fetcher = Arc::clone(&self.fetcher.read());
         let mut rng = self.derive_rng();
         let mut shards: Vec<Option<Bytes>> = vec![None; total];
-        let mut attempts = 0;
+        let mut attempts = 0u32;
+        // Backoff charged to this read so far, priced into the final
+        // latency on the simulated clock (never slept).
+        let mut backoff = Duration::ZERO;
         let (worst, remote_hits, disk_hits, backend_fetches) = 'replan: loop {
             attempts += 1;
             let (estimates, deviations) = {
@@ -688,19 +806,49 @@ impl AgarNode {
                     region_manager.deviations().to_vec(),
                 )
             };
+            // Re-plans re-price against *current* health: fresh
+            // estimates above, and the breaker's current exclusion
+            // mask here (empty when the breaker is disabled).
+            let now_micros = self.sim_now_micros.load(Ordering::Relaxed);
+            let excluded = self.breaker.exclusion_mask(now_micros);
             let hedging = HedgePolicy {
                 max_hedges: self.settings.max_hedges,
                 z: self.settings.hedge_z,
                 deviations: &deviations,
+                excluded: &excluded,
             };
-            let plan = planner.plan_hedged(
+            let plan = match planner.plan_hedged(
                 hits.clone(),
                 remote,
                 &self.backend,
                 &estimates,
                 self.settings.disk_read,
                 hedging,
-            )?;
+            ) {
+                Ok(plan) => plan,
+                Err(AgarError::Store(StoreError::NotEnoughChunks { .. }))
+                    if excluded.iter().any(|&e| e) =>
+                {
+                    // Breaker exclusions alone starved the plan: serve
+                    // the read degraded through open regions rather
+                    // than stall — availability beats breaker hygiene.
+                    self.degraded_reads.inc();
+                    planner.plan_hedged(
+                        hits.clone(),
+                        remote,
+                        &self.backend,
+                        &estimates,
+                        self.settings.disk_read,
+                        HedgePolicy {
+                            max_hedges: self.settings.max_hedges,
+                            z: self.settings.hedge_z,
+                            deviations: &deviations,
+                            excluded: &[],
+                        },
+                    )?
+                }
+                Err(error) => return Err(error),
+            };
             let hedges = plan.hedges;
             shards.iter_mut().for_each(|s| *s = None);
             let mut worst = Duration::ZERO;
@@ -738,6 +886,7 @@ impl AgarNode {
                             self.region_manager
                                 .lock()
                                 .observe(request.region, fetch.latency);
+                            self.breaker.record_success(request.region);
                             if fetch.version != version {
                                 // A write landed mid-read; mixing
                                 // versions would decode garbage.
@@ -749,7 +898,11 @@ impl AgarNode {
                         }
                         Err(StoreError::RegionUnavailable { region }) => {
                             self.region_manager.lock().mark_unreachable(region);
-                            if attempts < 3 {
+                            self.breaker.record_failure(
+                                region,
+                                self.sim_now_micros.load(Ordering::Relaxed),
+                            );
+                            if self.charge_retry(attempts, &mut backoff) {
                                 continue 'replan; // re-plan around the failure
                             }
                             return Err(StoreError::RegionUnavailable { region }.into());
@@ -787,6 +940,7 @@ impl AgarNode {
                         self.region_manager
                             .lock()
                             .observe(request.region, fetch.latency);
+                        self.breaker.record_success(request.region);
                         if fetch.version != version {
                             return Ok(None);
                         }
@@ -796,13 +950,15 @@ impl AgarNode {
                         // A dead hedge region must not fail the read:
                         // replan only if the survivors cannot cover k.
                         self.region_manager.lock().mark_unreachable(region);
+                        self.breaker
+                            .record_failure(region, self.sim_now_micros.load(Ordering::Relaxed));
                         failed_region = Some(region);
                     }
                     Err(other) => return Err(other.into()),
                 }
             }
             if arrivals.len() < needed {
-                if attempts < 3 {
+                if self.charge_retry(attempts, &mut backoff) {
                     continue 'replan;
                 }
                 let region = failed_region.unwrap_or(self.region);
@@ -855,7 +1011,9 @@ impl AgarNode {
         if disk_hits > 0 {
             cache_component = cache_component.max(self.settings.disk_read);
         }
-        let latency = self.settings.client_overhead + cache_component.max(worst);
+        // Backoff spent on re-plans is wall time the client actually
+        // waited; zero under the default (no-backoff) policy.
+        let latency = self.settings.client_overhead + cache_component.max(worst) + backoff;
         if let Some(builder) = trace.as_deref_mut() {
             let outcome = &mut builder.outcome;
             outcome.replans += attempts - 1;
@@ -1604,6 +1762,11 @@ mod tests {
             let metrics = node.read(ObjectId::new(i)).unwrap();
             assert_eq!(metrics.data.as_ref(), expected_payload(i, 900).as_slice());
         }
+        // And the damage is visible: every failed frame was counted.
+        assert!(
+            node.disk_corrupt_frames() > 0,
+            "corrupted frames must be counted"
+        );
     }
 
     #[test]

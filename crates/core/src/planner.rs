@@ -148,6 +148,13 @@ pub struct HedgePolicy<'a> {
     /// Per-region mean-deviation estimates (σ), indexed by region id;
     /// typically `RegionManager::deviations`.
     pub deviations: &'a [Duration],
+    /// Per-region exclusion mask from the circuit breaker
+    /// ([`CircuitBreaker::exclusion_mask`](crate::breaker::CircuitBreaker::exclusion_mask)):
+    /// `excluded[region] == true` drops the region's chunks from the
+    /// backend candidate set, so an open region is priced into neither
+    /// primaries nor hedges. An empty slice (the default and the
+    /// disabled-breaker value) excludes nothing.
+    pub excluded: &'a [bool],
 }
 
 impl HedgePolicy<'static> {
@@ -158,6 +165,7 @@ impl HedgePolicy<'static> {
             max_hedges: 0,
             z: 0.0,
             deviations: &[],
+            excluded: &[],
         }
     }
 }
@@ -325,8 +333,18 @@ impl<'a> ReadPlanner<'a> {
             }
         }
         // Reachable backend candidates with per-chunk estimates.
+        // Regions the circuit breaker holds open are dropped here, the
+        // single gate both primaries and hedges price through.
         let mut backend_at: Vec<Option<(RegionId, Duration)>> = vec![None; total];
         for candidate in plan_backend_fetch_with_estimates(backend, object, estimates)? {
+            if hedging
+                .excluded
+                .get(candidate.region.index())
+                .copied()
+                .unwrap_or(false)
+            {
+                continue;
+            }
             backend_at[candidate.chunk.index().value() as usize] =
                 Some((candidate.region, candidate.estimate));
         }
@@ -729,6 +747,7 @@ mod tests {
             max_hedges: 2,
             z: 3.0,
             deviations: &deviations,
+            excluded: &[],
         };
         let plan = planner
             .plan_hedged(
@@ -763,6 +782,7 @@ mod tests {
             max_hedges: 3,
             z: 3.0,
             deviations: &deviations,
+            excluded: &[],
         };
         let plan = planner
             .plan_hedged(
@@ -776,6 +796,75 @@ mod tests {
             .unwrap();
         assert_eq!(plan.hedges, 0);
         assert_eq!(plan.sources.len(), 9);
+    }
+
+    #[test]
+    fn breaker_mask_excludes_a_region_from_primaries_and_hedges() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        let planner = ReadPlanner::new(&manifest, &config);
+        let deviations = vec![Duration::from_millis(400); 6];
+        let mut excluded = vec![false; 6];
+        excluded[FRANKFURT.index()] = true; // the cheapest region
+        let policy = HedgePolicy {
+            max_hedges: 3,
+            z: 3.0,
+            deviations: &deviations,
+            excluded: &excluded,
+        };
+        let plan = planner
+            .plan_hedged(
+                LocalHits::default(),
+                &[],
+                &backend,
+                &estimates,
+                DISK_READ,
+                policy,
+            )
+            .unwrap();
+        for (_, source) in &plan.sources {
+            match source {
+                ChunkSource::Backend { region, .. } => assert_ne!(*region, FRANKFURT),
+                other => panic!("cold read planned {other:?}"),
+            }
+        }
+        // 12 chunks total, 2 in the excluded region: 10 candidates
+        // cover k=9 primaries and leave exactly one spare to hedge.
+        assert_eq!(plan.sources.len(), 10);
+        assert_eq!(plan.hedges, 1);
+    }
+
+    #[test]
+    fn excluding_too_many_regions_is_not_enough_chunks() {
+        let (backend, estimates) = setup();
+        let manifest = backend.manifest(ObjectId::new(0)).unwrap();
+        let config = CacheConfiguration::empty();
+        let planner = ReadPlanner::new(&manifest, &config);
+        // Two regions out = 8 reachable chunks < k = 9: the planner
+        // reports it and the node falls back to an ungated re-plan
+        // (degraded read) rather than stalling.
+        let mut excluded = vec![false; 6];
+        excluded[FRANKFURT.index()] = true;
+        excluded[TOKYO.index()] = true;
+        let policy = HedgePolicy {
+            max_hedges: 0,
+            z: 0.0,
+            deviations: &[],
+            excluded: &excluded,
+        };
+        let result = planner.plan_hedged(
+            LocalHits::default(),
+            &[],
+            &backend,
+            &estimates,
+            DISK_READ,
+            policy,
+        );
+        assert!(matches!(
+            result,
+            Err(AgarError::Store(StoreError::NotEnoughChunks { .. }))
+        ));
     }
 
     #[test]

@@ -184,6 +184,65 @@ impl Backend {
         Ok((version, worst))
     }
 
+    /// Simulates a writer process dying mid-[`Backend::put_object`]:
+    /// the manifest is installed (version bumped, same lock discipline
+    /// as a real write) but only the first `written_chunks` chunks land
+    /// carrying the new version — the rest keep their previous bytes
+    /// *and* previous version tag. Readers racing the torn state see
+    /// cross-chunk version mismatches, never a torn decode: the chunks
+    /// that did land are internally consistent with the new manifest,
+    /// and the stale remainder is rejected by the version check. A
+    /// subsequent full `put_object` (the fencing writer's rewrite)
+    /// repairs the object. Returns the torn manifest version.
+    ///
+    /// This is a fault-injection hook for chaos tests; no latency is
+    /// charged because the writer never lived to observe one.
+    ///
+    /// # Errors
+    ///
+    /// Same preconditions as [`Backend::put_object`].
+    pub fn put_object_interrupted(
+        &self,
+        object: ObjectId,
+        data: &[u8],
+        written_chunks: usize,
+    ) -> Result<u64, StoreError> {
+        let shards = self.codec.encode_object(data)?;
+        let total = self.params.total_chunks();
+        let locations = self.placement.place(object, total, self.topology.len());
+        if locations.len() != total {
+            return Err(StoreError::InvalidPlacement {
+                what: "placement did not cover every chunk",
+            });
+        }
+        for &region in &locations {
+            if !self.bucket(region)?.is_available() {
+                return Err(StoreError::RegionUnavailable { region });
+            }
+        }
+        let version = {
+            let mut manifests = self.manifests.write();
+            let version = manifests
+                .get(&object)
+                .map_or(1, |manifest| manifest.version() + 1);
+            manifests.insert(
+                object,
+                ObjectManifest::new(object, data.len(), version, self.params, locations.clone()),
+            );
+            version
+        };
+        for (i, (shard, &region)) in shards
+            .iter()
+            .zip(&locations)
+            .enumerate()
+            .take(written_chunks)
+        {
+            let id = ChunkId::new(object, i as u8);
+            self.bucket(region)?.put(id, shard.clone(), version);
+        }
+        Ok(version)
+    }
+
     /// Returns a copy of the object's manifest.
     ///
     /// # Errors

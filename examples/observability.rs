@@ -7,7 +7,8 @@
 //! cargo run --release --example observability | python3 ci/check_exposition.py
 //! ```
 
-use agar::{AgarNode, AgarSettings, CachingClient};
+use agar::{AgarNode, AgarSettings, CachingClient, DirectFetcher};
+use agar_chaos::{ChaosClock, ChaosPlane, ChaosSpec};
 use agar_ec::{CodingParams, ObjectId};
 use agar_net::presets::{aws_six_regions, FRANKFURT};
 use agar_net::SimTime;
@@ -33,7 +34,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     // read traces. A production node would sample sparsely instead.
     let mut settings = AgarSettings::paper_default(8 * 45_000);
     settings.trace_sample_every = 1;
+    // A warm disk tier under the RAM cache, so the disk-tier families
+    // (hits, demotions, corrupt frames) show up in the scrape body.
+    settings.disk_capacity_bytes = 4 * 45_000;
     let node = AgarNode::new(FRANKFURT, Arc::clone(&backend), settings, 11)?;
+
+    // Route fetches through a quiet chaos plane: it injects nothing
+    // (byte-identical to no plane at all) but exports the fault
+    // counters a hardened deployment would scrape.
+    let plane = Arc::new(ChaosPlane::new(
+        Arc::new(DirectFetcher::new(Arc::clone(&backend))) as _,
+        ChaosSpec::quiet(),
+        ChaosClock::new(),
+    ));
+    node.set_chunk_fetcher(Arc::clone(&plane) as _);
 
     // Register BEFORE the traffic: registration late-binds the node's
     // live counters, so the order doesn't matter for correctness —
@@ -41,6 +55,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let registry = MetricsRegistry::new();
     let labels = Labels::new().with("region", "eu-central-1");
     node.register_metrics(&registry, &labels);
+    plane.register_metrics(&registry, labels.clone());
 
     // Warm the cache: a Zipf-ish skew via repeated low keys, a
     // reconfiguration, then a hot re-read pass.

@@ -364,6 +364,97 @@ fn tiered_members_never_serve_stale_disk_chunks() {
     assert_eq!(router.lease_manager().active_leases(), 0, "leaked lease");
 }
 
+/// An owner that crashes mid-write — manifest landed, chunk set torn,
+/// lease never released, node yanked from the ring without a graceful
+/// sweep — must not wedge the object or leak registry state: racing
+/// readers see only whole versions or explicit contention errors, the
+/// crashed member leaves the holder registry, and the next writer
+/// fences the poisoned lease and repairs the object.
+#[test]
+fn owner_crash_mid_write_race_fences_holders_and_repairs() {
+    let backend = backend(3);
+    let router = cluster(&backend, 3);
+    let object = ObjectId::new(0);
+    for _ in 0..20 {
+        router.read(object).unwrap();
+    }
+    router.force_reconfigure_all();
+    router.read(object).unwrap();
+    assert!(
+        !router.lease_manager().holders_of(object).is_empty(),
+        "warm cluster must register holders"
+    );
+
+    let owner = router.ring().owner_of_object(object).unwrap();
+    let repaired: Arc<Mutex<Option<u8>>> = Arc::new(Mutex::new(None));
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers = 3;
+    let barrier = Barrier::new(readers + 1);
+    std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let router = Arc::clone(&router);
+            let repaired = Arc::clone(&repaired);
+            let stop = Arc::clone(&stop);
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) || reads == 0 {
+                    match router.read(object) {
+                        Ok(metrics) => {
+                            reads += 1;
+                            let data = metrics.metrics().data.as_ref();
+                            let pristine = data == expected_payload(0, SIZE).as_slice();
+                            let whole_repair = data.first().is_some_and(|&first| {
+                                data.iter().all(|&b| b == first)
+                                    && *repaired.lock().unwrap() == Some(first)
+                            });
+                            assert!(
+                                pristine || whole_repair,
+                                "decoded a torn or stale payload during the crash race"
+                            );
+                        }
+                        // The torn window reads as explicit contention,
+                        // never as silently stale bytes.
+                        Err(AgarError::ReadContention { .. }) => {}
+                        Err(e) => panic!("racing read failed: {e}"),
+                    }
+                }
+            });
+        }
+        barrier.wait();
+
+        // The owner starts a write: lease held, manifest bumped, only
+        // 4 of 12 chunks land — then the process dies.
+        let lease = router.lease_manager().acquire(object, owner);
+        let torn_version = backend
+            .put_object_interrupted(object, &[0xAB; SIZE], 4)
+            .unwrap();
+        lease.crash();
+        router.crash_node(owner).unwrap();
+        assert_eq!(router.lease_manager().active_leases(), 0, "wedged lease");
+        assert!(
+            !router.lease_manager().holders_of(object).contains(&owner),
+            "crashed member still in the holder registry"
+        );
+
+        // Survivor repairs under a fenced lease while readers race.
+        *repaired.lock().unwrap() = Some(0xCD);
+        let metrics = router.write(object, &[0xCD; SIZE]).unwrap();
+        assert_eq!(metrics.version, torn_version + 1);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(router.lease_manager().fences(), 1, "poison never fenced");
+    assert_eq!(router.lease_manager().active_leases(), 0);
+    // The cluster settles on the repaired payload from the refilled
+    // hierarchy.
+    for _ in 0..2 {
+        let read = router.read(object).unwrap();
+        assert_eq!(read.metrics().data.as_ref(), [0xCD; SIZE].as_slice());
+    }
+}
+
 /// A removed member is fully detached: it drops its cached chunks of
 /// the re-homed segment, leaves the shared fetch coordinator, and —
 /// if re-added — does not resurrect stale content past the version
